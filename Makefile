@@ -1,0 +1,36 @@
+# Convenience targets for the XR-tree reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench examples experiments verify clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper table/figure; see bench_test.go.
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/department
+	$(GO) run ./examples/conference
+	$(GO) run ./examples/maintenance
+	$(GO) run ./examples/persistence
+
+# Regenerate every table and figure of the paper (EXPERIMENTS.md records
+# the reference output).
+experiments:
+	$(GO) run ./cmd/xrbench -exp all -scale 1.0
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,87 @@
+package xrtree_test
+
+import (
+	"strings"
+	"testing"
+
+	"xrtree"
+)
+
+// TestSmallAccessors covers the thin public accessors end to end.
+func TestSmallAccessors(t *testing.T) {
+	store := memStore(t)
+	doc, err := xrtree.ParseXML(strings.NewReader(sampleXML), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := store.IndexElements(doc.ElementsByTag("emp"), xrtree.IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Elements(); len(got) != set.Len() {
+		t.Errorf("Elements() = %d, Len() = %d", len(got), set.Len())
+	}
+	entries, pages, err := set.StabStats()
+	if err != nil {
+		t.Fatalf("StabStats: %v", err)
+	}
+	if entries < 0 || pages < 0 {
+		t.Errorf("StabStats = %d, %d", entries, pages)
+	}
+
+	// Pool/file stats accumulate across the work above.
+	if ps := store.PoolStats(); ps.PageAccesses() == 0 {
+		t.Error("PoolStats shows no page accesses")
+	}
+	if fs := store.FileStats(); fs.PhysicalWrites == 0 {
+		t.Error("FileStats shows no writes")
+	}
+
+	idx := store.IndexDocument(doc)
+	if idx.Document() != doc {
+		t.Error("IndexedDocument.Document mismatch")
+	}
+
+	coll := store.NewCollection()
+	if err := coll.Add(doc); err != nil {
+		t.Fatal(err)
+	}
+	docs := coll.Documents()
+	if len(docs) != 1 || docs[0].Document() != doc {
+		t.Errorf("Documents() = %v", docs)
+	}
+}
+
+// TestFromDietzPublic covers the Dietz converter through the facade.
+func TestFromDietzPublic(t *testing.T) {
+	codes := []xrtree.DietzCode{
+		{Pre: 1, Post: 3}, // root
+		{Pre: 2, Post: 1}, // first child
+		{Pre: 3, Post: 2}, // second child
+	}
+	els, err := xrtree.FromDietz(1, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !els[0].IsAncestorOf(els[1]) || !els[0].IsAncestorOf(els[2]) {
+		t.Errorf("root not ancestor of children: %v", els)
+	}
+	if els[1].IsAncestorOf(els[2]) || els[2].IsAncestorOf(els[1]) {
+		t.Errorf("siblings nest: %v", els)
+	}
+}
+
+// TestStoreDoubleClose verifies Close is safe to call repeatedly enough for
+// deferred cleanups.
+func TestStoreDoubleClose(t *testing.T) {
+	store, err := xrtree.NewMemStore(xrtree.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,379 @@
+package xrtree
+
+// Store persistence: a catalog maps set names to the on-disk handles of
+// their access paths (element-list head, B+-tree meta page, XR-tree meta
+// page) so a disk-backed store can be closed and reopened with every index
+// intact — what a downstream user needs to adopt the library beyond a
+// single process lifetime.
+//
+// The catalog lives in a page chain whose head is always the first page
+// allocated in the file (page 1, created by CreateStore before anything
+// else), serialized as:
+//
+//	0:  magic    u32 — identifies a catalog page
+//	4:  next     u32 — next catalog page (InvalidPage at end)
+//	8:  count    u16 — entries on this page
+//	10: entries — each:
+//	    nameLen u16 | name … | docID u32 | elems u32 |
+//	    listHead u32 | listPages u32 | btMeta u32 | xrMeta u32
+//
+// Handles that are zero mean the access path was not built for that set.
+
+import (
+	"errors"
+	"fmt"
+
+	"xrtree/internal/btree"
+	"xrtree/internal/core"
+	"xrtree/internal/elemlist"
+	"xrtree/internal/pagefile"
+)
+
+const (
+	catMagic    = 0x58524341 // "XRCA"
+	catOffMagic = 0
+	catOffNext  = 4
+	catOffCount = 8
+	catHeader   = 10
+	catEntryFix = 2 + 4 + 4 + 4 + 4 + 4 + 4 // fixed bytes besides the name
+)
+
+// ErrNoCatalog is returned by OpenStore on files without a catalog page.
+var ErrNoCatalog = errors.New("xrtree: store has no catalog (created before SaveSet?)")
+
+// ErrUnknownSet is returned when opening a set name the catalog lacks.
+var ErrUnknownSet = errors.New("xrtree: set not in catalog")
+
+// catEntry is one persisted set.
+type catEntry struct {
+	name      string
+	docID     uint32
+	elems     uint32
+	listHead  pagefile.PageID
+	listPages uint32
+	btMeta    pagefile.PageID
+	xrMeta    pagefile.PageID
+}
+
+func (e catEntry) size() int { return catEntryFix + len(e.name) }
+
+// SaveSet records the element set under a name in the store's catalog so
+// OpenSet can reattach to it after reopening the store file. The store must
+// have been created with CreateStore (memory stores persist nothing beyond
+// the process, though SaveSet still works for symmetry).
+func (s *Store) SaveSet(name string, set *ElementSet) error {
+	if name == "" || len(name) > 255 {
+		return fmt.Errorf("xrtree: invalid set name %q", name)
+	}
+	entries, err := s.readCatalog()
+	if err != nil && !errors.Is(err, ErrNoCatalog) {
+		return err
+	}
+	e := catEntry{
+		name:  name,
+		docID: set.els[0].DocID,
+		elems: uint32(len(set.els)),
+	}
+	if set.list != nil {
+		e.listHead = set.list.Head()
+		e.listPages = uint32(set.list.Pages())
+	}
+	if set.bt != nil {
+		e.btMeta = set.bt.Meta()
+	}
+	if set.xr != nil {
+		e.xrMeta = set.xr.Meta()
+	}
+	replaced := false
+	for i := range entries {
+		if entries[i].name == name {
+			entries[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		entries = append(entries, e)
+	}
+	return s.writeCatalog(entries)
+}
+
+// SetNames lists the names saved in the catalog.
+func (s *Store) SetNames() ([]string, error) {
+	entries, err := s.readCatalog()
+	if err != nil {
+		if errors.Is(err, ErrNoCatalog) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.name
+	}
+	return names, nil
+}
+
+// OpenSet reattaches to a set previously recorded with SaveSet.
+func (s *Store) OpenSet(name string) (*ElementSet, error) {
+	entries, err := s.readCatalog()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.name != name {
+			continue
+		}
+		set := &ElementSet{store: s}
+		if e.listHead != pagefile.InvalidPage {
+			l, err := elemlist.Open(s.pool, e.listHead, int(e.elems), int(e.listPages), e.docID)
+			if err != nil {
+				return nil, fmt.Errorf("xrtree: set %q list: %w", name, err)
+			}
+			set.list = l
+		}
+		if e.btMeta != pagefile.InvalidPage {
+			bt, err := btree.Open(s.pool, e.btMeta)
+			if err != nil {
+				return nil, fmt.Errorf("xrtree: set %q B+-tree: %w", name, err)
+			}
+			set.bt = bt
+		}
+		if e.xrMeta != pagefile.InvalidPage {
+			xr, err := core.Open(s.pool, e.xrMeta, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("xrtree: set %q XR-tree: %w", name, err)
+			}
+			set.xr = xr
+		}
+		set.els, err = s.materialize(set, int(e.elems))
+		if err != nil {
+			return nil, err
+		}
+		return set, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownSet, name)
+}
+
+// materialize rebuilds the in-memory element slice from the set's cheapest
+// access path (used by workload derivation and Elements()).
+func (s *Store) materialize(set *ElementSet, n int) ([]Element, error) {
+	out := make([]Element, 0, n)
+	if set.list != nil {
+		it := set.list.Scan(nil)
+		defer it.Close()
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, e)
+		}
+		return out, it.Err()
+	}
+	if set.xr != nil {
+		it, err := set.xr.Scan(nil)
+		if err != nil {
+			return nil, err
+		}
+		defer it.Close()
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, e)
+		}
+		return out, it.Err()
+	}
+	if set.bt != nil {
+		it, err := set.bt.Scan(nil)
+		if err != nil {
+			return nil, err
+		}
+		defer it.Close()
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, e)
+		}
+		return out, it.Err()
+	}
+	return nil, errors.New("xrtree: catalog entry has no access paths")
+}
+
+// catalogHead returns the id of the catalog head page. Stores created by
+// this package allocate it as the file's first page (page 1) before any
+// index page, and it carries a magic value so foreign files are rejected.
+func (s *Store) catalogHead() (pagefile.PageID, error) {
+	if s.file.NumPages() <= 1 {
+		return pagefile.InvalidPage, ErrNoCatalog
+	}
+	head := pagefile.PageID(1)
+	data, err := s.pool.Fetch(head)
+	if err != nil {
+		return pagefile.InvalidPage, err
+	}
+	ok := getCatU32(data[catOffMagic:]) == catMagic
+	if err := s.pool.Unpin(head, false); err != nil {
+		return pagefile.InvalidPage, err
+	}
+	if !ok {
+		return pagefile.InvalidPage, ErrNoCatalog
+	}
+	return head, nil
+}
+
+func (s *Store) readCatalog() ([]catEntry, error) {
+	head, err := s.catalogHead()
+	if err != nil {
+		return nil, err
+	}
+	var entries []catEntry
+	p := head
+	for p != pagefile.InvalidPage {
+		data, err := s.pool.Fetch(p)
+		if err != nil {
+			return nil, err
+		}
+		n := int(getCatU16(data[catOffCount:]))
+		off := catHeader
+		ok := true
+		for i := 0; i < n; i++ {
+			if off+2 > len(data) {
+				ok = false
+				break
+			}
+			nameLen := int(getCatU16(data[off:]))
+			off += 2
+			if off+nameLen+catEntryFix-2 > len(data) {
+				ok = false
+				break
+			}
+			e := catEntry{name: string(data[off : off+nameLen])}
+			off += nameLen
+			e.docID = getCatU32(data[off:])
+			e.elems = getCatU32(data[off+4:])
+			e.listHead = pagefile.PageID(getCatU32(data[off+8:]))
+			e.listPages = getCatU32(data[off+12:])
+			e.btMeta = pagefile.PageID(getCatU32(data[off+16:]))
+			e.xrMeta = pagefile.PageID(getCatU32(data[off+20:]))
+			off += 24
+			entries = append(entries, e)
+		}
+		next := pagefile.PageID(getCatU32(data[catOffNext:]))
+		if uerr := s.pool.Unpin(p, false); uerr != nil {
+			return nil, uerr
+		}
+		if !ok {
+			return nil, fmt.Errorf("xrtree: corrupt catalog page %d", p)
+		}
+		p = next
+	}
+	return entries, nil
+}
+
+func (s *Store) writeCatalog(entries []catEntry) error {
+	head, err := s.catalogHead()
+	if err != nil {
+		return err
+	}
+	p := head
+	i := 0
+	prev := pagefile.InvalidPage
+	_ = prev
+	for {
+		data, err := s.pool.Fetch(p)
+		if err != nil {
+			return err
+		}
+		off := catHeader
+		n := 0
+		for i < len(entries) && off+entries[i].size() <= len(data) {
+			e := entries[i]
+			putCatU16(data[off:], uint16(len(e.name)))
+			off += 2
+			copy(data[off:], e.name)
+			off += len(e.name)
+			putCatU32(data[off:], e.docID)
+			putCatU32(data[off+4:], e.elems)
+			putCatU32(data[off+8:], uint32(e.listHead))
+			putCatU32(data[off+12:], e.listPages)
+			putCatU32(data[off+16:], uint32(e.btMeta))
+			putCatU32(data[off+20:], uint32(e.xrMeta))
+			off += 24
+			n++
+			i++
+		}
+		putCatU16(data[catOffCount:], uint16(n))
+		next := pagefile.PageID(getCatU32(data[catOffNext:]))
+		if i < len(entries) && next == pagefile.InvalidPage {
+			// Grow the chain.
+			nid, ndata, err := s.pool.FetchNew()
+			if err != nil {
+				s.pool.Unpin(p, true)
+				return err
+			}
+			putCatU32(ndata[catOffMagic:], catMagic)
+			putCatU32(ndata[catOffNext:], uint32(pagefile.InvalidPage))
+			putCatU16(ndata[catOffCount:], 0)
+			if err := s.pool.Unpin(nid, true); err != nil {
+				s.pool.Unpin(p, true)
+				return err
+			}
+			putCatU32(data[catOffNext:], uint32(nid))
+			next = nid
+		}
+		if err := s.pool.Unpin(p, true); err != nil {
+			return err
+		}
+		if i >= len(entries) {
+			// Clear any trailing pages' counts.
+			for next != pagefile.InvalidPage {
+				data, err := s.pool.Fetch(next)
+				if err != nil {
+					return err
+				}
+				putCatU16(data[catOffCount:], 0)
+				nn := pagefile.PageID(getCatU32(data[catOffNext:]))
+				if err := s.pool.Unpin(next, true); err != nil {
+					return err
+				}
+				next = nn
+			}
+			return nil
+		}
+		p = next
+	}
+}
+
+// OpenStore reopens a store file created by CreateStore, with its catalog.
+func OpenStore(path string, opts StoreOptions) (*Store, error) {
+	file, err := pagefile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return newStore(file, opts)
+}
+
+func putCatU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getCatU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putCatU16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
+func getCatU16(b []byte) uint16 {
+	return uint16(b[0]) | uint16(b[1])<<8
+}

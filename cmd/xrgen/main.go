@@ -1,0 +1,86 @@
+// Command xrgen generates the synthetic XML corpora of the paper's
+// performance study (§6.1, Figure 6 DTDs) and writes them as XML files.
+//
+// Usage:
+//
+//	xrgen -dtd department -out dept.xml -scale 1.0 -seed 1
+//	xrgen -dtd conference -out conf.xml
+//	xrgen -dtd nested -depth 15 -elements 50000 -out deep.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"xrtree/internal/datagen"
+	"xrtree/internal/xmldoc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xrgen: ")
+	var (
+		dtd      = flag.String("dtd", "department", "DTD to generate: department, conference, or nested")
+		out      = flag.String("out", "", "output file (default stdout)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 1.0, "size multiplier for department/conference")
+		depth    = flag.Int("depth", 10, "max nesting depth (nested DTD)")
+		elements = flag.Int("elements", 10000, "element count (nested DTD)")
+	)
+	flag.Parse()
+
+	var doc *xmldoc.Document
+	var err error
+	switch *dtd {
+	case "department":
+		doc, err = datagen.Department(datagen.DeptConfig{
+			Seed: *seed, DocID: 1,
+			Departments: scaled(40, *scale), Employees: scaled(25, *scale),
+		})
+	case "conference":
+		doc, err = datagen.Conference(datagen.ConfConfig{
+			Seed: *seed, DocID: 1,
+			Conferences: scaled(60, *scale), Papers: scaled(40, *scale),
+		})
+	case "nested":
+		doc, err = datagen.Nested(datagen.NestedConfig{
+			Seed: *seed, DocID: 1, Elements: *elements, MaxDepth: *depth, DeepBias: 0.7,
+		})
+	default:
+		log.Fatalf("unknown -dtd %q (want department, conference, or nested)", *dtd)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := doc.WriteXML(w); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d elements (%s DTD)\n", doc.NumElements(), *dtd)
+	for _, tag := range doc.Tags() {
+		fmt.Fprintf(os.Stderr, "  %-12s %d\n", tag, len(doc.ElementsByTag(tag)))
+	}
+}
+
+func scaled(n int, s float64) int {
+	v := int(float64(n) * s)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

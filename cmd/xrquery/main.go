@@ -1,0 +1,213 @@
+// Command xrquery evaluates structural queries over an XML document.
+//
+// A two-step query ("anc//desc" or "anc/desc") runs as one structural join
+// with the chosen algorithm(s), printing result pairs and cost counters —
+// a miniature of the paper's experimental runs. A longer path expression
+// ("departments/department//employee/name") runs as a pipeline of XR-stack
+// joins (the paper's §7 future work).
+//
+// Usage:
+//
+//	xrquery -in dept.xml -query 'employee//name' -alg xr
+//	xrquery -in dept.xml -query 'employee/name' -alg all -quiet
+//	xrquery -in dept.xml -query 'department//employee/name'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"xrtree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xrquery: ")
+	var (
+		in       = flag.String("in", "", "input XML file")
+		storeArg = flag.String("store", "", "store file built by xrload (alternative to -in)")
+		query    = flag.String("query", "", "join query: anc//desc or anc/desc (required)")
+		alg      = flag.String("alg", "xr", "algorithm: noindex, mpmgjn, bplus, xr, or all")
+		quiet    = flag.Bool("quiet", false, "suppress pair output, print only counts")
+		limit    = flag.Int("limit", 20, "max pairs to print")
+		attrs    = flag.Bool("attrs", false, "materialize attributes (@name) and text (#text) as nodes")
+	)
+	flag.Parse()
+	if (*in == "") == (*storeArg == "") || *query == "" {
+		log.Fatal("exactly one of -in or -store, plus -query, are required")
+	}
+
+	if *storeArg != "" {
+		runFromStore(*storeArg, *query, *alg, *quiet, *limit)
+		return
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := xrtree.ParseXMLWithOptions(f, xrtree.ParseOptions{
+		DocID: 1, IncludeAttributes: *attrs, IncludeText: *attrs, KeepText: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := xrtree.NewMemStore(xrtree.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	ancTag, descTag, mode, err := parseQuery(*query)
+	if err != nil {
+		// Not a two-step join: evaluate as a path-expression pipeline.
+		runPath(store, doc, *query, *quiet, *limit)
+		return
+	}
+
+	a, err := store.IndexElements(doc.ElementsByTag(ancTag), xrtree.IndexOptions{})
+	if err != nil {
+		log.Fatalf("indexing %s: %v", ancTag, err)
+	}
+	d, err := store.IndexElements(doc.ElementsByTag(descTag), xrtree.IndexOptions{})
+	if err != nil {
+		log.Fatalf("indexing %s: %v", descTag, err)
+	}
+
+	algs, err := pickAlgorithms(*alg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, algo := range algs {
+		if err := store.DropCache(); err != nil {
+			log.Fatal(err)
+		}
+		var st xrtree.Stats
+		store.AttachStats(&st)
+		printed := 0
+		err := xrtree.Join(algo, mode, a, d, func(av, dv xrtree.Element) {
+			if !*quiet && printed < *limit {
+				fmt.Printf("  %v  ⊃  %v\n", av, dv)
+				printed++
+			}
+		}, &st)
+		store.AttachStats(nil)
+		if err != nil {
+			log.Fatalf("%s: %v", algo, err)
+		}
+		fmt.Printf("%-9s pairs=%d scanned=%d misses=%d elapsed=%v\n",
+			algo, st.OutputPairs, st.ElementsScanned, st.BufferMisses, st.Elapsed)
+	}
+}
+
+// parseQuery recognizes the simple two-step form anc//desc or anc/desc;
+// anything else is handled by the path-expression pipeline.
+func parseQuery(q string) (anc, desc string, mode xrtree.Mode, err error) {
+	if strings.ContainsAny(q, "[]") {
+		return "", "", 0, fmt.Errorf("query %q has predicates; use the path pipeline", q)
+	}
+	if i := strings.Index(q, "//"); i > 0 {
+		anc, desc = q[:i], q[i+2:]
+		mode = xrtree.AncestorDescendant
+	} else if i := strings.Index(q, "/"); i > 0 {
+		anc, desc = q[:i], q[i+1:]
+		mode = xrtree.ParentChild
+	} else {
+		return "", "", 0, fmt.Errorf("query %q is not of the form anc//desc or anc/desc", q)
+	}
+	if strings.Contains(anc, "/") || strings.Contains(desc, "/") {
+		return "", "", 0, fmt.Errorf("query %q has more than two steps", q)
+	}
+	return anc, desc, mode, nil
+}
+
+// runFromStore reopens a catalogued store and runs a two-step join over
+// its persisted index sets — no XML parsing or index building involved.
+func runFromStore(path, query, alg string, quiet bool, limit int) {
+	store, err := xrtree.OpenStore(path, xrtree.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	ancTag, descTag, mode, err := parseQuery(query)
+	if err != nil {
+		log.Fatalf("store mode supports two-step joins only: %v", err)
+	}
+	a, err := store.OpenSet(ancTag)
+	if err != nil {
+		log.Fatalf("set %q: %v", ancTag, err)
+	}
+	d, err := store.OpenSet(descTag)
+	if err != nil {
+		log.Fatalf("set %q: %v", descTag, err)
+	}
+	algs, err := pickAlgorithms(alg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, algo := range algs {
+		if err := store.DropCache(); err != nil {
+			log.Fatal(err)
+		}
+		var st xrtree.Stats
+		store.AttachStats(&st)
+		printed := 0
+		err := xrtree.Join(algo, mode, a, d, func(av, dv xrtree.Element) {
+			if !quiet && printed < limit {
+				fmt.Printf("  %v  ⊃  %v\n", av, dv)
+				printed++
+			}
+		}, &st)
+		store.AttachStats(nil)
+		if err != nil {
+			log.Fatalf("%s: %v", algo, err)
+		}
+		fmt.Printf("%-9s pairs=%d scanned=%d misses=%d elapsed=%v\n",
+			algo, st.OutputPairs, st.ElementsScanned, st.BufferMisses, st.Elapsed)
+	}
+}
+
+// runPath evaluates a multi-step path expression with the XR-stack
+// pipeline and prints the matching elements.
+func runPath(store *xrtree.Store, doc *xrtree.Document, query string, quiet bool, limit int) {
+	idx := store.IndexDocument(doc)
+	var st xrtree.Stats
+	els, err := idx.Query(query, &st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !quiet {
+		for i, e := range els {
+			if i >= limit {
+				fmt.Printf("  … %d more\n", len(els)-limit)
+				break
+			}
+			fmt.Printf("  %v\n", e)
+		}
+	}
+	fmt.Printf("path      results=%d scanned=%d elapsed=%v\n",
+		len(els), st.ElementsScanned, st.Elapsed)
+}
+
+func pickAlgorithms(name string) ([]xrtree.Algorithm, error) {
+	switch name {
+	case "noindex":
+		return []xrtree.Algorithm{xrtree.AlgNoIndex}, nil
+	case "mpmgjn":
+		return []xrtree.Algorithm{xrtree.AlgMPMGJN}, nil
+	case "bplus", "b+":
+		return []xrtree.Algorithm{xrtree.AlgBPlus}, nil
+	case "bplussp", "b+sp":
+		return []xrtree.Algorithm{xrtree.AlgBPlusSP}, nil
+	case "xr", "xrstack":
+		return []xrtree.Algorithm{xrtree.AlgXRStack}, nil
+	case "all":
+		return []xrtree.Algorithm{xrtree.AlgNoIndex, xrtree.AlgMPMGJN, xrtree.AlgBPlus, xrtree.AlgBPlusSP, xrtree.AlgXRStack}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

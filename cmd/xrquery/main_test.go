@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"xrtree"
+)
+
+func TestParseQuery(t *testing.T) {
+	cases := []struct {
+		in       string
+		anc, dsc string
+		mode     xrtree.Mode
+		err      bool
+	}{
+		{"employee//name", "employee", "name", xrtree.AncestorDescendant, false},
+		{"employee/name", "employee", "name", xrtree.ParentChild, false},
+		{"a//b/c", "", "", 0, true}, // three steps → path mode
+		{"a/b//c", "", "", 0, true},
+		{"name", "", "", 0, true},
+		{"//name", "", "", 0, true},
+	}
+	for _, tc := range cases {
+		anc, dsc, mode, err := parseQuery(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("parseQuery(%q) succeeded: %q %q", tc.in, anc, dsc)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseQuery(%q): %v", tc.in, err)
+			continue
+		}
+		if anc != tc.anc || dsc != tc.dsc || mode != tc.mode {
+			t.Errorf("parseQuery(%q) = %q,%q,%v", tc.in, anc, dsc, mode)
+		}
+	}
+}
+
+func TestPickAlgorithms(t *testing.T) {
+	if algs, err := pickAlgorithms("all"); err != nil || len(algs) != 5 {
+		t.Errorf("all: %v, %v", algs, err)
+	}
+	if algs, err := pickAlgorithms("xr"); err != nil || len(algs) != 1 || algs[0] != xrtree.AlgXRStack {
+		t.Errorf("xr: %v, %v", algs, err)
+	}
+	if _, err := pickAlgorithms("bogus"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package xrtree
+
+// Multi-document support. The paper's structural-join definition (§2.2)
+// joins (DocId, start, end, level) tuples with the condition
+// a.DocId == d.DocId: input lists cover a whole collection and pairs never
+// cross documents. Since region codes of different documents are
+// independent, the standard evaluation is per-document joins over lists
+// grouped by DocId — which is what Collection provides on top of the
+// single-document machinery.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collection indexes tag sets across multiple documents and runs
+// structural joins with the DocId equality condition.
+type Collection struct {
+	store *Store
+	docs  []*IndexedDocument
+	byID  map[uint32]*IndexedDocument
+}
+
+// NewCollection creates an empty collection over the store.
+func (s *Store) NewCollection() *Collection {
+	return &Collection{store: s, byID: make(map[uint32]*IndexedDocument)}
+}
+
+// Add registers a parsed document. DocIDs must be unique.
+func (c *Collection) Add(doc *Document) error {
+	if _, dup := c.byID[doc.DocID]; dup {
+		return fmt.Errorf("xrtree: collection already holds DocID %d", doc.DocID)
+	}
+	idx := c.store.IndexDocument(doc)
+	c.docs = append(c.docs, idx)
+	c.byID[doc.DocID] = idx
+	return nil
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int { return len(c.docs) }
+
+// Documents returns the indexed documents in insertion order.
+func (c *Collection) Documents() []*IndexedDocument {
+	return append([]*IndexedDocument(nil), c.docs...)
+}
+
+// Join runs the structural join ancTag × descTag across every document of
+// the collection with the given algorithm, enforcing the DocId condition
+// by joining per document. Costs accumulate into st.
+func (c *Collection) Join(alg Algorithm, mode Mode, ancTag, descTag string, emit EmitFunc, st *Stats) error {
+	if emit == nil {
+		emit = func(Element, Element) {}
+	}
+	for _, idx := range c.docs {
+		as := idx.doc.ElementsByTag(ancTag)
+		ds := idx.doc.ElementsByTag(descTag)
+		if len(as) == 0 || len(ds) == 0 {
+			continue
+		}
+		a, err := c.setFor(idx, ancTag, as)
+		if err != nil {
+			return err
+		}
+		d, err := c.setFor(idx, descTag, ds)
+		if err != nil {
+			return err
+		}
+		if err := Join(alg, mode, a, d, emit, st); err != nil {
+			return fmt.Errorf("xrtree: DocID %d: %w", idx.doc.DocID, err)
+		}
+	}
+	return nil
+}
+
+// setFor builds (or reuses) the full three-path index for a tag within one
+// document. Collection joins need all access paths, unlike path queries.
+func (c *Collection) setFor(idx *IndexedDocument, tag string, els []Element) (*ElementSet, error) {
+	if set, ok := idx.sets[tag]; ok && set != nil && set.list != nil && set.bt != nil {
+		return set, nil
+	}
+	set, err := c.store.IndexElements(els, IndexOptions{})
+	if err != nil {
+		return nil, err
+	}
+	idx.sets[tag] = set
+	return set, nil
+}
+
+// Query evaluates a path expression over every document and returns the
+// union of the results, sorted by (DocID, start).
+func (c *Collection) Query(expr string, st *Stats) ([]Element, error) {
+	var out []Element
+	for _, idx := range c.docs {
+		els, err := idx.Query(expr, st)
+		if err != nil {
+			return nil, fmt.Errorf("xrtree: DocID %d: %w", idx.doc.DocID, err)
+		}
+		out = append(out, els...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DocID != out[j].DocID {
+			return out[i].DocID < out[j].DocID
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package xrtree_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xrtree"
+)
+
+// The examples share a miniature of the paper's Figure 1 document.
+const exampleXML = `<dept><emp><name/><emp><name/></emp></emp><emp><name/></emp></dept>`
+
+func ExampleJoin() {
+	doc, err := xrtree.ParseXML(strings.NewReader(exampleXML), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := xrtree.NewMemStore(xrtree.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	emps, err := store.IndexElements(doc.ElementsByTag("emp"), xrtree.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, err := store.IndexElements(doc.ElementsByTag("name"), xrtree.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st xrtree.Stats
+	err = xrtree.Join(xrtree.AlgXRStack, xrtree.AncestorDescendant, emps, names,
+		func(a, d xrtree.Element) { fmt.Printf("%v contains %v\n", a, d) }, &st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pairs:", st.OutputPairs)
+	// Output:
+	// (2, 9) contains (3, 4)
+	// (2, 9) contains (6, 7)
+	// (5, 8) contains (6, 7)
+	// (10, 13) contains (11, 12)
+	// pairs: 4
+}
+
+func ExampleElementSet_FindAncestors() {
+	doc, _ := xrtree.ParseXML(strings.NewReader(exampleXML), 1)
+	store, _ := xrtree.NewMemStore(xrtree.StoreOptions{})
+	defer store.Close()
+	emps, _ := store.IndexElements(doc.ElementsByTag("emp"), xrtree.IndexOptions{})
+
+	// The second name starts at position 6; both enclosing emps contain it.
+	anc, err := emps.FindAncestors(6, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range anc {
+		fmt.Println(a)
+	}
+	// Output:
+	// (2, 9)
+	// (5, 8)
+}
+
+func ExampleIndexedDocument_Query() {
+	doc, _ := xrtree.ParseXML(strings.NewReader(exampleXML), 1)
+	store, _ := xrtree.NewMemStore(xrtree.StoreOptions{})
+	defer store.Close()
+
+	idx := store.IndexDocument(doc)
+	els, err := idx.Query("emp/emp//name", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range els {
+		fmt.Println(e)
+	}
+	// Output:
+	// (6, 7)
+}
+
+func ExampleFromDurable() {
+	// (order, size) codes for a root with one child.
+	codes := []xrtree.DurableCode{
+		{Order: 1, Size: 4},
+		{Order: 2, Size: 1},
+	}
+	els, err := xrtree.FromDurable(1, codes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(els[0].IsAncestorOf(els[1]))
+	// Output:
+	// true
+}

@@ -1,0 +1,102 @@
+// Maintenance: the XR-tree is a dynamic index (§4) — this example inserts
+// and deletes elements while continuously answering FindAncestors queries
+// and validating every structural invariant of Definition 4, demonstrating
+// that stab lists stay correct through node splits, merges, redistributions
+// and the re-homing of stabbed elements.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"xrtree"
+	"xrtree/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	corpus, err := datagen.Nested(datagen.NestedConfig{
+		Seed: 3, DocID: 1, Elements: 4000, MaxDepth: 12, DeepBias: 0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	els := corpus.ElementsByTag("item")
+
+	store, err := xrtree.NewMemStore(xrtree.StoreOptions{PageSize: 1024, BufferPages: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Build incrementally through the §4.1 insertion algorithm.
+	set, err := store.IndexElements(els[:1], xrtree.IndexOptions{SkipList: true, SkipBTree: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	xr, err := set.XRTree()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range els[1:] {
+		if err := xr.Insert(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	entries, pages := xr.StabStats()
+	fmt.Printf("built by insertion: %d elements, height %d, %d stab entries on %d pages\n",
+		xr.Len(), xr.Height(), entries, pages)
+	if err := xr.CheckInvariants(); err != nil {
+		log.Fatalf("invariants after build: %v", err)
+	}
+	fmt.Println("Definition 4 invariants hold after insertion build")
+
+	// Churn: delete and re-insert random slices while querying.
+	rng := rand.New(rand.NewSource(99))
+	alive := make(map[int]bool, len(els))
+	for i := range els {
+		alive[i] = true
+	}
+	queries := 0
+	for round := 0; round < 5; round++ {
+		for k := 0; k < 400; k++ {
+			i := rng.Intn(len(els))
+			if alive[i] {
+				if err := xr.Delete(els[i].Start); err != nil {
+					log.Fatalf("delete %v: %v", els[i], err)
+				}
+				alive[i] = false
+			} else {
+				if err := xr.Insert(els[i]); err != nil {
+					log.Fatalf("insert %v: %v", els[i], err)
+				}
+				alive[i] = true
+			}
+		}
+		// Validate a query against a brute-force answer.
+		probe := els[rng.Intn(len(els))].Start + 1
+		got, err := xr.FindAncestors(probe, 0, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := 0
+		for i, e := range els {
+			if alive[i] && e.Start < probe && probe < e.End {
+				want++
+			}
+		}
+		if len(got) != want {
+			log.Fatalf("round %d: FindAncestors(%d) = %d results, want %d", round, probe, len(got), want)
+		}
+		queries++
+		if err := xr.CheckInvariants(); err != nil {
+			log.Fatalf("invariants after round %d: %v", round, err)
+		}
+		entries, pages = xr.StabStats()
+		fmt.Printf("round %d: %d live elements, %d stab entries on %d pages — invariants hold\n",
+			round+1, xr.Len(), entries, pages)
+	}
+	fmt.Printf("done: %d churn rounds, %d validated queries\n", 5, queries)
+}

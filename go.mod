@@ -1,0 +1,3 @@
+module xrtree
+
+go 1.22

@@ -1,0 +1,257 @@
+package btree
+
+import (
+	"fmt"
+
+	"xrtree/internal/pagefile"
+	"xrtree/internal/xmldoc"
+)
+
+// Delete removes the element with the given start key. It returns
+// ErrNotFound if no such element exists.
+func (t *Tree) Delete(key uint32) error {
+	if _, err := t.deleteFrom(t.root, t.h, key); err != nil {
+		return err
+	}
+	t.count--
+	// Shrink the tree if the root is an internal node with a single child.
+	for t.h > 1 {
+		data, err := t.pool.Fetch(t.root)
+		if err != nil {
+			return err
+		}
+		if intCount(data) > 0 {
+			if err := t.pool.Unpin(t.root, false); err != nil {
+				return err
+			}
+			break
+		}
+		onlyChild := intChild(data, 0)
+		if err := t.pool.Unpin(t.root, false); err != nil {
+			return err
+		}
+		old := t.root
+		t.root = onlyChild
+		t.h--
+		if err := t.pool.File().Free(old); err != nil {
+			return err
+		}
+	}
+	return t.syncMeta()
+}
+
+func (t *Tree) leafMin() int { return t.leafCap / 2 }
+func (t *Tree) intMin() int  { return t.intCap / 2 }
+
+// deleteFrom removes key from the subtree rooted at id (height 1 = leaf).
+// It reports whether the node underflowed below its minimum occupancy.
+func (t *Tree) deleteFrom(id pagefile.PageID, height int, key uint32) (bool, error) {
+	data, err := t.pool.Fetch(id)
+	if err != nil {
+		return false, err
+	}
+	if height == 1 {
+		t.countLeaf()
+		n := leafCount(data)
+		pos := leafSearch(data, key)
+		if pos >= n || leafKey(data, pos) != key {
+			t.pool.Unpin(id, false)
+			return false, fmt.Errorf("%w: start %d", ErrNotFound, key)
+		}
+		removeLeafEntry(data, pos, n)
+		under := leafCount(data) < t.leafMin()
+		return under, t.pool.Unpin(id, true)
+	}
+
+	t.countNode()
+	ci := intSearch(data, key)
+	child := intChild(data, ci)
+	childUnder, err := t.deleteFrom(child, height-1, key)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return false, err
+	}
+	if !childUnder {
+		return false, t.pool.Unpin(id, false)
+	}
+	if err := t.rebalanceChild(data, ci, height-1); err != nil {
+		t.pool.Unpin(id, true)
+		return false, err
+	}
+	m := intCount(data)
+	return m < t.intMin(), t.pool.Unpin(id, true)
+}
+
+// rebalanceChild restores minimum occupancy of the child at index ci of the
+// pinned internal page data, whose children live at childHeight.
+func (t *Tree) rebalanceChild(data []byte, ci int, childHeight int) error {
+	m := intCount(data)
+	// Prefer borrowing from / merging with the left sibling; fall back to
+	// the right sibling when ci is the leftmost child.
+	if ci > 0 {
+		return t.rebalancePair(data, ci-1, childHeight)
+	}
+	if ci < m {
+		return t.rebalancePair(data, ci, childHeight)
+	}
+	// Single-child node: nothing to rebalance against (only possible at a
+	// root that is about to shrink).
+	return nil
+}
+
+// rebalancePair fixes the pair of children at indexes li and li+1 separated
+// by parent key li. One of them is known to be under minimum.
+func (t *Tree) rebalancePair(parent []byte, li int, childHeight int) error {
+	leftID := intChild(parent, li)
+	rightID := intChild(parent, li+1)
+	left, err := t.pool.Fetch(leftID)
+	if err != nil {
+		return err
+	}
+	right, err := t.pool.Fetch(rightID)
+	if err != nil {
+		t.pool.Unpin(leftID, false)
+		return err
+	}
+
+	if childHeight == 1 {
+		err = t.rebalanceLeaves(parent, li, leftID, left, rightID, right)
+	} else {
+		err = t.rebalanceInternals(parent, li, leftID, left, rightID, right)
+	}
+	return err
+}
+
+// rebalanceLeaves redistributes or merges two sibling leaves. Consumes both
+// pins.
+func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, left []byte, rightID pagefile.PageID, right []byte) error {
+	ln, rn := leafCount(left), leafCount(right)
+	min := t.leafMin()
+	switch {
+	case ln+rn <= t.leafCap:
+		// Merge right into left.
+		copy(left[leafHeader+ln*xmldoc.EncodedSize:], right[leafHeader:leafHeader+rn*xmldoc.EncodedSize])
+		setLeafCount(left, ln+rn)
+		next := leafNext(right)
+		setLeafNext(left, next)
+		if next != pagefile.InvalidPage {
+			nd, err := t.pool.Fetch(next)
+			if err != nil {
+				t.pool.Unpin(leftID, true)
+				t.pool.Unpin(rightID, false)
+				return err
+			}
+			setLeafPrev(nd, leftID)
+			if err := t.pool.Unpin(next, true); err != nil {
+				t.pool.Unpin(leftID, true)
+				t.pool.Unpin(rightID, false)
+				return err
+			}
+		}
+		removeIntEntry(parent, li, intCount(parent))
+		if err := t.pool.Unpin(leftID, true); err != nil {
+			t.pool.Unpin(rightID, false)
+			return err
+		}
+		return t.pool.Discard(rightID)
+
+	case ln < min:
+		// Borrow the first entry of right.
+		e := leafElem(right, 0)
+		removeLeafEntry(right, 0, rn)
+		insertLeafEntry(left, ln, ln, e)
+		setIntKey(parent, li, leafKey(right, 0))
+
+	default:
+		// Borrow the last entry of left.
+		e := leafElem(left, ln-1)
+		setLeafCount(left, ln-1)
+		insertLeafEntry(right, 0, rn, e)
+		setIntKey(parent, li, e.Start)
+	}
+	if err := t.pool.Unpin(leftID, true); err != nil {
+		t.pool.Unpin(rightID, true)
+		return err
+	}
+	return t.pool.Unpin(rightID, true)
+}
+
+// rebalanceInternals redistributes or merges two sibling internal nodes
+// through the parent separator at index li. Consumes both pins.
+func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID, left []byte, rightID pagefile.PageID, right []byte) error {
+	lm, rm := intCount(left), intCount(right)
+	sep := intKey(parent, li)
+	min := t.intMin()
+	switch {
+	case lm+rm+1 <= t.intCap:
+		// Merge: left ++ sep ++ right.
+		setIntKey(left, lm, sep)
+		setIntChild(left, lm+1, intChild(right, 0))
+		for i := 0; i < rm; i++ {
+			setIntKey(left, lm+1+i, intKey(right, i))
+			setIntChild(left, lm+2+i, intChild(right, i+1))
+		}
+		setIntCount(left, lm+rm+1)
+		removeIntEntry(parent, li, intCount(parent))
+		if err := t.pool.Unpin(leftID, true); err != nil {
+			t.pool.Unpin(rightID, false)
+			return err
+		}
+		return t.pool.Discard(rightID)
+
+	case lm < min:
+		// Rotate left: sep moves down to left, right's first key moves up.
+		setIntKey(left, lm, sep)
+		setIntChild(left, lm+1, intChild(right, 0))
+		setIntCount(left, lm+1)
+		setIntKey(parent, li, intKey(right, 0))
+		setIntChild(right, 0, intChild(right, 1))
+		removeIntEntry(right, 0, rm)
+
+	default:
+		// Rotate right: left's last key moves up, sep moves down to right.
+		// shiftIntRight moves right's old child 0 into the child-1 slot and
+		// opens key 0 / child 0 for the incoming entry.
+		shiftIntRight(right, rm)
+		setIntKey(right, 0, sep)
+		setIntCount(right, rm+1)
+		setIntKey(parent, li, intKey(left, lm-1))
+		setIntChild(right, 0, intChild(left, lm))
+		setIntCount(left, lm-1)
+	}
+	if err := t.pool.Unpin(leftID, true); err != nil {
+		t.pool.Unpin(rightID, true)
+		return err
+	}
+	return t.pool.Unpin(rightID, true)
+}
+
+// removeLeafEntry deletes entry pos from a leaf with n entries.
+func removeLeafEntry(data []byte, pos, n int) {
+	start := leafHeader + pos*xmldoc.EncodedSize
+	end := leafHeader + n*xmldoc.EncodedSize
+	copy(data[start:], data[start+xmldoc.EncodedSize:end])
+	setLeafCount(data, n-1)
+}
+
+// removeIntEntry deletes separator li and the child to its right from an
+// internal page with m keys.
+func removeIntEntry(data []byte, li, m int) {
+	start := internalHeader + li*intEntrySize
+	end := internalHeader + m*intEntrySize
+	copy(data[start:], data[start+intEntrySize:end])
+	setIntCount(data, m-1)
+}
+
+// shiftIntRight makes room for one entry at the front of an internal page
+// with m keys: entries move one slot right and child pointers shift so that
+// old child i becomes child i+1. Child 0 and key 0 are left for the caller
+// to fill.
+func shiftIntRight(data []byte, m int) {
+	// Move the key/child entry array right by one slot.
+	start := internalHeader
+	end := internalHeader + m*intEntrySize
+	copy(data[start+intEntrySize:end+intEntrySize], data[start:end])
+	// Old child0 becomes the child of the (new) first entry.
+	putU32(data[internalHeader+4:], getU32(data[offIntChild0:]))
+}

@@ -1,0 +1,325 @@
+package btree
+
+import (
+	"fmt"
+
+	"xrtree/internal/pagefile"
+	"xrtree/internal/xmldoc"
+)
+
+// Insert adds e to the tree. The start position must be unique within the
+// indexed set (region starts of distinct elements are distinct by
+// construction); inserting a duplicate start returns ErrDuplicate.
+func (t *Tree) Insert(e xmldoc.Element) error {
+	if e.DocID != t.docID {
+		return fmt.Errorf("btree: insert of DocID %d into tree for DocID %d", e.DocID, t.docID)
+	}
+	promoKey, promoChild, err := t.insertInto(t.root, t.h, e)
+	if err != nil {
+		return err
+	}
+	if promoChild != pagefile.InvalidPage {
+		// Root split: grow the tree.
+		newRootID, data, err := t.pool.FetchNew()
+		if err != nil {
+			return err
+		}
+		initInternal(data)
+		setIntCount(data, 1)
+		setIntChild(data, 0, t.root)
+		setIntKey(data, 0, promoKey)
+		setIntChild(data, 1, promoChild)
+		if err := t.pool.Unpin(newRootID, true); err != nil {
+			return err
+		}
+		t.root = newRootID
+		t.h++
+	}
+	t.count++
+	return t.syncMeta()
+}
+
+// insertInto inserts e under page id at the given height (1 = leaf).
+// On split it returns the separator key and the new right sibling.
+func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element) (uint32, pagefile.PageID, error) {
+	data, err := t.pool.Fetch(id)
+	if err != nil {
+		return 0, pagefile.InvalidPage, err
+	}
+	if height == 1 {
+		if !isLeaf(data) {
+			t.pool.Unpin(id, false)
+			return 0, pagefile.InvalidPage, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
+		}
+		return t.insertLeaf(id, data, e)
+	}
+	ci := intSearch(data, e.Start)
+	child := intChild(data, ci)
+	t.countNode()
+	// Unpin before recursing to keep at most O(1) pins per level... we must
+	// re-fetch after the child returns a promotion. Simpler and safe: hold
+	// the pin across recursion (pool capacity must exceed tree height).
+	promoKey, promoChild, err := t.insertInto(child, height-1, e)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return 0, pagefile.InvalidPage, err
+	}
+	if promoChild == pagefile.InvalidPage {
+		return 0, pagefile.InvalidPage, t.pool.Unpin(id, false)
+	}
+	return t.insertInternalEntry(id, data, ci, promoKey, promoChild)
+}
+
+// insertLeaf inserts e into a pinned leaf page, splitting on overflow.
+// It consumes the pin.
+func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element) (uint32, pagefile.PageID, error) {
+	t.countLeaf()
+	n := leafCount(data)
+	pos := leafSearch(data, e.Start)
+	if pos < n && leafKey(data, pos) == e.Start {
+		t.pool.Unpin(id, false)
+		return 0, pagefile.InvalidPage, fmt.Errorf("%w: start %d", ErrDuplicate, e.Start)
+	}
+	if n < t.leafCap {
+		insertLeafEntry(data, pos, n, e)
+		return 0, pagefile.InvalidPage, t.pool.Unpin(id, true)
+	}
+
+	// Split: move the upper half to a new right sibling.
+	newID, newData, err := t.pool.FetchNew()
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return 0, pagefile.InvalidPage, err
+	}
+	initLeaf(newData)
+	mid := n / 2
+	moved := n - mid
+	copy(newData[leafHeader:], data[leafHeader+mid*xmldoc.EncodedSize:leafHeader+n*xmldoc.EncodedSize])
+	setLeafCount(newData, moved)
+	setLeafCount(data, mid)
+
+	// Link the new leaf into the chain.
+	oldNext := leafNext(data)
+	setLeafNext(newData, oldNext)
+	setLeafPrev(newData, id)
+	setLeafNext(data, newID)
+	if oldNext != pagefile.InvalidPage {
+		nd, err := t.pool.Fetch(oldNext)
+		if err == nil {
+			setLeafPrev(nd, newID)
+			err = t.pool.Unpin(oldNext, true)
+		}
+		if err != nil {
+			t.pool.Unpin(newID, true)
+			t.pool.Unpin(id, true)
+			return 0, pagefile.InvalidPage, err
+		}
+	}
+
+	// Insert e into the proper half.
+	sep := leafKey(newData, 0)
+	if e.Start < sep {
+		insertLeafEntry(data, pos, mid, e)
+	} else {
+		npos := leafSearch(newData, e.Start)
+		insertLeafEntry(newData, npos, moved, e)
+	}
+	if err := t.pool.Unpin(newID, true); err != nil {
+		return 0, pagefile.InvalidPage, err
+	}
+	if err := t.pool.Unpin(id, true); err != nil {
+		return 0, pagefile.InvalidPage, err
+	}
+	return sep, newID, nil
+}
+
+// insertLeafEntry shifts entries right and writes e at pos. n is the count
+// before insertion; the caller guarantees capacity.
+func insertLeafEntry(data []byte, pos, n int, e xmldoc.Element) {
+	start := leafHeader + pos*xmldoc.EncodedSize
+	end := leafHeader + n*xmldoc.EncodedSize
+	copy(data[start+xmldoc.EncodedSize:end+xmldoc.EncodedSize], data[start:end])
+	e.Encode(data[start:], 0)
+	setLeafCount(data, n+1)
+}
+
+// insertInternalEntry inserts (key, child) after child index ci in a pinned
+// internal page, splitting on overflow. It consumes the pin.
+func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, key uint32, child pagefile.PageID) (uint32, pagefile.PageID, error) {
+	m := intCount(data)
+	if m < t.intCap {
+		insertIntEntry(data, ci, m, key, child)
+		return 0, pagefile.InvalidPage, t.pool.Unpin(id, true)
+	}
+
+	// Split the internal node. Gather the m+1 entries logically, find the
+	// middle separator to promote, and distribute.
+	keys := make([]uint32, 0, m+1)
+	childs := make([]pagefile.PageID, 0, m+2)
+	childs = append(childs, intChild(data, 0))
+	for i := 0; i < m; i++ {
+		keys = append(keys, intKey(data, i))
+		childs = append(childs, intChild(data, i+1))
+	}
+	// Insert the new entry at position ci.
+	keys = append(keys[:ci], append([]uint32{key}, keys[ci:]...)...)
+	childs = append(childs[:ci+1], append([]pagefile.PageID{child}, childs[ci+1:]...)...)
+
+	total := m + 1
+	mid := total / 2 // keys[mid] is promoted
+	promoted := keys[mid]
+
+	newID, newData, err := t.pool.FetchNew()
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return 0, pagefile.InvalidPage, err
+	}
+	initInternal(newData)
+
+	// Left node keeps keys[0:mid], children[0:mid+1].
+	setIntCount(data, mid)
+	setIntChild(data, 0, childs[0])
+	for i := 0; i < mid; i++ {
+		setIntKey(data, i, keys[i])
+		setIntChild(data, i+1, childs[i+1])
+	}
+	// Right node takes keys[mid+1:], children[mid+1:].
+	rightKeys := keys[mid+1:]
+	setIntCount(newData, len(rightKeys))
+	setIntChild(newData, 0, childs[mid+1])
+	for i, k := range rightKeys {
+		setIntKey(newData, i, k)
+		setIntChild(newData, i+1, childs[mid+2+i])
+	}
+
+	if err := t.pool.Unpin(newID, true); err != nil {
+		return 0, pagefile.InvalidPage, err
+	}
+	if err := t.pool.Unpin(id, true); err != nil {
+		return 0, pagefile.InvalidPage, err
+	}
+	return promoted, newID, nil
+}
+
+// insertIntEntry writes (key, child) as entry ci into an internal page with
+// m existing keys and room for one more.
+func insertIntEntry(data []byte, ci, m int, key uint32, child pagefile.PageID) {
+	start := internalHeader + ci*intEntrySize
+	end := internalHeader + m*intEntrySize
+	copy(data[start+intEntrySize:end+intEntrySize], data[start:end])
+	putU32(data[start:], key)
+	putU32(data[start+4:], uint32(child))
+	setIntCount(data, m+1)
+}
+
+// BulkLoad builds the tree from a start-sorted element slice, packing
+// leaves to a fill factor and building internal levels bottom-up. The tree
+// must be empty. fill is the target leaf occupancy in (0,1]; 0 means 1.0
+// (fully packed, which is what the read-only join experiments use).
+func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
+	if t.count != 0 {
+		return fmt.Errorf("btree: BulkLoad into non-empty tree (%d elements)", t.count)
+	}
+	if len(es) == 0 {
+		return nil
+	}
+	if fill <= 0 || fill > 1 {
+		fill = 1.0
+	}
+	perLeaf := int(float64(t.leafCap) * fill)
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Start >= es[i].Start {
+			return fmt.Errorf("btree: BulkLoad input not sorted at %d", i)
+		}
+	}
+
+	// Build the leaf level, reusing the existing (empty) root as first leaf.
+	type levelEntry struct {
+		firstKey uint32
+		id       pagefile.PageID
+	}
+	var level []levelEntry
+	var prevID pagefile.PageID
+	var prevData []byte
+	for off := 0; off < len(es); off += perLeaf {
+		n := len(es) - off
+		if n > perLeaf {
+			n = perLeaf
+		}
+		var id pagefile.PageID
+		var data []byte
+		var err error
+		if off == 0 {
+			id = t.root
+			data, err = t.pool.Fetch(id)
+		} else {
+			id, data, err = t.pool.FetchNew()
+		}
+		if err != nil {
+			return err
+		}
+		initLeaf(data)
+		for i := 0; i < n; i++ {
+			es[off+i].Encode(leafEntry(data, i), 0)
+		}
+		setLeafCount(data, n)
+		if prevData != nil {
+			setLeafNext(prevData, id)
+			setLeafPrev(data, prevID)
+			if err := t.pool.Unpin(prevID, true); err != nil {
+				return err
+			}
+		}
+		level = append(level, levelEntry{firstKey: es[off].Start, id: id})
+		prevID, prevData = id, data
+	}
+	if err := t.pool.Unpin(prevID, true); err != nil {
+		return err
+	}
+
+	// Build internal levels until one node remains.
+	height := 1
+	perInt := int(float64(t.intCap) * fill)
+	if perInt < 2 {
+		perInt = 2
+	}
+	for len(level) > 1 {
+		var next []levelEntry
+		for off := 0; off < len(level); {
+			n := len(level) - off
+			if n > perInt+1 {
+				n = perInt + 1
+			}
+			// A node with n children has n-1 keys; avoid leaving a
+			// dangling single-child node at the end.
+			if rem := len(level) - off - n; rem == 1 {
+				n--
+			}
+			id, data, err := t.pool.FetchNew()
+			if err != nil {
+				return err
+			}
+			initInternal(data)
+			setIntChild(data, 0, level[off].id)
+			for i := 1; i < n; i++ {
+				setIntKey(data, i-1, level[off+i].firstKey)
+				setIntChild(data, i, level[off+i].id)
+			}
+			setIntCount(data, n-1)
+			if err := t.pool.Unpin(id, true); err != nil {
+				return err
+			}
+			next = append(next, levelEntry{firstKey: level[off].firstKey, id: id})
+			off += n
+		}
+		level = next
+		height++
+	}
+	t.root = level[0].id
+	t.h = height
+	t.count = len(es)
+	return t.syncMeta()
+}

@@ -1,0 +1,230 @@
+package btree
+
+import (
+	"fmt"
+
+	"xrtree/internal/metrics"
+	"xrtree/internal/pagefile"
+	"xrtree/internal/xmldoc"
+)
+
+// Lookup returns the element whose start equals key, or ErrNotFound.
+func (t *Tree) Lookup(key uint32) (xmldoc.Element, error) {
+	id, data, err := t.descendToLeaf(key)
+	if err != nil {
+		return xmldoc.Element{}, err
+	}
+	defer t.pool.Unpin(id, false)
+	pos := leafSearch(data, key)
+	if pos < leafCount(data) && leafKey(data, pos) == key {
+		e := leafElem(data, pos)
+		e.DocID = t.docID
+		t.countScan(1)
+		return e, nil
+	}
+	return xmldoc.Element{}, fmt.Errorf("%w: start %d", ErrNotFound, key)
+}
+
+// descendToLeaf walks from the root to the leaf that would contain key,
+// returning the pinned leaf. The caller must unpin it.
+func (t *Tree) descendToLeaf(key uint32) (pagefile.PageID, []byte, error) {
+	id := t.root
+	for level := t.h; ; level-- {
+		data, err := t.pool.Fetch(id)
+		if err != nil {
+			return pagefile.InvalidPage, nil, err
+		}
+		if level == 1 {
+			if !isLeaf(data) {
+				t.pool.Unpin(id, false)
+				return pagefile.InvalidPage, nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
+			}
+			t.countLeaf()
+			return id, data, nil
+		}
+		if isLeaf(data) {
+			t.pool.Unpin(id, false)
+			return pagefile.InvalidPage, nil, fmt.Errorf("%w: unexpected leaf at height %d", ErrCorrupt, level)
+		}
+		t.countNode()
+		child := intChild(data, intSearch(data, key))
+		if err := t.pool.Unpin(id, false); err != nil {
+			return pagefile.InvalidPage, nil, err
+		}
+		id = child
+	}
+}
+
+// Iterator walks leaf entries in ascending start order. At most one page is
+// pinned at a time; Close releases it.
+type Iterator struct {
+	t      *Tree
+	c      *metrics.Counters
+	pageID pagefile.PageID
+	data   []byte
+	idx    int
+	err    error
+	done   bool
+}
+
+// SeekGE returns an iterator positioned at the first element with
+// start ≥ key. This is the range-query primitive of the B+ join algorithm.
+// Safe for concurrent readers.
+func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
+	id, data, err := t.descendToLeafCounted(key, c)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{t: t, c: c, pageID: id, data: data, idx: leafSearch(data, key)}
+	return it, nil
+}
+
+// descendToLeafCounted is descendToLeaf with costs attributed to an
+// explicit counter set instead of the tree-attached sink.
+func (t *Tree) descendToLeafCounted(key uint32, c *metrics.Counters) (pagefile.PageID, []byte, error) {
+	id := t.root
+	for level := t.h; ; level-- {
+		data, err := t.pool.Fetch(id)
+		if err != nil {
+			return pagefile.InvalidPage, nil, err
+		}
+		if level == 1 {
+			if !isLeaf(data) {
+				t.pool.Unpin(id, false)
+				return pagefile.InvalidPage, nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
+			}
+			if c != nil {
+				c.LeafReads++
+			}
+			return id, data, nil
+		}
+		if isLeaf(data) {
+			t.pool.Unpin(id, false)
+			return pagefile.InvalidPage, nil, fmt.Errorf("%w: unexpected leaf at height %d", ErrCorrupt, level)
+		}
+		if c != nil {
+			c.IndexNodeReads++
+		}
+		child := intChild(data, intSearch(data, key))
+		if err := t.pool.Unpin(id, false); err != nil {
+			return pagefile.InvalidPage, nil, err
+		}
+		id = child
+	}
+}
+
+// Scan returns an iterator over the whole tree from the smallest start.
+func (t *Tree) Scan(c *metrics.Counters) (*Iterator, error) {
+	return t.SeekGE(0, c)
+}
+
+// Next returns the next element. Each returned element counts as one
+// element scanned. Returns false at the end or on error (check Err).
+func (it *Iterator) Next() (xmldoc.Element, bool) {
+	if it.err != nil || it.done {
+		return xmldoc.Element{}, false
+	}
+	for {
+		if it.idx < leafCount(it.data) {
+			e := leafElem(it.data, it.idx)
+			e.DocID = it.t.docID
+			it.idx++
+			if it.c != nil {
+				it.c.ElementsScanned++
+			}
+			return e, true
+		}
+		next := leafNext(it.data)
+		if err := it.t.pool.Unpin(it.pageID, false); err != nil {
+			it.err = err
+			it.data = nil
+			return xmldoc.Element{}, false
+		}
+		it.data = nil
+		if next == pagefile.InvalidPage {
+			it.done = true
+			return xmldoc.Element{}, false
+		}
+		data, err := it.t.pool.Fetch(next)
+		if err != nil {
+			it.err = err
+			return xmldoc.Element{}, false
+		}
+		it.pageID = next
+		it.data = data
+		it.idx = 0
+		if it.c != nil {
+			it.c.LeafReads++
+		}
+	}
+}
+
+// Peek returns the element Next would return without consuming it.
+func (it *Iterator) Peek() (xmldoc.Element, bool) {
+	if it.err != nil || it.done {
+		return xmldoc.Element{}, false
+	}
+	// Advance page boundaries without consuming.
+	for it.idx >= leafCount(it.data) {
+		next := leafNext(it.data)
+		if err := it.t.pool.Unpin(it.pageID, false); err != nil {
+			it.err = err
+			it.data = nil
+			return xmldoc.Element{}, false
+		}
+		it.data = nil
+		if next == pagefile.InvalidPage {
+			it.done = true
+			return xmldoc.Element{}, false
+		}
+		data, err := it.t.pool.Fetch(next)
+		if err != nil {
+			it.err = err
+			return xmldoc.Element{}, false
+		}
+		it.pageID = next
+		it.data = data
+		it.idx = 0
+		if it.c != nil {
+			it.c.LeafReads++
+		}
+	}
+	e := leafElem(it.data, it.idx)
+	e.DocID = it.t.docID
+	return e, true
+}
+
+// Err returns the first iteration error.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's pin. Safe to call multiple times.
+func (it *Iterator) Close() error {
+	if it.data != nil {
+		err := it.t.pool.Unpin(it.pageID, false)
+		it.data = nil
+		if it.err == nil {
+			it.err = err
+		}
+		return err
+	}
+	return nil
+}
+
+// Range returns all elements with start in [lo, hi], a convenience wrapper
+// over SeekGE used in tests and examples.
+func (t *Tree) Range(lo, hi uint32, c *metrics.Counters) ([]xmldoc.Element, error) {
+	it, err := t.SeekGE(lo, c)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []xmldoc.Element
+	for {
+		e, ok := it.Next()
+		if !ok || e.Start > hi {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, it.Err()
+}

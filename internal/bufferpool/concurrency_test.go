@@ -1,0 +1,127 @@
+package bufferpool
+
+import (
+	"sync"
+	"testing"
+
+	"xrtree/internal/pagefile"
+)
+
+// TestConcurrentFetchUnpin hammers the pool from many goroutines; run with
+// -race to validate the locking.
+func TestConcurrentFetchUnpin(t *testing.T) {
+	f := pagefile.NewMem(pagefile.Options{PageSize: 256})
+	defer f.Close()
+	pool, err := New(f, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed 64 pages, each tagged with its index.
+	ids := make([]pagefile.PageID, 64)
+	for i := range ids {
+		id, data, err := pool.FetchNew()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = byte(i)
+		if err := pool.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				idx := (g*31 + i) % len(ids)
+				data, err := pool.Fetch(ids[idx])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if data[0] != byte(idx) {
+					t.Errorf("page %d corrupted: got %d", idx, data[0])
+				}
+				if err := pool.Unpin(ids[idx], false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if pool.PinnedCount() != 0 {
+		t.Errorf("leaked pins: %d", pool.PinnedCount())
+	}
+}
+
+// TestConcurrentWriters checks dirty write-back under concurrent mutation
+// of disjoint pages.
+func TestConcurrentWriters(t *testing.T) {
+	f := pagefile.NewMem(pagefile.Options{PageSize: 256})
+	defer f.Close()
+	pool, err := New(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pagesPerWorker = 16
+	const workers = 4
+	ids := make([][]pagefile.PageID, workers)
+	for w := range ids {
+		ids[w] = make([]pagefile.PageID, pagesPerWorker)
+		for i := range ids[w] {
+			id, _, err := pool.FetchNew()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pool.Unpin(id, true); err != nil {
+				t.Fatal(err)
+			}
+			ids[w][i] = id
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				for i, id := range ids[w] {
+					data, err := pool.Fetch(id)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					data[0] = byte(w)
+					data[1] = byte(i)
+					data[2] = byte(round)
+					if err := pool.Unpin(id, true); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range ids {
+		for i, id := range ids[w] {
+			data, err := pool.Fetch(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if data[0] != byte(w) || data[1] != byte(i) || data[2] != byte(199) {
+				t.Errorf("worker %d page %d: got %d,%d,%d", w, i, data[0], data[1], data[2])
+			}
+			pool.Unpin(id, false)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+// Bulk loading builds the B+-tree backbone bottom-up at a chosen fill
+// factor — the representation the read-only join experiments measure — and
+// then homes every element in the stab list of the highest stabbing node,
+// exactly the state repeated Insert calls would converge to.
+
+import (
+	"fmt"
+
+	"xrtree/internal/pagefile"
+	"xrtree/internal/xmldoc"
+)
+
+// BulkLoad builds the tree from a start-sorted element slice. The tree must
+// be empty. fill is the target page occupancy in (0,1]; 0 means fully
+// packed.
+func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
+	if t.count != 0 {
+		return fmt.Errorf("xrtree: BulkLoad into non-empty tree (%d elements)", t.count)
+	}
+	if len(es) == 0 {
+		return nil
+	}
+	if fill <= 0 || fill > 1 {
+		fill = 1.0
+	}
+	perLeaf := int(float64(t.leafCap) * fill)
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Start >= es[i].Start {
+			return fmt.Errorf("xrtree: BulkLoad input not sorted at %d", i)
+		}
+		if es[i].DocID != t.docID {
+			return fmt.Errorf("xrtree: BulkLoad element %d has DocID %d, tree is %d", i, es[i].DocID, t.docID)
+		}
+	}
+
+	// Leaf level. Separators between adjacent leaves use the §3.2 key
+	// choice so they stab as few elements as possible.
+	type levelEntry struct {
+		sep uint32 // separator to the left of this child (unused for [0])
+		id  pagefile.PageID
+	}
+	var level []levelEntry
+	var prevID pagefile.PageID
+	var prevData []byte
+	var prevLast uint32
+	for off := 0; off < len(es); off += perLeaf {
+		n := len(es) - off
+		if n > perLeaf {
+			n = perLeaf
+		}
+		var id pagefile.PageID
+		var data []byte
+		var err error
+		if off == 0 {
+			id = t.root
+			data, err = t.pool.Fetch(id)
+		} else {
+			id, data, err = t.pool.FetchNew()
+		}
+		if err != nil {
+			return err
+		}
+		initLeaf(data)
+		for i := 0; i < n; i++ {
+			es[off+i].Encode(leafEntry(data, i), 0)
+		}
+		setLeafCount(data, n)
+		sep := uint32(0)
+		if off > 0 {
+			sep = t.chooseSep(prevLast, es[off].Start)
+			setLeafNext(prevData, id)
+			setLeafPrev(data, prevID)
+			if err := t.pool.Unpin(prevID, true); err != nil {
+				return err
+			}
+		}
+		level = append(level, levelEntry{sep: sep, id: id})
+		prevID, prevData = id, data
+		prevLast = es[off+n-1].Start
+	}
+	if err := t.pool.Unpin(prevID, true); err != nil {
+		return err
+	}
+
+	// Internal levels.
+	height := 1
+	perInt := int(float64(t.intCap) * fill)
+	if perInt < 2 {
+		perInt = 2
+	}
+	for len(level) > 1 {
+		var next []levelEntry
+		for off := 0; off < len(level); {
+			n := len(level) - off
+			if n > perInt+1 {
+				n = perInt + 1
+			}
+			if rem := len(level) - off - n; rem == 1 {
+				n--
+			}
+			id, data, err := t.pool.FetchNew()
+			if err != nil {
+				return err
+			}
+			initInternal(data)
+			setIntChild(data, 0, level[off].id)
+			for i := 1; i < n; i++ {
+				writeIntEntry(data, i-1, intEntryMem{
+					key:   level[off+i].sep,
+					child: level[off+i].id,
+					psl:   pagefile.InvalidPage,
+				})
+			}
+			setIntCount(data, n-1)
+			if err := t.pool.Unpin(id, true); err != nil {
+				return err
+			}
+			next = append(next, levelEntry{sep: level[off].sep, id: id})
+			off += n
+		}
+		level = next
+		height++
+	}
+	t.root = level[0].id
+	t.h = height
+	t.count = len(es)
+
+	// Home every element: walk the start path from the root and stop at the
+	// first (highest) node with a stabbing key.
+	for _, e := range es {
+		if err := t.homeElement(e); err != nil {
+			return err
+		}
+	}
+	return t.syncMeta()
+}
+
+// homeElement inserts e into the stab list of the highest stabbing node on
+// its start path, setting the leaf InStabList flag when it does. The leaf
+// entry for e must already exist.
+func (t *Tree) homeElement(e xmldoc.Element) error {
+	id := t.root
+	homed := false
+	for level := t.h; level > 1; level-- {
+		data, err := t.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		dirty := false
+		if !homed && primaryKeyIndex(data, e.Start, e.End) >= 0 {
+			if err := t.stabInsertElement(data, e); err != nil {
+				t.pool.Unpin(id, true)
+				return err
+			}
+			homed = true
+			dirty = true
+		}
+		child := intChild(data, intSearch(data, e.Start))
+		if err := t.pool.Unpin(id, dirty); err != nil {
+			return err
+		}
+		id = child
+	}
+	if !homed {
+		return nil
+	}
+	data, err := t.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	pos := leafSearch(data, e.Start)
+	if pos >= leafCount(data) || leafKey(data, pos) != e.Start {
+		t.pool.Unpin(id, false)
+		return fmt.Errorf("%w: bulk-loaded element %v missing from leaf", ErrCorrupt, e)
+	}
+	_, fl := leafElem(data, pos)
+	setLeafFlags(data, pos, fl|xmldoc.FlagInStabList)
+	return t.pool.Unpin(id, true)
+}

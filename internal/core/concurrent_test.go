@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"xrtree/internal/metrics"
+)
+
+// TestConcurrentReaders runs FindAncestors, FindDescendants, and scans from
+// many goroutines against a static tree; run with -race. Queries take
+// explicit counter sets, so readers share no mutable tree state.
+func TestConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	es := genNested(rng, 2000, 14)
+	pool := newPool(t, 1024, 512)
+	tr, err := New(pool, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(es, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	o := newOracle()
+	for _, e := range es {
+		o.insert(e)
+	}
+	maxPos := es[len(es)-1].End + 3
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				var c metrics.Counters
+				switch i % 3 {
+				case 0:
+					sd := uint32(r.Intn(int(maxPos)) + 1)
+					got, err := tr.FindAncestors(sd, 0, &c)
+					if err != nil {
+						t.Errorf("FindAncestors: %v", err)
+						return
+					}
+					if len(got) != len(o.ancestors(sd, 0)) {
+						t.Errorf("FindAncestors(%d) wrong size", sd)
+						return
+					}
+				case 1:
+					e := es[r.Intn(len(es))]
+					got, err := tr.FindDescendants(e.Start, e.End, &c)
+					if err != nil {
+						t.Errorf("FindDescendants: %v", err)
+						return
+					}
+					if len(got) != len(o.descendants(e.Start, e.End)) {
+						t.Errorf("FindDescendants(%v) wrong size", e)
+						return
+					}
+				default:
+					it, err := tr.SeekGE(uint32(r.Intn(int(maxPos))), &c)
+					if err != nil {
+						t.Errorf("SeekGE: %v", err)
+						return
+					}
+					for k := 0; k < 20; k++ {
+						if _, ok := it.Next(); !ok {
+							break
+						}
+					}
+					it.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if pool.PinnedCount() != 0 {
+		t.Errorf("leaked pins: %d", pool.PinnedCount())
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xrtree/internal/xmldoc"
+)
+
+// TestDeleteOrderPatterns deletes in adversarial orders — ascending
+// (hammers leftmost-leaf underflow and rotate-left), descending (rightmost
+// and rotate-right), and inside-out — checking every invariant frequently.
+func TestDeleteOrderPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	base := genNested(rng, 600, 14)
+
+	order := func(name string) []int {
+		idx := make([]int, len(base))
+		for i := range idx {
+			idx[i] = i
+		}
+		switch name {
+		case "descending":
+			for i, j := 0, len(idx)-1; i < j; i, j = i+1, j-1 {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		case "inside-out":
+			out := make([]int, 0, len(idx))
+			lo, hi := len(idx)/2, len(idx)/2+1
+			for lo >= 0 || hi < len(idx) {
+				if lo >= 0 {
+					out = append(out, lo)
+					lo--
+				}
+				if hi < len(idx) {
+					out = append(out, hi)
+					hi++
+				}
+			}
+			idx = out
+		}
+		return idx
+	}
+
+	for _, pattern := range []string{"ascending", "descending", "inside-out"} {
+		pattern := pattern
+		t.Run(pattern, func(t *testing.T) {
+			pool := newPool(t, 256, 256)
+			tr := buildTree(t, pool, base, Options{})
+			for i, bi := range order(pattern) {
+				if err := tr.Delete(base[bi].Start); err != nil {
+					t.Fatalf("%s delete %d (%v): %v", pattern, i, base[bi], err)
+				}
+				if i%10 == 0 {
+					if err := tr.CheckInvariants(); err != nil {
+						t.Fatalf("%s after delete %d: %v", pattern, i, err)
+					}
+				}
+			}
+			if tr.Len() != 0 {
+				t.Fatalf("%s: %d elements left", pattern, tr.Len())
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("%s final: %v", pattern, err)
+			}
+		})
+	}
+}
+
+// TestDeleteRebuildCycles alternates bulk deletion and reinsertion so the
+// tree repeatedly shrinks through merges and regrows through splits, with
+// stab entries re-homed both ways.
+func TestDeleteRebuildCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	base := genNested(rng, 500, 16)
+	pool := newPool(t, 256, 256)
+	tr := buildTree(t, pool, base, Options{})
+	for cycle := 0; cycle < 4; cycle++ {
+		perm := rng.Perm(len(base))
+		kill := perm[:len(base)*3/4]
+		for _, bi := range kill {
+			if err := tr.Delete(base[bi].Start); err != nil {
+				t.Fatalf("cycle %d delete %v: %v", cycle, base[bi], err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d after deletes: %v", cycle, err)
+		}
+		for _, bi := range kill {
+			if err := tr.Insert(base[bi]); err != nil {
+				t.Fatalf("cycle %d insert %v: %v", cycle, base[bi], err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d after reinserts: %v", cycle, err)
+		}
+	}
+	// The final tree answers like the oracle.
+	o := newOracle()
+	for _, e := range base {
+		o.insert(e)
+	}
+	maxPos := base[len(base)-1].End + 3
+	for i := 0; i < 100; i++ {
+		sd := uint32(rng.Intn(int(maxPos)) + 1)
+		got, err := tr.FindAncestors(sd, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := o.ancestors(sd, 0)
+		if len(got) != len(want) {
+			t.Fatalf("FindAncestors(%d) = %d, want %d", sd, len(got), len(want))
+		}
+	}
+}
+
+// TestDeletePreservesQueriesUnderChurn interleaves deletes with queries,
+// validating results against an incrementally maintained oracle.
+func TestDeletePreservesQueriesUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	base := genNested(rng, 400, 12)
+	pool := newPool(t, 512, 256)
+	tr := buildTree(t, pool, base, Options{})
+	o := newOracle()
+	for _, e := range base {
+		o.insert(e)
+	}
+	maxPos := base[len(base)-1].End + 3
+	perm := rng.Perm(len(base))
+	for i, bi := range perm {
+		if err := tr.Delete(base[bi].Start); err != nil {
+			t.Fatal(err)
+		}
+		o.remove(base[bi].Start)
+		if i%7 != 0 {
+			continue
+		}
+		sd := uint32(rng.Intn(int(maxPos)) + 1)
+		got, err := tr.FindAncestors(sd, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(o.ancestors(sd, 0)) {
+			t.Fatalf("after %d deletes: FindAncestors(%d) = %d, want %d",
+				i+1, sd, len(got), len(o.ancestors(sd, 0)))
+		}
+		e := base[perm[(i+13)%len(perm)]]
+		gd, err := tr.FindDescendants(e.Start, e.End, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gd) != len(o.descendants(e.Start, e.End)) {
+			t.Fatalf("after %d deletes: FindDescendants(%v) mismatch", i+1, e)
+		}
+	}
+}
+
+// TestDeleteWithConcentricRegions exercises separator replacement with stab
+// re-homing: deeply overlapping regions whose stab entries must move
+// between parent and leaves as separators change.
+func TestDeleteWithConcentricRegions(t *testing.T) {
+	var es []xmldoc.Element
+	// 150 concentric rings + 150 disjoint leaves interleaved in key space.
+	for i := 0; i < 150; i++ {
+		es = append(es, xmldoc.Element{
+			DocID: 1, Start: uint32(i + 1), End: uint32(10000 - i), Level: uint16(i + 1),
+		})
+	}
+	for i := 0; i < 150; i++ {
+		es = append(es, xmldoc.Element{
+			DocID: 1, Start: uint32(200 + 3*i), End: uint32(200 + 3*i + 1), Level: 151,
+		})
+	}
+	xmldoc.SortByStart(es)
+	pool := newPool(t, 256, 256)
+	tr := buildTree(t, pool, es, Options{})
+	rng := rand.New(rand.NewSource(109))
+	perm := rng.Perm(len(es))
+	for i, pi := range perm {
+		if err := tr.Delete(es[pi].Start); err != nil {
+			t.Fatalf("delete %d (%v): %v", i, es[pi], err)
+		}
+		if i%5 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after delete %d (%v): %v", i, es[pi], err)
+			}
+		}
+	}
+}

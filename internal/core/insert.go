@@ -1,0 +1,358 @@
+package core
+
+// Algorithm 1 (§4.1): insertion with stab-list maintenance. On the way
+// down, the new element joins the stab list of the highest internal node
+// that stabs it (step I1). Leaf overflow splits the page and gives up a new
+// separator key together with StabSet', the elements newly stabbed by it
+// (step I22); internal overflow splits the node and its stab-list chain and
+// likewise gives up the promoted key with the elements it stabs (step I32,
+// Figure 5). Split propagation that reaches the root grows the tree (I4).
+
+import (
+	"fmt"
+
+	"xrtree/internal/pagefile"
+	"xrtree/internal/xmldoc"
+)
+
+// splitResult carries a split's promotion to the parent level.
+type splitResult struct {
+	key     uint32
+	child   pagefile.PageID
+	stabSet []stabEntry // elements stabbed by key, to join the parent's SL
+}
+
+// intEntryMem is the in-memory form of one internal key entry.
+type intEntryMem struct {
+	key   uint32
+	child pagefile.PageID
+	ps    uint32
+	pe    uint32
+	psl   pagefile.PageID
+}
+
+func readIntEntry(data []byte, i int) intEntryMem {
+	b := intEntry(data, i)
+	return intEntryMem{
+		key:   getU32(b[0:]),
+		child: pagefile.PageID(getU32(b[4:])),
+		ps:    getU32(b[8:]),
+		pe:    getU32(b[12:]),
+		psl:   pagefile.PageID(getU32(b[16:])),
+	}
+}
+
+func writeIntEntry(data []byte, i int, e intEntryMem) {
+	b := intEntry(data, i)
+	putU32(b[0:], e.key)
+	putU32(b[4:], uint32(e.child))
+	putU32(b[8:], e.ps)
+	putU32(b[12:], e.pe)
+	putU32(b[16:], uint32(e.psl))
+}
+
+// Insert adds e to the tree, maintaining every stab-list invariant.
+func (t *Tree) Insert(e xmldoc.Element) error {
+	if e.DocID != t.docID {
+		return fmt.Errorf("xrtree: insert of DocID %d into tree for DocID %d", e.DocID, t.docID)
+	}
+	if e.End <= e.Start {
+		return fmt.Errorf("xrtree: degenerate region %v", e)
+	}
+	res, err := t.insertInto(t.root, t.h, e, false)
+	if err != nil {
+		return err
+	}
+	if res != nil {
+		// I4: grow the tree with a new root.
+		newRootID, data, err := t.pool.FetchNew()
+		if err != nil {
+			return err
+		}
+		initInternal(data)
+		setIntCount(data, 1)
+		setIntChild(data, 0, t.root)
+		writeIntEntry(data, 0, intEntryMem{key: res.key, child: res.child, psl: pagefile.InvalidPage})
+		rejects, err := t.stabReinsertAll(data, res.stabSet)
+		if err != nil {
+			t.pool.Unpin(newRootID, true)
+			return err
+		}
+		if len(rejects) > 0 {
+			t.pool.Unpin(newRootID, true)
+			return fmt.Errorf("%w: %d StabSet' elements not stabbed by new root key", ErrCorrupt, len(rejects))
+		}
+		if err := t.pool.Unpin(newRootID, true); err != nil {
+			return err
+		}
+		t.root = newRootID
+		t.h++
+	}
+	t.count++
+	return t.syncMeta()
+}
+
+// insertInto inserts e under page id at the given height (1 = leaf). homed
+// reports whether e already joined a stab list higher up.
+func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element, homed bool) (*splitResult, error) {
+	data, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	if height == 1 {
+		if !isLeaf(data) {
+			t.pool.Unpin(id, false)
+			return nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
+		}
+		return t.insertLeaf(id, data, e, homed)
+	}
+
+	dirty := false
+	// I1: home e in the highest stabbing node.
+	if !homed && primaryKeyIndex(data, e.Start, e.End) >= 0 {
+		if err := t.stabInsertElement(data, e); err != nil {
+			t.pool.Unpin(id, true)
+			return nil, err
+		}
+		homed = true
+		dirty = true
+	}
+	ci := intSearch(data, e.Start)
+	child := intChild(data, ci)
+	res, err := t.insertInto(child, height-1, e, homed)
+	if err != nil {
+		t.pool.Unpin(id, dirty)
+		return nil, err
+	}
+	if res == nil {
+		return nil, t.pool.Unpin(id, dirty)
+	}
+	return t.insertInternalEntry(id, data, ci, res)
+}
+
+// insertLeaf inserts e into a pinned leaf, consuming the pin. The element's
+// InStabList flag mirrors whether it was homed above (Definition 4.6).
+func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element, homed bool) (*splitResult, error) {
+	n := leafCount(data)
+	pos := leafSearch(data, e.Start)
+	if pos < n && leafKey(data, pos) == e.Start {
+		t.pool.Unpin(id, false)
+		return nil, fmt.Errorf("%w: start %d", ErrDuplicate, e.Start)
+	}
+	var flags uint16
+	if homed {
+		flags = xmldoc.FlagInStabList
+	}
+	if n < t.leafCap {
+		insertLeafEntry(data, pos, n, e, flags)
+		return nil, t.pool.Unpin(id, true)
+	}
+
+	// I22: split the leaf.
+	newID, newData, err := t.pool.FetchNew()
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return nil, err
+	}
+	initLeaf(newData)
+	mid := n / 2
+	moved := n - mid
+	copy(newData[leafHeader:], data[leafHeader+mid*xmldoc.EncodedSize:leafHeader+n*xmldoc.EncodedSize])
+	setLeafCount(newData, moved)
+	setLeafCount(data, mid)
+
+	oldNext := leafNext(data)
+	setLeafNext(newData, oldNext)
+	setLeafPrev(newData, id)
+	setLeafNext(data, newID)
+	if oldNext != pagefile.InvalidPage {
+		nd, err := t.pool.Fetch(oldNext)
+		if err == nil {
+			setLeafPrev(nd, newID)
+			err = t.pool.Unpin(oldNext, true)
+		}
+		if err != nil {
+			t.pool.Unpin(newID, true)
+			t.pool.Unpin(id, true)
+			return nil, err
+		}
+	}
+
+	if e.Start < leafKey(newData, 0) {
+		insertLeafEntry(data, pos, mid, e, flags)
+	} else {
+		npos := leafSearch(newData, e.Start)
+		insertLeafEntry(newData, npos, moved, e, flags)
+	}
+
+	// Choose the separator (§3.2 key choice): prefer firstRight−1, which
+	// avoids stabbing the right half's first element, when it still
+	// separates the halves.
+	firstRight := leafKey(newData, 0)
+	lastLeft := leafKey(data, leafCount(data)-1)
+	sep := firstRight
+	if !t.opts.DisableKeyChoice && firstRight-1 > lastLeft {
+		sep = firstRight - 1
+	}
+
+	// StabSet': elements of either half newly stabbed by sep get their
+	// flags turned to yes and move to the parent's stab list.
+	var stabSet []stabEntry
+	collect := func(d []byte) {
+		cnt := leafCount(d)
+		for i := 0; i < cnt; i++ {
+			el, fl := leafElem(d, i)
+			if fl&xmldoc.FlagInStabList != 0 {
+				continue
+			}
+			if el.Start <= sep && sep <= el.End {
+				setLeafFlags(d, i, fl|xmldoc.FlagInStabList)
+				stabSet = append(stabSet, stabEntry{
+					key: sep, start: el.Start, end: el.End, ref: el.Ref, level: el.Level,
+				})
+			}
+		}
+	}
+	collect(data)
+	collect(newData)
+
+	if err := t.pool.Unpin(newID, true); err != nil {
+		t.pool.Unpin(id, true)
+		return nil, err
+	}
+	if err := t.pool.Unpin(id, true); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: sep, child: newID, stabSet: stabSet}, nil
+}
+
+// insertInternalEntry applies a child split's promotion to the pinned
+// internal node at child index ci, consuming the pin. It splits the node —
+// and its stab-list chain — on overflow (I32).
+func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res *splitResult) (*splitResult, error) {
+	m := intCount(data)
+	if m < t.intCap {
+		insertIntEntry(data, ci, m, res.key, res.child)
+		// Existing stab entries now primarily stabbed by the new key move
+		// into its PSL (the successor PSL's stabbed prefix).
+		if err := t.rekeyStabbedPrefix(data, ci); err != nil {
+			t.pool.Unpin(id, true)
+			return nil, err
+		}
+		rejects, err := t.stabReinsertAll(data, res.stabSet)
+		if err != nil {
+			t.pool.Unpin(id, true)
+			return nil, err
+		}
+		if len(rejects) > 0 {
+			t.pool.Unpin(id, true)
+			return nil, fmt.Errorf("%w: %d StabSet' elements not stabbed at node %d", ErrCorrupt, len(rejects), id)
+		}
+		return nil, t.pool.Unpin(id, true)
+	}
+
+	// Gather entries with the new one in place.
+	entries := make([]intEntryMem, 0, m+1)
+	for i := 0; i < m; i++ {
+		entries = append(entries, readIntEntry(data, i))
+	}
+	newEntry := intEntryMem{key: res.key, child: res.child, psl: pagefile.InvalidPage}
+	entries = append(entries[:ci], append([]intEntryMem{newEntry}, entries[ci:]...)...)
+
+	total := m + 1
+	mid := total / 2
+	promoted := entries[mid]
+	midKey := promoted.key
+
+	// Extract PSL(midKey) before rewriting the node: those elements rise
+	// with the promoted key. When the promoted key is the brand-new one its
+	// PSL is empty and the directory has nothing to extract.
+	var outSet []stabEntry
+	if j := keyIndex(data, midKey); j >= 0 {
+		ext, err := t.extractPSL(data, j)
+		if err != nil {
+			t.pool.Unpin(id, true)
+			return nil, err
+		}
+		outSet = append(outSet, ext...)
+	}
+
+	// Allocate the right node and lay out both halves.
+	newID, newData, err := t.pool.FetchNew()
+	if err != nil {
+		t.pool.Unpin(id, true)
+		return nil, err
+	}
+	initInternal(newData)
+	child0 := intChild(data, 0)
+
+	setIntCount(data, mid)
+	setIntChild(data, 0, child0)
+	for i := 0; i < mid; i++ {
+		writeIntEntry(data, i, entries[i])
+	}
+	right := entries[mid+1:]
+	setIntCount(newData, len(right))
+	setIntChild(newData, 0, promoted.child)
+	for i, en := range right {
+		writeIntEntry(newData, i, en)
+	}
+
+	// Split the stab chain between the halves (Figure 5(a)).
+	if err := t.splitStabChain(data, newData, midKey); err != nil {
+		t.pool.Unpin(newID, true)
+		t.pool.Unpin(id, true)
+		return nil, err
+	}
+
+	// Route the incoming StabSet' to the half holding the incoming key, and
+	// re-key that half's entries now primarily stabbed by it. If the
+	// incoming key itself was promoted, its stab set rises with it.
+	if res.key == midKey {
+		outSet = append(outSet, res.stabSet...)
+	} else {
+		half := data
+		if res.key > midKey {
+			half = newData
+		}
+		if ki := keyIndex(half, res.key); ki >= 0 {
+			if err := t.rekeyStabbedPrefix(half, ki); err != nil {
+				t.pool.Unpin(newID, true)
+				t.pool.Unpin(id, true)
+				return nil, err
+			}
+		}
+		rejects, err := t.stabReinsertAll(half, res.stabSet)
+		if err != nil {
+			t.pool.Unpin(newID, true)
+			t.pool.Unpin(id, true)
+			return nil, err
+		}
+		if len(rejects) > 0 {
+			t.pool.Unpin(newID, true)
+			t.pool.Unpin(id, true)
+			return nil, fmt.Errorf("%w: %d StabSet' elements lost in split", ErrCorrupt, len(rejects))
+		}
+	}
+
+	// Elements of either half stabbed by the promoted key rise as well
+	// (Figure 5(b)): the stabbed prefixes of the remaining PSLs.
+	for _, half := range [][]byte{data, newData} {
+		ext, err := t.extractStabbedBy(half, midKey)
+		if err != nil {
+			t.pool.Unpin(newID, true)
+			t.pool.Unpin(id, true)
+			return nil, err
+		}
+		outSet = append(outSet, ext...)
+	}
+
+	if err := t.pool.Unpin(newID, true); err != nil {
+		t.pool.Unpin(id, true)
+		return nil, err
+	}
+	if err := t.pool.Unpin(id, true); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: midKey, child: newID, stabSet: outSet}, nil
+}

@@ -1,0 +1,349 @@
+package core
+
+// §5.1: the two basic operations a structural join needs. FindDescendants
+// (Algorithm 3) is a plain range scan over the leaf chain — stab lists are
+// never touched — achieving the optimal O(log_F N + R/B) of Theorem 3.
+// FindAncestors (Algorithm 4) collects, during the ordinary root→leaf
+// descent for the probe position, the stabbed elements from the stab lists
+// of the nodes on the path (Algorithm 5), then finishes in the leaf with
+// the entries whose InStabList flag is clear; Lemma 1 guarantees this sees
+// every ancestor, and the per-key (ps, pe) test guarantees a stab page is
+// only read when it holds at least one result — Theorem 4's O(log_F N + R).
+
+import (
+	"sort"
+
+	"xrtree/internal/metrics"
+	"xrtree/internal/pagefile"
+	"xrtree/internal/xmldoc"
+)
+
+// FindAncestors returns every indexed element that is a strict ancestor of
+// a region starting at sd — i.e. every element (s, e) with s < sd < e —
+// sorted by ascending start. Elements with start ≤ minStart are skipped;
+// the XR-stack join passes the stack top's start so only ancestors "after
+// the stack top" are returned (§5.2). Pass 0 for all ancestors.
+func (t *Tree) FindAncestors(sd uint32, minStart uint32, c *metrics.Counters) ([]xmldoc.Element, error) {
+	return t.AppendAncestors(nil, sd, minStart, c)
+}
+
+// AppendAncestors is FindAncestors appending into dst (reusing its
+// capacity), for callers that probe in a loop — the XR-stack join calls it
+// once per descendant group.
+func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32, c *metrics.Counters) ([]xmldoc.Element, error) {
+	out := dst
+	id := t.root
+	for level := t.h; level > 1; level-- {
+		data, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		addNode(c)
+		// S11: collect stabbed elements from this node's stab list.
+		if err := t.searchStabList(data, sd, minStart, c, &out); err != nil {
+			t.pool.Unpin(id, false)
+			return nil, err
+		}
+		// S12/S13: descend by the largest key ≤ sd.
+		child := intChild(data, intSearch(data, sd))
+		if err := t.pool.Unpin(id, false); err != nil {
+			return nil, err
+		}
+		id = child
+	}
+
+	// S2: scan the leaf for stabbed elements whose flag is clear, stopping
+	// at the first start beyond sd. Entries at or before minStart cannot be
+	// results, so the scan starts right after it — the "ancestors after the
+	// stack top" variation of §5.2 that keeps the per-probe cost at
+	// O(new ancestors + elements between the stack top and sd in this leaf)
+	// rather than half a leaf.
+	data, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	addLeaf(c)
+	n := leafCount(data)
+	first := 0
+	if minStart > 0 {
+		first = leafSearch(data, minStart+1)
+	}
+	// Elements-scanned accounting (the Table 2/3 metric): FindAncestors
+	// charges exactly the ancestors it retrieves — the R of Theorem 4.
+	// In-page positioning reads (closed subtrees jumped via their End, the
+	// terminal boundary entry) cost no I/O and are index work, which is how
+	// the paper's XR numbers behave (≈ joined ancestors + consumed
+	// descendants; see EXPERIMENTS.md).
+	for i := first; i < n; {
+		el, fl := leafElem(data, i)
+		if el.Start >= sd {
+			break
+		}
+		if el.End <= sd {
+			// el closes at or before sd, so by strict nesting nothing
+			// inside el can strictly contain sd either: skip its whole
+			// subtree within this leaf.
+			i = leafSearch(data, el.End+1)
+			continue
+		}
+		if fl&xmldoc.FlagInStabList == 0 && el.Start > minStart {
+			el.DocID = t.docID
+			addScan(c, 1)
+			out = append(out, el)
+		}
+		i++
+	}
+	if err := t.pool.Unpin(id, false); err != nil {
+		return nil, err
+	}
+	// Only the appended tail needs ordering; dst's prefix is untouched.
+	tail := out[len(dst):]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Start < tail[j].Start })
+	return out, nil
+}
+
+// searchStabList implements Algorithm 5 over the pinned node: with sd in
+// [k_i, k_{i+1}), only PSLs of keys ≤ k_{i+1} can hold stabbed elements,
+// and a PSL is only read when its in-entry (ps, pe) proves its first —
+// outermost — element is stabbed; the stabbed elements then form a prefix.
+func (t *Tree) searchStabList(node []byte, sd uint32, minStart uint32, c *metrics.Counters, out *[]xmldoc.Element) error {
+	m := intCount(node)
+	i := intSearch(node, sd) - 1 // largest key ≤ sd
+	hi := i + 1
+	if hi >= m {
+		hi = m - 1
+	}
+	for i2 := hi; i2 >= 0; i2-- {
+		ps := keyPS(node, i2)
+		if ps == 0 || !(ps < sd && sd < keyPE(node, i2)) {
+			continue
+		}
+		if err := t.scanPSL(node, i2, sd, minStart, c, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanPSL walks PSL(c) from its directory pointer, emitting elements while
+// they stab sd (line 4 of Algorithm 5). Entries at or before minStart are
+// already known to the caller (they are on the join's stack), and since a
+// PSL is start-sorted they can be jumped over with an in-page binary search
+// rather than scanned — the stabbed, still-unreported elements form a
+// contiguous run ending at the first non-stabbing entry.
+func (t *Tree) scanPSL(node []byte, ki int, sd uint32, minStart uint32, c *metrics.Counters, out *[]xmldoc.Element) error {
+	kv := intKey(node, ki)
+	p := keyPSLPage(node, ki)
+	for p != pagefile.InvalidPage {
+		data, err := t.fetchStab(p)
+		if err != nil {
+			return err
+		}
+		addStabPage(c)
+		n := stabCount(data)
+		i := stabLowerBound(data, kv, minStart+1)
+		for ; i < n; i++ {
+			en := stabEntryAt(data, i)
+			if en.key != kv {
+				return t.pool.Unpin(p, false)
+			}
+			if !(en.start < sd && sd < en.end) {
+				// Terminal entry of the stabbed prefix: free, as in S2.
+				return t.pool.Unpin(p, false)
+			}
+			addScan(c, 1)
+			*out = append(*out, en.element(t.docID))
+		}
+		next := stabNext(data)
+		if err := t.pool.Unpin(p, false); err != nil {
+			return err
+		}
+		p = next
+	}
+	return nil
+}
+
+// stabLowerBound returns the index of the first entry on the page with
+// (key, start) ≥ (kv, start), by binary search.
+func stabLowerBound(data []byte, kv, start uint32) int {
+	lo, hi := 0, stabCount(data)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		en := stabEntryAt(data, mid)
+		if stabLess(en.key, en.start, kv, start) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// FindParent returns the parent (level-aware ancestor, §5.3) of a region
+// starting at sd whose level is level−1, if indexed.
+func (t *Tree) FindParent(sd uint32, level uint16, c *metrics.Counters) (xmldoc.Element, bool, error) {
+	anc, err := t.FindAncestors(sd, 0, c)
+	if err != nil {
+		return xmldoc.Element{}, false, err
+	}
+	for _, a := range anc {
+		if a.Level == level-1 {
+			return a, true, nil
+		}
+	}
+	return xmldoc.Element{}, false, nil
+}
+
+// Iterator walks leaf entries in ascending start order; at most one page is
+// pinned at a time.
+type Iterator struct {
+	t      *Tree
+	c      *metrics.Counters
+	pageID pagefile.PageID
+	data   []byte
+	idx    int
+	err    error
+	done   bool
+}
+
+// SeekGE returns an iterator positioned at the first element with
+// start ≥ key. FindDescendants and the XR-stack skip operations are built
+// on it.
+func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
+	id := t.root
+	for level := t.h; level > 1; level-- {
+		data, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		addNode(c)
+		child := intChild(data, intSearch(data, key))
+		if err := t.pool.Unpin(id, false); err != nil {
+			return nil, err
+		}
+		id = child
+	}
+	data, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	addLeaf(c)
+	return &Iterator{t: t, c: c, pageID: id, data: data, idx: leafSearch(data, key)}, nil
+}
+
+// Scan returns an iterator over the whole indexed set.
+func (t *Tree) Scan(c *metrics.Counters) (*Iterator, error) { return t.SeekGE(0, c) }
+
+// Next returns the next element; each returned element counts as scanned.
+func (it *Iterator) Next() (xmldoc.Element, bool) {
+	if it.err != nil || it.done {
+		return xmldoc.Element{}, false
+	}
+	for {
+		if it.idx < leafCount(it.data) {
+			e, _ := leafElem(it.data, it.idx)
+			e.DocID = it.t.docID
+			it.idx++
+			if it.c != nil {
+				it.c.ElementsScanned++
+			}
+			return e, true
+		}
+		if !it.advancePage() {
+			return xmldoc.Element{}, false
+		}
+	}
+}
+
+// Peek returns the element Next would return without consuming it and
+// without counting a scan.
+func (it *Iterator) Peek() (xmldoc.Element, bool) {
+	if it.err != nil || it.done {
+		return xmldoc.Element{}, false
+	}
+	for it.idx >= leafCount(it.data) {
+		if !it.advancePage() {
+			return xmldoc.Element{}, false
+		}
+	}
+	e, _ := leafElem(it.data, it.idx)
+	e.DocID = it.t.docID
+	return e, true
+}
+
+func (it *Iterator) advancePage() bool {
+	next := leafNext(it.data)
+	if err := it.t.pool.Unpin(it.pageID, false); err != nil {
+		it.err = err
+		it.data = nil
+		return false
+	}
+	it.data = nil
+	if next == pagefile.InvalidPage {
+		it.done = true
+		return false
+	}
+	data, err := it.t.pool.Fetch(next)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.pageID = next
+	it.data = data
+	it.idx = 0
+	if it.c != nil {
+		it.c.LeafReads++
+	}
+	return true
+}
+
+// Err returns the first iteration error.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's pin; safe to call repeatedly.
+func (it *Iterator) Close() error {
+	if it.data != nil {
+		err := it.t.pool.Unpin(it.pageID, false)
+		it.data = nil
+		if it.err == nil {
+			it.err = err
+		}
+		return err
+	}
+	return nil
+}
+
+// FindDescendants returns every indexed element strictly inside (sa, ea):
+// Algorithm 3, a range query over start positions.
+func (t *Tree) FindDescendants(sa, ea uint32, c *metrics.Counters) ([]xmldoc.Element, error) {
+	it, err := t.SeekGE(sa+1, c)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []xmldoc.Element
+	for {
+		e, ok := it.Next()
+		if !ok || e.Start >= ea {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, it.Err()
+}
+
+// FindChildren returns the indexed elements that are children (§5.3) of an
+// element (sa, ea) at the given level: descendants with level+1.
+func (t *Tree) FindChildren(sa, ea uint32, level uint16, c *metrics.Counters) ([]xmldoc.Element, error) {
+	des, err := t.FindDescendants(sa, ea, c)
+	if err != nil {
+		return nil, err
+	}
+	out := des[:0]
+	for _, d := range des {
+		if d.Level == level+1 {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

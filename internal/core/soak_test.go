@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSoakLargeMixedWorkload is a longer-running confidence test: a large
+// randomized insert/delete/query workload across page sizes with periodic
+// full invariant checks. Skipped under -short.
+func TestSoakLargeMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, pageSize := range []int{256, 1024} {
+		pageSize := pageSize
+		t.Run(sizeName(pageSize), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(pageSize) * 13))
+			universe := genNested(rng, 5000, 18)
+			pool := newPool(t, pageSize, 1024)
+			tr, err := New(pool, 1, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := newOracle()
+			present := make([]bool, len(universe))
+			maxPos := universe[len(universe)-1].End + 3
+
+			for op := 0; op < 20000; op++ {
+				i := rng.Intn(len(universe))
+				e := universe[i]
+				if !present[i] && rng.Intn(3) != 0 {
+					if err := tr.Insert(e); err != nil {
+						t.Fatalf("op %d Insert(%v): %v", op, e, err)
+					}
+					o.insert(e)
+					present[i] = true
+				} else if present[i] {
+					if err := tr.Delete(e.Start); err != nil {
+						t.Fatalf("op %d Delete(%v): %v", op, e, err)
+					}
+					o.remove(e.Start)
+					present[i] = false
+				}
+				if op%500 == 499 {
+					sd := uint32(rng.Intn(int(maxPos)) + 1)
+					got, err := tr.FindAncestors(sd, 0, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(o.ancestors(sd, 0)) {
+						t.Fatalf("op %d: FindAncestors(%d) = %d, want %d",
+							op, sd, len(got), len(o.ancestors(sd, 0)))
+					}
+				}
+				if op%4000 == 3999 {
+					if err := tr.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("final: %v", err)
+			}
+			if pool.PinnedCount() != 0 {
+				t.Errorf("leaked pins: %d", pool.PinnedCount())
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xrtree/internal/xmldoc"
+)
+
+func TestSpaceMatchesStabStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	es := genNested(rng, 800, 14)
+	pool := newPool(t, 512, 256)
+	tr := buildTree(t, pool, es, Options{})
+
+	space, err := tr.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, pages := tr.StabStats()
+	if space.StabEntries != entries {
+		t.Errorf("Space.StabEntries = %d, StabStats = %d", space.StabEntries, entries)
+	}
+	if space.StabPages != pages {
+		t.Errorf("Space.StabPages = %d, StabStats = %d", space.StabPages, pages)
+	}
+	if space.LeafPages == 0 || space.InternalNodes == 0 {
+		t.Errorf("degenerate space stats: %+v", space)
+	}
+	if len(space.StabPagesPerNode) != space.InternalNodes {
+		t.Errorf("per-node list has %d entries for %d nodes",
+			len(space.StabPagesPerNode), space.InternalNodes)
+	}
+	sum := 0
+	max := 0
+	for _, n := range space.StabPagesPerNode {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum != space.StabPages || max != space.MaxStabPages {
+		t.Errorf("per-node totals: sum=%d max=%d, header says %d/%d",
+			sum, max, space.StabPages, space.MaxStabPages)
+	}
+	if space.AvgStabPages() <= 0 {
+		t.Errorf("AvgStabPages = %f", space.AvgStabPages())
+	}
+	if pool.PinnedCount() != 0 {
+		t.Errorf("Space leaked %d pins", pool.PinnedCount())
+	}
+}
+
+func TestMaxNesting(t *testing.T) {
+	// A chain of depth exactly 7 plus shallow siblings.
+	var es []xmldoc.Element
+	for i := 0; i < 7; i++ {
+		es = append(es, xmldoc.Element{
+			DocID: 1, Start: uint32(i + 1), End: uint32(100 - i), Level: uint16(i + 1),
+		})
+	}
+	es = append(es,
+		xmldoc.Element{DocID: 1, Start: 200, End: 201, Level: 1},
+		xmldoc.Element{DocID: 1, Start: 210, End: 215, Level: 1},
+		xmldoc.Element{DocID: 1, Start: 211, End: 212, Level: 2},
+	)
+	xmldoc.SortByStart(es)
+	pool := newPool(t, 256, 64)
+	tr := buildTree(t, pool, es, Options{})
+	got, err := tr.MaxNesting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("MaxNesting = %d, want 7", got)
+	}
+}
+
+func TestMaxNestingEmptyAndFlat(t *testing.T) {
+	pool := newPool(t, 256, 64)
+	tr, err := New(pool, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tr.MaxNesting(); err != nil || got != 0 {
+		t.Errorf("empty MaxNesting = %d, %v", got, err)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Insert(xmldoc.Element{DocID: 1, Start: uint32(3*i + 1), End: uint32(3*i + 2)})
+	}
+	if got, err := tr.MaxNesting(); err != nil || got != 1 {
+		t.Errorf("flat MaxNesting = %d, %v", got, err)
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xrtree/internal/xmldoc"
+)
+
+// TestPageSizeSweep exercises every structural code path (multi-page stab
+// lists, deep trees, chain splits) by repeating the mixed-operation
+// workload across page sizes.
+func TestPageSizeSweep(t *testing.T) {
+	for _, pageSize := range []int{256, 512, 1024, 4096} {
+		pageSize := pageSize
+		t.Run(sizeName(pageSize), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(pageSize)))
+			es := genNested(rng, 700, 16)
+			pool := newPool(t, pageSize, 256)
+			tr, err := New(pool, 1, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			perm := rng.Perm(len(es))
+			for _, pi := range perm {
+				if err := tr.Insert(es[pi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after inserts: %v", err)
+			}
+			// Delete half, check, reinsert, check.
+			for _, pi := range perm[:len(perm)/2] {
+				if err := tr.Delete(es[pi].Start); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after deletes: %v", err)
+			}
+			for _, pi := range perm[:len(perm)/2] {
+				if err := tr.Insert(es[pi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after reinserts: %v", err)
+			}
+			if pool.PinnedCount() != 0 {
+				t.Errorf("leaked pins: %d", pool.PinnedCount())
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 256:
+		return "256B"
+	case 512:
+		return "512B"
+	case 1024:
+		return "1KiB"
+	default:
+		return "4KiB"
+	}
+}
+
+// TestQuickRandomTrees is a property test: for any seed, a tree built from
+// a random strictly nested document satisfies all invariants and answers
+// FindAncestors/FindDescendants like the brute-force oracle.
+func TestQuickRandomTrees(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		es := genNested(rng, 150+rng.Intn(250), 2+rng.Intn(16))
+		pool := newPool(t, 256, 128)
+		tr, err := New(pool, 1, Options{})
+		if err != nil {
+			return false
+		}
+		for _, e := range es {
+			if err := tr.Insert(e); err != nil {
+				return false
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		o := newOracle()
+		for _, e := range es {
+			o.insert(e)
+		}
+		maxPos := es[len(es)-1].End + 3
+		for i := 0; i < 40; i++ {
+			sd := uint32(rng.Intn(int(maxPos)) + 1)
+			got, err := tr.FindAncestors(sd, 0, nil)
+			if err != nil {
+				return false
+			}
+			want := o.ancestors(sd, 0)
+			if len(got) != len(want) {
+				t.Logf("seed %d: FindAncestors(%d) = %d, want %d", seed, sd, len(got), len(want))
+				return false
+			}
+			e := es[rng.Intn(len(es))]
+			gd, err := tr.FindDescendants(e.Start, e.End, nil)
+			if err != nil {
+				return false
+			}
+			if len(gd) != len(o.descendants(e.Start, e.End)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeepNestingStabChains forces multi-page stab lists: one chain of
+// elements all stabbed by the middle keys.
+func TestDeepNestingStabChains(t *testing.T) {
+	// 400 concentric regions: (1, 2000), (2, 1999), ... all stab position
+	// 1000; tiny pages force chains across many stab pages.
+	var es []xmldoc.Element
+	for i := 0; i < 400; i++ {
+		es = append(es, xmldoc.Element{
+			DocID: 1, Start: uint32(i + 1), End: uint32(2000 - i), Level: uint16(i + 1),
+		})
+	}
+	pool := newPool(t, 256, 256)
+	tr, err := New(pool, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range es {
+		if err := tr.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	_, pages := tr.StabStats()
+	if pages < 2 {
+		t.Errorf("expected multi-page stab chains, got %d pages", pages)
+	}
+	anc, err := tr.FindAncestors(1000, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 400 {
+		t.Errorf("FindAncestors(1000) = %d, want 400", len(anc))
+	}
+	// minStart must cut the result from deep inside the chain.
+	anc, err = tr.FindAncestors(1000, 390, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 10 {
+		t.Errorf("FindAncestors(1000, 390) = %d, want 10", len(anc))
+	}
+	// Delete from the outside in — stab entries must re-home or vanish.
+	for i := 0; i < 200; i++ {
+		if err := tr.Delete(es[i].Start); err != nil {
+			t.Fatalf("Delete(%v): %v", es[i], err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("after deletes: %v", err)
+	}
+	anc, err = tr.FindAncestors(1000, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 200 {
+		t.Errorf("after deletes FindAncestors = %d, want 200", len(anc))
+	}
+}
+
+// TestIteratorPeekStability checks Peek/Next interleavings across page
+// boundaries.
+func TestIteratorPeekStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	es := genNested(rng, 300, 6)
+	pool := newPool(t, 256, 128)
+	tr := buildTree(t, pool, es, Options{})
+	it, err := tr.Scan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	for i := 0; ; i++ {
+		p, pok := it.Peek()
+		n, nok := it.Next()
+		if pok != nok || (pok && p != n) {
+			t.Fatalf("element %d: Peek %v,%v vs Next %v,%v", i, p, pok, n, nok)
+		}
+		if !nok {
+			if i != len(es) {
+				t.Fatalf("ended after %d, want %d", i, len(es))
+			}
+			break
+		}
+	}
+	if _, ok := it.Peek(); ok {
+		t.Error("Peek after exhaustion returned true")
+	}
+}
+
+// TestFindDescendantsEdges covers boundary conditions of the range scan.
+func TestFindDescendantsEdges(t *testing.T) {
+	es := []xmldoc.Element{
+		{DocID: 1, Start: 10, End: 100, Level: 1},
+		{DocID: 1, Start: 11, End: 20, Level: 2},
+		{DocID: 1, Start: 99, End: 99 + 1, Level: 2}, // hugs the end
+	}
+	pool := newPool(t, 256, 64)
+	tr := buildTree(t, pool, es, Options{})
+	des, err := tr.FindDescendants(10, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 2 {
+		t.Fatalf("descendants = %v", des)
+	}
+	// Strictness: the boundaries themselves are excluded.
+	des, err = tr.FindDescendants(10, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 0 {
+		t.Errorf("empty open interval returned %v", des)
+	}
+	// Range past the last element.
+	des, err = tr.FindDescendants(150, 900, nil)
+	if err != nil || len(des) != 0 {
+		t.Errorf("out-of-range: %v, %v", des, err)
+	}
+}
+
+// TestEmptyTreeQueries exercises every read operation on an empty tree.
+func TestEmptyTreeQueries(t *testing.T) {
+	pool := newPool(t, 256, 64)
+	tr, err := New(pool, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anc, err := tr.FindAncestors(5, 0, nil); err != nil || len(anc) != 0 {
+		t.Errorf("FindAncestors on empty: %v, %v", anc, err)
+	}
+	if des, err := tr.FindDescendants(1, 100, nil); err != nil || len(des) != 0 {
+		t.Errorf("FindDescendants on empty: %v, %v", des, err)
+	}
+	it, err := tr.Scan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("Next on empty tree returned true")
+	}
+	it.Close()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Errorf("empty tree invariants: %v", err)
+	}
+	if _, _, err := tr.FindParent(5, 3, nil); err != nil {
+		t.Errorf("FindParent on empty: %v", err)
+	}
+}

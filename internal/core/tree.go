@@ -1,0 +1,587 @@
+// Package core implements the XR-tree (XML Region Tree), the paper's
+// primary contribution: a paged, dynamic external-memory index over
+// region-encoded XML elements (§3, Definition 4).
+//
+// An XR-tree is a B+-tree keyed on element start positions whose internal
+// nodes are augmented with stab lists. A key k "stabs" an element (s, e)
+// when s ≤ k ≤ e; the stab list SL(n) of internal node n holds every
+// element stabbed by at least one key of n but by no key of any ancestor of
+// n, so each element appears in at most one stab list — that of the highest
+// stabbing node. Within a node the elements are grouped by their primary
+// stabbing key (the smallest stabbing key of the node, Definition 2); the
+// run for key k is its primary stab list PSL(k), stored outermost-first.
+// Every internal key entry carries (ps, pe), the region of the first
+// element of its PSL (Definition 3), plus a direct pointer to the stab-list
+// page holding that element — the equivalent of the paper's ps directory
+// page (§3.3, Figure 4) folded into the key entry.
+//
+// These structures make FindAncestors run in O(log_F N + R) worst-case page
+// accesses (Theorem 4) while FindDescendants remains the plain B+-tree
+// range scan (Theorem 3), which is what the XR-stack join algorithm
+// exploits to skip both non-joining ancestors and descendants.
+//
+// # Concurrency
+//
+// A Tree supports any number of concurrent readers (FindAncestors,
+// FindDescendants, SeekGE, Scan, FindParent, FindChildren, Space,
+// CheckInvariants): query paths attribute costs to the caller-supplied
+// counter set and share no mutable tree state. Writers (Insert, Delete,
+// BulkLoad) require exclusive access — they are not safe concurrently with
+// each other or with readers.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"xrtree/internal/bufferpool"
+	"xrtree/internal/metrics"
+	"xrtree/internal/pagefile"
+	"xrtree/internal/xmldoc"
+)
+
+// Page layouts.
+//
+// Meta page:
+//
+//	0: magic u32 | 4: root u32 | 8: height u32 | 12: count u32 | 16: docID u32
+//	20: stabCount u32 (elements currently held in stab lists)
+//	24: stabPages u32 (stab-list pages currently allocated)
+//
+// Leaf page (identical to the B+-tree backbone):
+//
+//	0: type u8 (=leafType) | 2: count u16 | 4: next u32 | 8: prev u32
+//	12: entries, count × xmldoc.EncodedSize, sorted by start;
+//	    flags bit 0 = InStabList
+//
+// Internal page:
+//
+//	0: type u8 (=internalType) | 2: count u16 (number of keys m)
+//	4: child0 u32 | 8: stabHead u32 | 12: stabTail u32
+//	16: entries, m × 20 bytes:
+//	    key u32 | child u32 (right child) | ps u32 | pe u32 | pslPage u32
+//	    ps == 0 encodes a nil (ps, pe): positions are ≥ 1 by construction.
+//
+// Stab-list page:
+//
+//	0: type u8 (=stabType) | 2: count u16 | 4: next u32 | 8: prev u32
+//	12: entries, count × 20 bytes:
+//	    key u32 | start u32 | end u32 | ref u32 | level u16 | pad u16
+//	    sorted by (key, start) across the whole chain.
+const (
+	metaMagic = 0x58525431 // "XRT1"
+
+	leafType     = 1
+	internalType = 3
+	stabType     = 4
+
+	leafHeader   = 12
+	offLeafCount = 2
+	offLeafNext  = 4
+	offLeafPrev  = 8
+
+	intHeader      = 16
+	offIntCount    = 2
+	offIntChild0   = 4
+	offIntStabHead = 8
+	offIntStabTail = 12
+	intEntrySize   = 20
+
+	stabHeader    = 12
+	offStabCount  = 2
+	offStabNext   = 4
+	offStabPrev   = 8
+	stabEntrySize = 20
+)
+
+// Errors returned by the XR-tree.
+var (
+	ErrNotFound  = errors.New("xrtree: element not found")
+	ErrDuplicate = errors.New("xrtree: duplicate start key")
+	ErrCorrupt   = errors.New("xrtree: corrupt page")
+)
+
+// Options tunes tree construction.
+type Options struct {
+	// DisableKeyChoice turns off the §3.2 separator-choice optimization
+	// (preferring separator s−1 over s when it still separates the halves),
+	// for the ablation benchmark.
+	DisableKeyChoice bool
+}
+
+// Tree is a disk-resident XR-tree over one document's element set.
+type Tree struct {
+	pool  *bufferpool.Pool
+	meta  pagefile.PageID
+	root  pagefile.PageID
+	h     int // height: 1 = root is a leaf
+	count int
+	docID uint32
+	opts  Options
+
+	// stab statistics, persisted in the meta page (used by the §3.3
+	// stab-list size experiment).
+	stabCount int // elements in stab lists
+	stabPages int // allocated stab-list pages
+
+	leafCap int
+	intCap  int
+	stabCap int
+
+	// lastInsertPage records where insertAt physically placed the most
+	// recent stab entry (after any page split); only meaningful right after
+	// the call. Tree mutation is single-threaded.
+	lastInsertPage pagefile.PageID
+
+	c *metrics.Counters
+}
+
+// New creates an empty XR-tree whose pages come from pool's file.
+func New(pool *bufferpool.Pool, docID uint32, opts Options) (*Tree, error) {
+	t := &Tree{pool: pool, docID: docID, opts: opts}
+	t.computeCaps()
+	metaID, metaData, err := pool.FetchNew()
+	if err != nil {
+		return nil, err
+	}
+	t.meta = metaID
+	rootID, rootData, err := pool.FetchNew()
+	if err != nil {
+		pool.Unpin(metaID, true)
+		return nil, err
+	}
+	initLeaf(rootData)
+	if err := pool.Unpin(rootID, true); err != nil {
+		return nil, err
+	}
+	t.root = rootID
+	t.h = 1
+	putU32(metaData[0:], metaMagic)
+	t.writeMeta(metaData)
+	if err := pool.Unpin(metaID, true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open reattaches to an XR-tree previously created by New in pool's file.
+func Open(pool *bufferpool.Pool, meta pagefile.PageID, opts Options) (*Tree, error) {
+	t := &Tree{pool: pool, meta: meta, opts: opts}
+	t.computeCaps()
+	data, err := pool.Fetch(meta)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(meta, false)
+	if getU32(data[0:]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad meta magic", ErrCorrupt)
+	}
+	t.root = pagefile.PageID(getU32(data[4:]))
+	t.h = int(getU32(data[8:]))
+	t.count = int(getU32(data[12:]))
+	t.docID = getU32(data[16:])
+	t.stabCount = int(getU32(data[20:]))
+	t.stabPages = int(getU32(data[24:]))
+	return t, nil
+}
+
+func (t *Tree) computeCaps() {
+	ps := t.pool.File().PageSize()
+	t.leafCap = (ps - leafHeader) / xmldoc.EncodedSize
+	t.intCap = (ps - intHeader) / intEntrySize
+	t.stabCap = (ps - stabHeader) / stabEntrySize
+	if t.leafCap < 4 || t.intCap < 4 || t.stabCap < 4 {
+		panic(fmt.Sprintf("xrtree: page size %d too small", ps))
+	}
+}
+
+func (t *Tree) writeMeta(data []byte) {
+	putU32(data[4:], uint32(t.root))
+	putU32(data[8:], uint32(t.h))
+	putU32(data[12:], uint32(t.count))
+	putU32(data[16:], t.docID)
+	putU32(data[20:], uint32(t.stabCount))
+	putU32(data[24:], uint32(t.stabPages))
+}
+
+func (t *Tree) syncMeta() error {
+	data, err := t.pool.Fetch(t.meta)
+	if err != nil {
+		return err
+	}
+	t.writeMeta(data)
+	return t.pool.Unpin(t.meta, true)
+}
+
+// Meta returns the meta page id, the handle needed by Open.
+func (t *Tree) Meta() pagefile.PageID { return t.meta }
+
+// Len returns the number of indexed elements.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the tree height (1 = the root is a leaf).
+func (t *Tree) Height() int { return t.h }
+
+// DocID returns the document id of the indexed element set.
+func (t *Tree) DocID() uint32 { return t.docID }
+
+// StabStats returns the number of elements currently held in stab lists and
+// the number of stab-list pages allocated — the quantities measured by the
+// §3.3 stab-list size study.
+func (t *Tree) StabStats() (elements, pages int) { return t.stabCount, t.stabPages }
+
+// SetCounters directs cost accounting to c (nil detaches).
+func (t *Tree) SetCounters(c *metrics.Counters) { t.c = c }
+
+func (t *Tree) countNode() {
+	if t.c != nil {
+		t.c.IndexNodeReads++
+	}
+}
+
+func (t *Tree) countLeaf() {
+	if t.c != nil {
+		t.c.LeafReads++
+	}
+}
+
+func (t *Tree) countStabPage() {
+	if t.c != nil {
+		t.c.StabPageReads++
+	}
+}
+
+func (t *Tree) countScan(n int) {
+	if t.c != nil {
+		t.c.ElementsScanned += int64(n)
+	}
+}
+
+// The add* helpers attribute costs to an explicit counter set; the query
+// paths use them (instead of the tree-attached sink) so concurrent readers
+// never share mutable state — a Tree supports any number of concurrent
+// readers as long as no writer runs.
+func addNode(c *metrics.Counters) {
+	if c != nil {
+		c.IndexNodeReads++
+	}
+}
+
+func addLeaf(c *metrics.Counters) {
+	if c != nil {
+		c.LeafReads++
+	}
+}
+
+func addStabPage(c *metrics.Counters) {
+	if c != nil {
+		c.StabPageReads++
+	}
+}
+
+func addScan(c *metrics.Counters, n int64) {
+	if c != nil {
+		c.ElementsScanned += n
+	}
+}
+
+// --- leaf page helpers ---------------------------------------------------
+
+func initLeaf(data []byte) {
+	for i := range data[:leafHeader] {
+		data[i] = 0
+	}
+	data[0] = leafType
+	putU32(data[offLeafNext:], uint32(pagefile.InvalidPage))
+	putU32(data[offLeafPrev:], uint32(pagefile.InvalidPage))
+}
+
+func isLeaf(data []byte) bool                  { return data[0] == leafType }
+func leafCount(data []byte) int                { return int(getU16(data[offLeafCount:])) }
+func setLeafCount(d []byte, n int)             { putU16(d[offLeafCount:], uint16(n)) }
+func leafNext(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d[offLeafNext:])) }
+func leafPrev(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d[offLeafPrev:])) }
+func setLeafNext(d []byte, id pagefile.PageID) { putU32(d[offLeafNext:], uint32(id)) }
+func setLeafPrev(d []byte, id pagefile.PageID) { putU32(d[offLeafPrev:], uint32(id)) }
+
+func leafEntry(data []byte, i int) []byte {
+	off := leafHeader + i*xmldoc.EncodedSize
+	return data[off : off+xmldoc.EncodedSize]
+}
+
+func leafElem(data []byte, i int) (xmldoc.Element, uint16) {
+	return xmldoc.DecodeElement(leafEntry(data, i))
+}
+
+func leafKey(data []byte, i int) uint32 { return getU32(leafEntry(data, i)) }
+
+func setLeafFlags(data []byte, i int, flags uint16) {
+	putU16(leafEntry(data, i)[10:], flags)
+}
+
+// leafSearch returns the index of the first entry with start ≥ key.
+func leafSearch(data []byte, key uint32) int {
+	lo, hi := 0, leafCount(data)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(data, mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insertLeafEntry writes e at position pos in a leaf with n entries and
+// room for one more.
+func insertLeafEntry(data []byte, pos, n int, e xmldoc.Element, flags uint16) {
+	start := leafHeader + pos*xmldoc.EncodedSize
+	end := leafHeader + n*xmldoc.EncodedSize
+	copy(data[start+xmldoc.EncodedSize:end+xmldoc.EncodedSize], data[start:end])
+	e.Encode(data[start:], flags)
+	setLeafCount(data, n+1)
+}
+
+// removeLeafEntry deletes entry pos from a leaf with n entries.
+func removeLeafEntry(data []byte, pos, n int) {
+	start := leafHeader + pos*xmldoc.EncodedSize
+	end := leafHeader + n*xmldoc.EncodedSize
+	copy(data[start:], data[start+xmldoc.EncodedSize:end])
+	setLeafCount(data, n-1)
+}
+
+// --- internal page helpers -----------------------------------------------
+
+func initInternal(data []byte) {
+	for i := range data[:intHeader] {
+		data[i] = 0
+	}
+	data[0] = internalType
+	putU32(data[offIntStabHead:], uint32(pagefile.InvalidPage))
+	putU32(data[offIntStabTail:], uint32(pagefile.InvalidPage))
+}
+
+func intCount(data []byte) int    { return int(getU16(data[offIntCount:])) }
+func setIntCount(d []byte, n int) { putU16(d[offIntCount:], uint16(n)) }
+
+func stabHead(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d[offIntStabHead:])) }
+func stabTail(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d[offIntStabTail:])) }
+func setStabHead(d []byte, id pagefile.PageID) { putU32(d[offIntStabHead:], uint32(id)) }
+func setStabTail(d []byte, id pagefile.PageID) { putU32(d[offIntStabTail:], uint32(id)) }
+
+func intEntry(data []byte, i int) []byte {
+	off := intHeader + i*intEntrySize
+	return data[off : off+intEntrySize]
+}
+
+func intKey(data []byte, i int) uint32       { return getU32(intEntry(data, i)) }
+func setIntKey(data []byte, i int, k uint32) { putU32(intEntry(data, i), k) }
+
+// intChild returns child pointer i (0..m).
+func intChild(data []byte, i int) pagefile.PageID {
+	if i == 0 {
+		return pagefile.PageID(getU32(data[offIntChild0:]))
+	}
+	return pagefile.PageID(getU32(intEntry(data, i-1)[4:]))
+}
+
+func setIntChild(data []byte, i int, id pagefile.PageID) {
+	if i == 0 {
+		putU32(data[offIntChild0:], uint32(id))
+		return
+	}
+	putU32(intEntry(data, i-1)[4:], uint32(id))
+}
+
+// keyPS/keyPE return the (ps, pe) fields of key i; ps == 0 means nil.
+func keyPS(data []byte, i int) uint32 { return getU32(intEntry(data, i)[8:]) }
+func keyPE(data []byte, i int) uint32 { return getU32(intEntry(data, i)[12:]) }
+
+func setKeyPSPE(data []byte, i int, ps, pe uint32) {
+	putU32(intEntry(data, i)[8:], ps)
+	putU32(intEntry(data, i)[12:], pe)
+}
+
+// keyPSLPage returns the stab page holding the head of PSL(key i).
+func keyPSLPage(data []byte, i int) pagefile.PageID {
+	return pagefile.PageID(getU32(intEntry(data, i)[16:]))
+}
+
+func setKeyPSLPage(data []byte, i int, id pagefile.PageID) {
+	putU32(intEntry(data, i)[16:], uint32(id))
+}
+
+// intSearch returns the child index to follow for key: the number of
+// separators ≤ key (Definition 4.3 and Algorithm 3 line 3-4).
+func intSearch(data []byte, key uint32) int {
+	lo, hi := 0, intCount(data)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intKey(data, mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// keyIndex returns the index of the key with exact value k, or -1.
+func keyIndex(data []byte, k uint32) int {
+	i := intSearch(data, k) - 1 // largest key ≤ k
+	if i >= 0 && intKey(data, i) == k {
+		return i
+	}
+	return -1
+}
+
+// primaryKeyIndex returns the index of the smallest key of the node that
+// stabs (s, e) — the element's primary stabbing key (Definition 1) — or -1
+// if no key stabs it.
+func primaryKeyIndex(data []byte, s, e uint32) int {
+	// Smallest key ≥ s; it stabs iff it is ≤ e.
+	m := intCount(data)
+	lo, hi := 0, m
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intKey(data, mid) < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < m && intKey(data, lo) <= e {
+		return lo
+	}
+	return -1
+}
+
+// insertIntEntry writes (key, rightChild) as entry ci into an internal page
+// with m existing keys and room for one more. The new key's (ps, pe) is nil
+// and its PSL pointer invalid; the caller populates them afterwards.
+func insertIntEntry(data []byte, ci, m int, key uint32, child pagefile.PageID) {
+	start := intHeader + ci*intEntrySize
+	end := intHeader + m*intEntrySize
+	copy(data[start+intEntrySize:end+intEntrySize], data[start:end])
+	entry := data[start : start+intEntrySize]
+	putU32(entry[0:], key)
+	putU32(entry[4:], uint32(child))
+	putU32(entry[8:], 0)
+	putU32(entry[12:], 0)
+	putU32(entry[16:], uint32(pagefile.InvalidPage))
+	setIntCount(data, m+1)
+}
+
+// removeIntEntry deletes key li and the child to its right from an internal
+// page with m keys. The caller must have emptied PSL(key li) first.
+func removeIntEntry(data []byte, li, m int) {
+	start := intHeader + li*intEntrySize
+	end := intHeader + m*intEntrySize
+	copy(data[start:], data[start+intEntrySize:end])
+	setIntCount(data, m-1)
+}
+
+// --- stab page helpers ----------------------------------------------------
+
+// stabEntry is the in-memory form of one stab-list entry.
+type stabEntry struct {
+	key   uint32 // primary stabbing key within the owning node
+	start uint32
+	end   uint32
+	ref   uint32
+	level uint16
+}
+
+func (se stabEntry) element(docID uint32) xmldoc.Element {
+	return xmldoc.Element{DocID: docID, Start: se.start, End: se.end, Level: se.level, Ref: se.ref}
+}
+
+// stabs reports whether position k stabs the entry's region.
+func (se stabEntry) stabs(k uint32) bool { return se.start <= k && k <= se.end }
+
+func initStabPage(data []byte) {
+	for i := range data[:stabHeader] {
+		data[i] = 0
+	}
+	data[0] = stabType
+	putU32(data[offStabNext:], uint32(pagefile.InvalidPage))
+	putU32(data[offStabPrev:], uint32(pagefile.InvalidPage))
+}
+
+func stabCount(data []byte) int    { return int(getU16(data[offStabCount:])) }
+func setStabCount(d []byte, n int) { putU16(d[offStabCount:], uint16(n)) }
+
+func stabNext(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d[offStabNext:])) }
+func stabPrev(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d[offStabPrev:])) }
+func setStabNext(d []byte, id pagefile.PageID) { putU32(d[offStabNext:], uint32(id)) }
+func setStabPrev(d []byte, id pagefile.PageID) { putU32(d[offStabPrev:], uint32(id)) }
+
+func stabEntryAt(data []byte, i int) stabEntry {
+	off := stabHeader + i*stabEntrySize
+	b := data[off : off+stabEntrySize]
+	return stabEntry{
+		key:   getU32(b[0:]),
+		start: getU32(b[4:]),
+		end:   getU32(b[8:]),
+		ref:   getU32(b[12:]),
+		level: getU16(b[16:]),
+	}
+}
+
+func putStabEntry(data []byte, i int, se stabEntry) {
+	off := stabHeader + i*stabEntrySize
+	b := data[off : off+stabEntrySize]
+	putU32(b[0:], se.key)
+	putU32(b[4:], se.start)
+	putU32(b[8:], se.end)
+	putU32(b[12:], se.ref)
+	putU16(b[16:], se.level)
+	putU16(b[18:], 0)
+}
+
+// insertStabEntry writes se at position pos in a stab page with n entries
+// and room for one more.
+func insertStabEntry(data []byte, pos, n int, se stabEntry) {
+	start := stabHeader + pos*stabEntrySize
+	end := stabHeader + n*stabEntrySize
+	copy(data[start+stabEntrySize:end+stabEntrySize], data[start:end])
+	putStabEntry(data, pos, se)
+	setStabCount(data, n+1)
+}
+
+// removeStabEntry deletes entry pos from a stab page with n entries.
+func removeStabEntry(data []byte, pos, n int) {
+	start := stabHeader + pos*stabEntrySize
+	end := stabHeader + n*stabEntrySize
+	copy(data[start:], data[start+stabEntrySize:end])
+	setStabCount(data, n-1)
+}
+
+// stabLess orders stab entries by (key, start).
+func stabLess(aKey, aStart, bKey, bStart uint32) bool {
+	if aKey != bKey {
+		return aKey < bKey
+	}
+	return aStart < bStart
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
+func getU16(b []byte) uint16 {
+	return uint16(b[0]) | uint16(b[1])<<8
+}

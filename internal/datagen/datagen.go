@@ -1,0 +1,260 @@
+// Package datagen generates the synthetic XML corpora the paper's
+// experiments use (§6.1): documents conforming to the two DTDs of Figure 6,
+// produced in the spirit of the IBM XML data generator the authors ran.
+//
+//	departments → department+              conferences → conference+
+//	department  → (name, email?, employee+) conference  → paper+
+//	employee    → (name, email?, employee*) paper       → (title, author+)
+//
+// The Department DTD recurses on employee, yielding the "highly nested"
+// ancestor sets of the employee-vs-name experiments; the Conference DTD is
+// flat, yielding the "less nested" paper-vs-author sets. A third generator
+// produces forests with a direct nesting-depth knob for the §3.3 stab-list
+// size study (our stand-in for the XMach/XMark corpora).
+//
+// All generators are deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xrtree/internal/xmldoc"
+)
+
+// DeptConfig parameterizes the Department DTD generator.
+type DeptConfig struct {
+	Seed        int64
+	DocID       uint32
+	Departments int     // number of department elements; default 10
+	Employees   int     // top-level employees per department (mean); default 20
+	NestProb    float64 // probability an employee has sub-employees; default 0.4
+	SubMean     int     // mean sub-employees when nesting; default 3
+	MaxDepth    int     // maximum employee nesting depth; default 12
+	EmailProb   float64 // probability of the optional email; default 0.5
+	PositionGap uint32  // region numbering gap, as in Figure 1; default 2
+}
+
+func (c *DeptConfig) defaults() {
+	if c.Departments <= 0 {
+		c.Departments = 10
+	}
+	if c.Employees <= 0 {
+		c.Employees = 20
+	}
+	if c.NestProb <= 0 {
+		c.NestProb = 0.4
+	}
+	if c.SubMean <= 0 {
+		c.SubMean = 3
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.EmailProb <= 0 {
+		c.EmailProb = 0.5
+	}
+	if c.PositionGap == 0 {
+		c.PositionGap = 2
+	}
+}
+
+// Department generates a document conforming to the Department DTD of
+// Figure 6(a).
+func Department(cfg DeptConfig) (*xmldoc.Document, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := xmldoc.NewBuilder(cfg.DocID, cfg.PositionGap)
+	b.Open("departments")
+	var employee func(depth int)
+	employee = func(depth int) {
+		b.Open("employee")
+		b.Leaf("name")
+		if rng.Float64() < cfg.EmailProb {
+			b.Leaf("email")
+		}
+		if depth < cfg.MaxDepth && rng.Float64() < cfg.NestProb {
+			n := 1 + rng.Intn(2*cfg.SubMean-1)
+			for i := 0; i < n; i++ {
+				employee(depth + 1)
+			}
+		}
+		b.Close()
+	}
+	for d := 0; d < cfg.Departments; d++ {
+		b.Open("department")
+		b.Leaf("name")
+		if rng.Float64() < cfg.EmailProb {
+			b.Leaf("email")
+		}
+		n := 1 + rng.Intn(2*cfg.Employees-1)
+		for i := 0; i < n; i++ {
+			employee(1)
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.Document()
+}
+
+// ConfConfig parameterizes the Conference DTD generator.
+type ConfConfig struct {
+	Seed        int64
+	DocID       uint32
+	Conferences int    // number of conference elements; default 20
+	Papers      int    // papers per conference (mean); default 30
+	Authors     int    // authors per paper (mean); default 3
+	PositionGap uint32 // region numbering gap, as in Figure 1; default 2
+}
+
+func (c *ConfConfig) defaults() {
+	if c.Conferences <= 0 {
+		c.Conferences = 20
+	}
+	if c.Papers <= 0 {
+		c.Papers = 30
+	}
+	if c.Authors <= 0 {
+		c.Authors = 3
+	}
+	if c.PositionGap == 0 {
+		c.PositionGap = 2
+	}
+}
+
+// Conference generates a document conforming to the Conference DTD of
+// Figure 6(b): paper elements never nest, making the ancestor set flat.
+func Conference(cfg ConfConfig) (*xmldoc.Document, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := xmldoc.NewBuilder(cfg.DocID, cfg.PositionGap)
+	b.Open("conferences")
+	for c := 0; c < cfg.Conferences; c++ {
+		b.Open("conference")
+		np := 1 + rng.Intn(2*cfg.Papers-1)
+		for p := 0; p < np; p++ {
+			b.Open("paper")
+			b.Leaf("title")
+			na := 1 + rng.Intn(2*cfg.Authors-1)
+			for a := 0; a < na; a++ {
+				b.Leaf("author")
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.Document()
+}
+
+// NestedConfig parameterizes the generic nested-forest generator used by
+// the §3.3 stab-list size study.
+type NestedConfig struct {
+	Seed     int64
+	DocID    uint32
+	Elements int     // approximate element count under the root; default 1000
+	MaxDepth int     // maximum nesting depth; default 10
+	Fanout   int     // mean children per element; default 3
+	DeepBias float64 // probability of continuing downward; default 0.5
+	Tag      string  // tag for generated elements; default "item"
+	// PositionGap is the region numbering gap; real region encoders leave
+	// gaps (the paper's Figure 1 does) so separators that stab nothing
+	// exist. Default 2.
+	PositionGap uint32
+}
+
+func (c *NestedConfig) defaults() {
+	if c.Elements <= 0 {
+		c.Elements = 1000
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 10
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 3
+	}
+	if c.DeepBias <= 0 {
+		c.DeepBias = 0.5
+	}
+	if c.Tag == "" {
+		c.Tag = "item"
+	}
+	if c.PositionGap == 0 {
+		c.PositionGap = 2
+	}
+}
+
+// Nested generates a forest of identically tagged elements with the given
+// maximum nesting depth — the knob the stab-list size bound S_max = 2·h_d
+// depends on.
+func Nested(cfg NestedConfig) (*xmldoc.Document, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := xmldoc.NewBuilder(cfg.DocID, cfg.PositionGap)
+	b.Open("root")
+	count := 0
+	var build func(depth int)
+	build = func(depth int) {
+		count++
+		b.Open(cfg.Tag)
+		if depth < cfg.MaxDepth && rng.Float64() < cfg.DeepBias {
+			n := 1 + rng.Intn(2*cfg.Fanout-1)
+			for i := 0; i < n && count < cfg.Elements; i++ {
+				build(depth + 1)
+			}
+		}
+		b.Close()
+	}
+	for count < cfg.Elements {
+		build(1)
+	}
+	b.Close()
+	return b.Document()
+}
+
+// Corpus names a generated document together with the tag pair its join
+// experiments use.
+type Corpus struct {
+	Name          string
+	Doc           *xmldoc.Document
+	AncestorTag   string
+	DescendantTag string
+}
+
+// PaperCorpora generates the two corpora of §6.1 — employee vs name
+// (highly nested) and paper vs author (less nested) — scaled by the given
+// factor (1.0 reproduces the defaults used by the benchmark harness).
+func PaperCorpora(seed int64, scale float64) ([]Corpus, error) {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	mul := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	dept, err := Department(DeptConfig{
+		Seed:        seed,
+		DocID:       1,
+		Departments: mul(40),
+		Employees:   mul(25),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("datagen: department corpus: %w", err)
+	}
+	conf, err := Conference(ConfConfig{
+		Seed:        seed + 1,
+		DocID:       2,
+		Conferences: mul(60),
+		Papers:      mul(40),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("datagen: conference corpus: %w", err)
+	}
+	return []Corpus{
+		{Name: "employee vs name", Doc: dept, AncestorTag: "employee", DescendantTag: "name"},
+		{Name: "paper vs author", Doc: conf, AncestorTag: "paper", DescendantTag: "author"},
+	}, nil
+}

@@ -1,0 +1,202 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"xrtree/internal/xmldoc"
+)
+
+func TestDepartmentConformsToDTD(t *testing.T) {
+	doc, err := Department(DeptConfig{Seed: 1, DocID: 1, Departments: 5, Employees: 8})
+	if err != nil {
+		t.Fatalf("Department: %v", err)
+	}
+	if doc.Root.Tag != "departments" {
+		t.Fatalf("root = %q", doc.Root.Tag)
+	}
+	for _, dep := range doc.Root.Children {
+		if dep.Tag != "department" {
+			t.Fatalf("child of departments = %q", dep.Tag)
+		}
+		if len(dep.Children) == 0 || dep.Children[0].Tag != "name" {
+			t.Fatal("department must start with name")
+		}
+		emp := 0
+		for _, c := range dep.Children {
+			switch c.Tag {
+			case "name", "email":
+			case "employee":
+				emp++
+				checkEmployee(t, c)
+			default:
+				t.Fatalf("unexpected %q under department", c.Tag)
+			}
+		}
+		if emp == 0 {
+			t.Fatal("department has no employees")
+		}
+	}
+	if err := xmldoc.ValidateStrictNesting(doc.AllElements()); err != nil {
+		t.Fatalf("nesting: %v", err)
+	}
+}
+
+func checkEmployee(t *testing.T, n *xmldoc.Node) {
+	t.Helper()
+	if len(n.Children) == 0 || n.Children[0].Tag != "name" {
+		t.Fatal("employee must start with name")
+	}
+	for _, c := range n.Children {
+		switch c.Tag {
+		case "name", "email":
+		case "employee":
+			checkEmployee(t, c)
+		default:
+			t.Fatalf("unexpected %q under employee", c.Tag)
+		}
+	}
+}
+
+func TestDepartmentIsHighlyNested(t *testing.T) {
+	doc, err := Department(DeptConfig{Seed: 2, DocID: 1, Departments: 10, Employees: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emps := doc.ElementsByTag("employee")
+	maxLevel := uint16(0)
+	for _, e := range emps {
+		if e.Level > maxLevel {
+			maxLevel = e.Level
+		}
+	}
+	// employees start at level 3; nesting must go several levels deeper.
+	if maxLevel < 6 {
+		t.Errorf("max employee level = %d, want ≥ 6 (highly nested)", maxLevel)
+	}
+}
+
+func TestConferenceIsFlat(t *testing.T) {
+	doc, err := Conference(ConfConfig{Seed: 3, DocID: 2, Conferences: 10, Papers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	papers := doc.ElementsByTag("paper")
+	if len(papers) == 0 {
+		t.Fatal("no papers")
+	}
+	for _, p := range papers {
+		if p.Level != 3 {
+			t.Fatalf("paper at level %d, want 3 (flat)", p.Level)
+		}
+	}
+	// No paper nests in another.
+	for i := 1; i < len(papers); i++ {
+		if papers[i-1].IsAncestorOf(papers[i]) {
+			t.Fatal("papers nest; Conference DTD must be flat")
+		}
+	}
+	authors := doc.ElementsByTag("author")
+	if len(authors) == 0 {
+		t.Fatal("no authors")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, err := Department(DeptConfig{Seed: 7, DocID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Department(DeptConfig{Seed: 7, DocID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	a.WriteXML(&ba)
+	b.WriteXML(&bb)
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("same seed produced different documents")
+	}
+	c, err := Department(DeptConfig{Seed: 8, DocID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bc bytes.Buffer
+	c.WriteXML(&bc)
+	if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestNestedDepthBound(t *testing.T) {
+	for _, depth := range []int{1, 3, 10, 25} {
+		doc, err := Nested(NestedConfig{Seed: 5, DocID: 1, Elements: 500, MaxDepth: depth, DeepBias: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := doc.ElementsByTag("item")
+		maxLevel := 0
+		for _, e := range items {
+			if int(e.Level) > maxLevel {
+				maxLevel = int(e.Level)
+			}
+		}
+		// items start at level 2 under root; depth knob bounds them.
+		if maxLevel > depth+1 {
+			t.Errorf("MaxDepth=%d: item level %d exceeds bound", depth, maxLevel)
+		}
+		if depth >= 10 && maxLevel < 6 {
+			t.Errorf("MaxDepth=%d: deepest level only %d; DeepBias not effective", depth, maxLevel)
+		}
+	}
+}
+
+func TestPaperCorpora(t *testing.T) {
+	cs, err := PaperCorpora(1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d corpora", len(cs))
+	}
+	for _, c := range cs {
+		as := c.Doc.ElementsByTag(c.AncestorTag)
+		ds := c.Doc.ElementsByTag(c.DescendantTag)
+		if len(as) == 0 || len(ds) == 0 {
+			t.Errorf("%s: empty sets (%d, %d)", c.Name, len(as), len(ds))
+		}
+		if err := xmldoc.ValidateStrictNesting(c.Doc.AllElements()); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	if cs[0].Doc.DocID == cs[1].Doc.DocID {
+		t.Error("corpora share a DocID")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// The generated document, serialized and reparsed, must carry identical
+	// region codes — proving the Builder fast path equals the XML text path.
+	doc, err := Department(DeptConfig{Seed: 11, DocID: 4, Departments: 3, Employees: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := xmldoc.ParseString(buf.String(), xmldoc.ParseOptions{DocID: 4, PositionGap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := doc.AllElements()
+	got := re.AllElements()
+	if len(got) != len(want) {
+		t.Fatalf("element counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package elemlist
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"xrtree/internal/bufferpool"
+	"xrtree/internal/metrics"
+	"xrtree/internal/pagefile"
+	"xrtree/internal/xmldoc"
+)
+
+func newPool(t *testing.T, pageSize, frames int) *bufferpool.Pool {
+	t.Helper()
+	f := pagefile.NewMem(pagefile.Options{PageSize: pageSize})
+	t.Cleanup(func() { f.Close() })
+	p, err := bufferpool.New(f, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func nestedElements(n int) []xmldoc.Element {
+	// Simple nested chain plus siblings: valid strictly nested regions.
+	es := make([]xmldoc.Element, n)
+	for i := 0; i < n; i++ {
+		es[i] = xmldoc.Element{
+			DocID: 1,
+			Start: uint32(2*i + 1),
+			End:   uint32(2*n + 2 - 2*i), // wrong for siblings; just use disjoint instead
+		}
+	}
+	// Use disjoint regions: (2i+1, 2i+2).
+	for i := 0; i < n; i++ {
+		es[i] = xmldoc.Element{DocID: 1, Start: uint32(2*i + 1), End: uint32(2*i + 2), Level: 1, Ref: uint32(i)}
+	}
+	return es
+}
+
+func TestBuildAndScan(t *testing.T) {
+	pool := newPool(t, 256, 8)
+	es := nestedElements(100)
+	l, err := Build(pool, es)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if l.Len() != 100 {
+		t.Errorf("Len = %d, want 100", l.Len())
+	}
+	if l.Pages() < 2 {
+		t.Errorf("Pages = %d, want multi-page at 256B pages", l.Pages())
+	}
+	var c metrics.Counters
+	it := l.Scan(&c)
+	defer it.Close()
+	i := 0
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e != es[i] {
+			t.Fatalf("element %d = %+v, want %+v", i, e, es[i])
+		}
+		i++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	if i != 100 {
+		t.Errorf("scanned %d elements, want 100", i)
+	}
+	if c.ElementsScanned != 100 {
+		t.Errorf("ElementsScanned = %d, want 100", c.ElementsScanned)
+	}
+	if c.LeafReads != int64(l.Pages()) {
+		t.Errorf("LeafReads = %d, want %d", c.LeafReads, l.Pages())
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	pool := newPool(t, 256, 8)
+	if _, err := Build(pool, nil); !errors.Is(err, ErrEmptyList) {
+		t.Errorf("Build(nil) err = %v, want ErrEmptyList", err)
+	}
+	unsorted := []xmldoc.Element{{DocID: 1, Start: 5, End: 6}, {DocID: 1, Start: 1, End: 2}}
+	if _, err := Build(pool, unsorted); err == nil {
+		t.Error("Build accepted unsorted input")
+	}
+	mixed := []xmldoc.Element{{DocID: 1, Start: 1, End: 2}, {DocID: 2, Start: 5, End: 6}}
+	if _, err := Build(pool, mixed); err == nil {
+		t.Error("Build accepted mixed DocIDs")
+	}
+}
+
+func TestScanThroughTinyPool(t *testing.T) {
+	// Pool smaller than the list: iteration must still work (one pin at a time).
+	pool := newPool(t, 256, 2)
+	es := nestedElements(500)
+	l, err := Build(pool, es)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	it := l.Scan(nil)
+	defer it.Close()
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 500 || it.Err() != nil {
+		t.Errorf("scanned %d (err %v), want 500", n, it.Err())
+	}
+	if pool.PinnedCount() != 0 {
+		t.Errorf("PinnedCount = %d after full scan, want 0", pool.PinnedCount())
+	}
+}
+
+func TestCloseMidScanReleasesPin(t *testing.T) {
+	pool := newPool(t, 256, 4)
+	l, err := Build(pool, nestedElements(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Scan(nil)
+	if _, ok := it.Next(); !ok {
+		t.Fatal("Next failed")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if pool.PinnedCount() != 0 {
+		t.Errorf("PinnedCount = %d, want 0", pool.PinnedCount())
+	}
+}
+
+func TestSingleElementList(t *testing.T) {
+	pool := newPool(t, 256, 4)
+	es := []xmldoc.Element{{DocID: 3, Start: 10, End: 20, Level: 2, Ref: 7}}
+	l, err := Build(pool, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Scan(nil)
+	defer it.Close()
+	e, ok := it.Next()
+	if !ok || e != es[0] {
+		t.Errorf("got %+v,%v want %+v", e, ok, es[0])
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("Next past end returned true")
+	}
+	if l.DocID() != 3 {
+		t.Errorf("DocID = %d, want 3", l.DocID())
+	}
+}
+
+func TestLargeRandomizedList(t *testing.T) {
+	pool := newPool(t, 1024, 16)
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	es := make([]xmldoc.Element, n)
+	pos := uint32(0)
+	for i := range es {
+		pos += uint32(rng.Intn(5) + 1)
+		start := pos
+		pos += uint32(rng.Intn(5) + 1)
+		es[i] = xmldoc.Element{DocID: 1, Start: start, End: pos, Level: uint16(rng.Intn(30)), Ref: uint32(i)}
+	}
+	l, err := Build(pool, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Scan(nil)
+	defer it.Close()
+	for i := 0; ; i++ {
+		e, ok := it.Next()
+		if !ok {
+			if i != n {
+				t.Fatalf("ended at %d, want %d", i, n)
+			}
+			break
+		}
+		if e != es[i] {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package elemlist
+
+import (
+	"testing"
+
+	"xrtree/internal/metrics"
+	"xrtree/internal/xmldoc"
+)
+
+func TestPeekMatchesNext(t *testing.T) {
+	pool := newPool(t, 256, 8)
+	es := nestedElements(120)
+	l, err := Build(pool, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Scan(nil)
+	defer it.Close()
+	for i := 0; ; i++ {
+		p, pok := it.Peek()
+		n, nok := it.Next()
+		if pok != nok || (pok && p != n) {
+			t.Fatalf("element %d: Peek (%v,%v) != Next (%v,%v)", i, p, pok, n, nok)
+		}
+		if !nok {
+			break
+		}
+	}
+	if _, ok := it.Peek(); ok {
+		t.Error("Peek after end returned true")
+	}
+}
+
+func TestPeekDoesNotCountScans(t *testing.T) {
+	pool := newPool(t, 256, 8)
+	l, err := Build(pool, nestedElements(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &metrics.Counters{}
+	it := l.Scan(st)
+	defer it.Close()
+	for i := 0; i < 10; i++ {
+		it.Peek()
+	}
+	if st.ElementsScanned != 0 {
+		t.Errorf("Peek counted %d scans", st.ElementsScanned)
+	}
+	it.Next()
+	if st.ElementsScanned != 1 {
+		t.Errorf("Next counted %d scans, want 1", st.ElementsScanned)
+	}
+}
+
+func TestMarkRestore(t *testing.T) {
+	pool := newPool(t, 256, 8)
+	es := nestedElements(100)
+	l, err := Build(pool, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Scan(nil)
+	defer it.Close()
+	// Consume 30, mark, consume 40 more, restore, and re-read.
+	for i := 0; i < 30; i++ {
+		if _, ok := it.Next(); !ok {
+			t.Fatal("unexpected end")
+		}
+	}
+	mark := it.Mark()
+	var firstRun []xmldoc.Element
+	for i := 0; i < 40; i++ {
+		e, ok := it.Next()
+		if !ok {
+			t.Fatal("unexpected end")
+		}
+		firstRun = append(firstRun, e)
+	}
+	if err := it.Restore(mark); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		e, ok := it.Next()
+		if !ok || e != firstRun[i] {
+			t.Fatalf("replay %d: %v,%v want %v", i, e, ok, firstRun[i])
+		}
+	}
+	// Continue to the end: total must be 100.
+	rest := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		rest++
+	}
+	if 30+40+rest != 100 {
+		t.Errorf("total = %d, want 100", 30+40+rest)
+	}
+}
+
+func TestMarkAtStartAndEnd(t *testing.T) {
+	pool := newPool(t, 256, 8)
+	es := nestedElements(40)
+	l, err := Build(pool, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Scan(nil)
+	defer it.Close()
+	start := it.Mark()
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	end := it.Mark()
+	if err := it.Restore(start); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := it.Next()
+	if !ok || e != es[0] {
+		t.Fatalf("restore to start: %v,%v", e, ok)
+	}
+	if err := it.Restore(end); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("restore to end still yields elements")
+	}
+}

@@ -1,0 +1,289 @@
+package join
+
+import (
+	"xrtree/internal/metrics"
+	"xrtree/internal/xmldoc"
+)
+
+// StackTreeDesc runs the no-index baseline (Stack-Tree-Desc, [22]): a
+// single synchronized pass over both lists with a stack of open ancestors.
+// Every element of both inputs is scanned exactly once whether or not it
+// joins — the cost profile the "no-index" rows of Tables 2 and 3 show.
+func StackTreeDesc(mode Mode, a, d Source, emit EmitFunc, c *metrics.Counters) error {
+	defer startTimer(c)()
+	ai, err := a.Scan(c)
+	if err != nil {
+		return err
+	}
+	defer ai.Close()
+	di, err := d.Scan(c)
+	if err != nil {
+		return err
+	}
+	defer di.Close()
+
+	ca := newCursor(ai)
+	cd := newCursor(di)
+	var stack ancStack
+
+	for cd.valid && (ca.valid || !stack.empty()) {
+		if ca.valid && ca.cur.Start < cd.cur.Start {
+			stack.popNonAncestors(ca.cur.Start)
+			stack.push(ca.cur)
+			ca.advance()
+		} else {
+			stack.popNonAncestors(cd.cur.Start)
+			stack.emitAll(mode, cd.cur, emit, c)
+			cd.advance()
+		}
+	}
+	return firstErr(ca.err(), cd.err())
+}
+
+// MPMGJN runs the multi-predicate merge join of Zhang et al. [25]: for each
+// ancestor it rescans the descendant list from a slowly advancing mark, so
+// nested ancestors re-read the same descendants — the redundant I/O that
+// motivated the stack-based family. It requires rewindable scans, which the
+// plain paged lists provide.
+func MPMGJN(mode Mode, a Source, d MarkableSource, emit EmitFunc, c *metrics.Counters) error {
+	defer startTimer(c)()
+	ai, err := a.Scan(c)
+	if err != nil {
+		return err
+	}
+	defer ai.Close()
+	di, err := d.ScanMarkable(c)
+	if err != nil {
+		return err
+	}
+	defer di.Close()
+
+	mark := di.Mark()
+	ca := newCursor(ai)
+	for ca.valid {
+		av := ca.cur
+		if err := di.Restore(mark); err != nil {
+			return err
+		}
+		for {
+			dv, ok := di.Next()
+			if !ok {
+				break
+			}
+			if dv.Start <= av.Start {
+				// dv can never join a later ancestor either: advance the mark.
+				mark = di.Mark()
+				continue
+			}
+			if dv.Start >= av.End {
+				break
+			}
+			if matches(mode, av, dv) {
+				emit(av, dv)
+				if c != nil {
+					c.OutputPairs++
+				}
+			}
+		}
+		if di.Err() != nil {
+			return di.Err()
+		}
+		ca.advance()
+	}
+	return ca.err()
+}
+
+// BPlus runs Anc_Des_B+ of Chien et al. [8] over B+-tree indexed inputs:
+// descendants are skipped with range queries (seek to the current
+// ancestor's start) and a non-matching ancestor's whole subtree is skipped
+// by seeking past its end — the best a start-keyed B+-tree can do, which is
+// why it degenerates toward the no-index scan on flat ancestor sets
+// (Figure 7(b)).
+func BPlus(mode Mode, a, d Seeker, emit EmitFunc, c *metrics.Counters) error {
+	defer startTimer(c)()
+	ai, err := a.Scan(c)
+	if err != nil {
+		return err
+	}
+	di, err := d.Scan(c)
+	if err != nil {
+		ai.Close()
+		return err
+	}
+	ca := newCursor(ai)
+	cd := newCursor(di)
+	defer func() { ca.close(); cd.close() }()
+	var stack ancStack
+
+	for ca.valid && cd.valid {
+		stack.popNonAncestors(cd.cur.Start)
+		if ca.cur.Start < cd.cur.Start {
+			if cd.cur.Start < ca.cur.End {
+				// Current ancestor contains the current descendant.
+				stack.push(ca.cur)
+				ca.advance()
+			} else {
+				// No match: nothing inside ca can contain cd either; jump
+				// past ca's subtree in the ancestor list. The examined
+				// boundary element counts as scanned (its subtree does not),
+				// matching the paper's B+ accounting.
+				countScan(c, 1)
+				it, err := a.SeekGE(ca.cur.End+1, c)
+				if err != nil {
+					return err
+				}
+				if err := ca.replace(it); err != nil {
+					return err
+				}
+			}
+		} else {
+			if !stack.empty() {
+				stack.emitAll(mode, cd.cur, emit, c)
+				cd.advance()
+			} else {
+				// Skip descendants that precede every remaining ancestor;
+				// the examined boundary descendant counts as scanned.
+				countScan(c, 1)
+				it, err := d.SeekGE(ca.cur.Start+1, c)
+				if err != nil {
+					return err
+				}
+				if err := cd.replace(it); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	drainStack(mode, cd, &stack, emit, c)
+	return firstErr(ca.err(), cd.err())
+}
+
+func countScan(c *metrics.Counters, n int64) {
+	if c != nil {
+		c.ElementsScanned += n
+	}
+}
+
+// XRStack runs Algorithm 6 over XR-tree indexed inputs. When the ancestor
+// cursor falls behind the current descendant it calls FindAncestors to jump
+// directly to the descendant's ancestors — skipping every non-matching
+// ancestor in between, which the B+ algorithm cannot do — then advances the
+// ancestor cursor past the descendant's start (line 12). Descendant
+// skipping (line 19) is the same range query B+ uses.
+func XRStack(mode Mode, a AncestorSeeker, d Seeker, emit EmitFunc, c *metrics.Counters) error {
+	defer startTimer(c)()
+	ai, err := a.Scan(c)
+	if err != nil {
+		return err
+	}
+	di, err := d.Scan(c)
+	if err != nil {
+		ai.Close()
+		return err
+	}
+	ca := newCursor(ai)
+	cd := newCursor(di)
+	defer func() { ca.close(); cd.close() }()
+	var stack ancStack
+	var scratch []xmldoc.Element // reused across FindAncestors probes
+
+	for ca.valid && cd.valid {
+		// Line 5-7: pop stacked elements that are not ancestors of CurD.
+		stack.popNonAncestors(cd.cur.Start)
+		if ca.cur.Start < cd.cur.Start {
+			// Lines 9-13: fetch CurD's ancestors beyond the stack top, push
+			// them, report all pairs, and advance both cursors. Every
+			// ancestor not already stacked starts at or after CurA (earlier
+			// ones were pushed by previous FindAncestors calls or cannot
+			// contain CurD anymore), so the probe is bounded below by both
+			// the stack top and CurA — keeping its cost proportional to the
+			// new ancestors found, per Theorem 4.
+			minStart := stack.topStart()
+			if ca.cur.Start-1 > minStart {
+				minStart = ca.cur.Start - 1
+			}
+			anc, err := a.AppendAncestors(scratch[:0], cd.cur.Start, minStart, c)
+			if err != nil {
+				return err
+			}
+			scratch = anc
+			for _, e := range anc {
+				stack.push(e)
+			}
+			stack.emitAll(mode, cd.cur, emit, c)
+			// Line 12 seeks the first ancestor with start > CurD.start; we
+			// seek to ≥ so an element starting exactly at CurD.start (only
+			// possible in a self-join) stays visible as a future ancestor.
+			it, err := a.SeekGE(cd.cur.Start, c)
+			if err != nil {
+				return err
+			}
+			if err := ca.replace(it); err != nil {
+				return err
+			}
+			cd.advance()
+		} else {
+			if !stack.empty() {
+				// Lines 15-17: in-stack ancestors may join the following
+				// descendants, so advance D one element at a time.
+				stack.emitAll(mode, cd.cur, emit, c)
+				cd.advance()
+			} else {
+				// Line 19: skip descendants before CurA with a range query;
+				// the examined boundary descendant counts as scanned (same
+				// accounting as the B+ algorithm's descendant skip).
+				countScan(c, 1)
+				it, err := d.SeekGE(ca.cur.Start+1, c)
+				if err != nil {
+					return err
+				}
+				if err := cd.replace(it); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	drainStack(mode, cd, &stack, emit, c)
+	return firstErr(ca.err(), cd.err())
+}
+
+// drainStack finishes a join after the ancestor input is exhausted:
+// remaining descendants can only match already-stacked ancestors.
+func drainStack(mode Mode, cd *cursor, stack *ancStack, emit EmitFunc, c *metrics.Counters) {
+	for cd.valid && !stack.empty() {
+		stack.popNonAncestors(cd.cur.Start)
+		if stack.empty() {
+			return
+		}
+		stack.emitAll(mode, cd.cur, emit, c)
+		cd.advance()
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func startTimer(c *metrics.Counters) func() {
+	t := metrics.StartTimer(c)
+	return t.Stop
+}
+
+// Reference computes the join by brute force over in-memory slices — the
+// oracle the tests compare every algorithm against.
+func Reference(mode Mode, as, ds []xmldoc.Element) []Pair {
+	var out []Pair
+	for _, a := range as {
+		for _, d := range ds {
+			if a.Start < d.Start && d.Start < a.End && matches(mode, a, d) {
+				out = append(out, Pair{A: a, D: d})
+			}
+		}
+	}
+	return out
+}

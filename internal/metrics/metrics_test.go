@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddAccumulates(t *testing.T) {
+	a := Counters{ElementsScanned: 1, BufferMisses: 2, PhysicalReads: 3, Elapsed: time.Second}
+	b := Counters{ElementsScanned: 10, BufferHits: 5, OutputPairs: 7}
+	a.Add(&b)
+	if a.ElementsScanned != 11 || a.BufferMisses != 2 || a.BufferHits != 5 ||
+		a.OutputPairs != 7 || a.PhysicalReads != 3 || a.Elapsed != time.Second {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+	a.Add(nil) // must not panic
+}
+
+func TestReset(t *testing.T) {
+	c := Counters{ElementsScanned: 5, Elapsed: time.Minute}
+	c.Reset()
+	if c != (Counters{}) {
+		t.Errorf("Reset left %+v", c)
+	}
+}
+
+func TestPageAccesses(t *testing.T) {
+	c := Counters{BufferHits: 3, BufferMisses: 4}
+	if got := c.PageAccesses(); got != 7 {
+		t.Errorf("PageAccesses = %d, want 7", got)
+	}
+}
+
+func TestDerivedTime(t *testing.T) {
+	m := CostModel{PerMiss: time.Millisecond, PerScan: time.Microsecond}
+	c := Counters{BufferMisses: 10, ElementsScanned: 1000}
+	want := 10*time.Millisecond + 1000*time.Microsecond
+	if got := m.DerivedTime(&c); got != want {
+		t.Errorf("DerivedTime = %v, want %v", got, want)
+	}
+}
+
+func TestStringIncludesKeyFields(t *testing.T) {
+	c := Counters{ElementsScanned: 42, BufferMisses: 7, Elapsed: time.Second}
+	s := c.String()
+	for _, want := range []string{"scanned=42", "misses=7", "elapsed="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	zero := Counters{}
+	if strings.Contains(zero.String(), "elapsed=") {
+		t.Error("zero counters should omit elapsed")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var c Counters
+	tm := StartTimer(&c)
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	if c.Elapsed < time.Millisecond {
+		t.Errorf("Elapsed = %v, want ≥ 1ms", c.Elapsed)
+	}
+	// nil-safe
+	StartTimer(nil).Stop()
+}

@@ -1,0 +1,381 @@
+// Package pagefile implements the paged storage manager underneath every
+// index in this reproduction. A File is a flat array of fixed-size pages
+// addressed by PageID, backed either by an operating-system file or by an
+// in-memory store (for tests and benchmarks that want deterministic I/O
+// accounting without filesystem noise).
+//
+// The manager keeps a free list threaded through freed pages so space is
+// reused, and counts physical reads and writes so experiments can report
+// I/O exactly as the paper does.
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"xrtree/internal/metrics"
+)
+
+// PageID identifies a page within a File. Page 0 is the file header and is
+// never handed out; InvalidPage (0) therefore doubles as a nil pointer in
+// on-page structures.
+type PageID uint32
+
+// InvalidPage is the zero PageID, used as a nil page pointer on disk.
+const InvalidPage PageID = 0
+
+// DefaultPageSize is the page size used unless overridden; 4 KiB matches
+// common database pages and the scale the paper assumes.
+const DefaultPageSize = 4096
+
+// MinPageSize is the smallest supported page size. Small pages are useful
+// in tests to force deep trees and multi-page stab lists.
+const MinPageSize = 256
+
+const (
+	headerMagic   = 0x58525446 // "XRTF"
+	headerVersion = 1
+	// header layout: magic u32 | version u32 | pageSize u32 | pageCount u32 | freeHead u32
+	headerSize = 20
+)
+
+// Errors returned by the storage manager.
+var (
+	ErrPageOutOfRange = errors.New("pagefile: page id out of range")
+	ErrBadPageSize    = errors.New("pagefile: invalid page size")
+	ErrClosed         = errors.New("pagefile: file is closed")
+	ErrBadHeader      = errors.New("pagefile: bad or corrupt file header")
+)
+
+// backend abstracts the byte store so File can run over an OS file or RAM.
+type backend interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// memBackend is an in-memory backend used by NewMem.
+type memBackend struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+func (m *memBackend) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memBackend) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(m.buf)) {
+		grown := make([]byte, end)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	copy(m.buf[off:end], p)
+	return len(p), nil
+}
+
+func (m *memBackend) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size < int64(len(m.buf)) {
+		m.buf = m.buf[:size]
+	}
+	return nil
+}
+
+func (m *memBackend) Sync() error  { return nil }
+func (m *memBackend) Close() error { return nil }
+
+// File is a paged file. Methods are safe for concurrent use.
+type File struct {
+	mu       sync.Mutex
+	b        backend
+	pageSize int
+	closed   bool
+
+	// header state
+	pageCount uint32 // pages allocated, including header page 0
+	freeHead  PageID // head of the free-page list
+
+	stats metrics.Counters
+}
+
+// Options configures Create/Open.
+type Options struct {
+	// PageSize is the page size in bytes; DefaultPageSize if zero.
+	PageSize int
+}
+
+func (o Options) pageSize() (int, error) {
+	ps := o.PageSize
+	if ps == 0 {
+		ps = DefaultPageSize
+	}
+	if ps < MinPageSize || ps&(ps-1) != 0 {
+		return 0, fmt.Errorf("%w: %d (must be a power of two ≥ %d)", ErrBadPageSize, ps, MinPageSize)
+	}
+	return ps, nil
+}
+
+// Create creates a new paged file at path, truncating any existing file.
+func Create(path string, opts Options) (*File, error) {
+	ps, err := opts.pageSize()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagefile: create %s: %w", path, err)
+	}
+	pf := &File{b: f, pageSize: ps, pageCount: 1, freeHead: InvalidPage}
+	if err := pf.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return pf, nil
+}
+
+// Open opens an existing paged file created by Create.
+func Open(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagefile: open %s: %w", path, err)
+	}
+	pf := &File{b: f}
+	if err := pf.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return pf, nil
+}
+
+// NewMem creates an in-memory paged file. It never touches the filesystem
+// but is otherwise identical to a disk-backed file, including I/O counting.
+func NewMem(opts Options) *File {
+	ps, err := opts.pageSize()
+	if err != nil {
+		// Options misuse is a programming error in this codebase.
+		panic(err)
+	}
+	pf := &File{b: &memBackend{}, pageSize: ps, pageCount: 1, freeHead: InvalidPage}
+	if err := pf.writeHeader(); err != nil {
+		panic(err) // cannot fail for the memory backend
+	}
+	return pf
+}
+
+func (f *File) writeHeader() error {
+	buf := make([]byte, f.pageSize)
+	putU32(buf[0:], headerMagic)
+	putU32(buf[4:], headerVersion)
+	putU32(buf[8:], uint32(f.pageSize))
+	putU32(buf[12:], f.pageCount)
+	putU32(buf[16:], uint32(f.freeHead))
+	if _, err := f.b.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("pagefile: write header: %w", err)
+	}
+	return nil
+}
+
+func (f *File) readHeader() error {
+	buf := make([]byte, headerSize)
+	if _, err := io.ReadFull(readerAt{f.b, 0}, buf); err != nil {
+		return fmt.Errorf("pagefile: read header: %w", err)
+	}
+	if getU32(buf[0:]) != headerMagic || getU32(buf[4:]) != headerVersion {
+		return ErrBadHeader
+	}
+	ps := int(getU32(buf[8:]))
+	if ps < MinPageSize || ps&(ps-1) != 0 {
+		return ErrBadHeader
+	}
+	f.pageSize = ps
+	f.pageCount = getU32(buf[12:])
+	f.freeHead = PageID(getU32(buf[16:]))
+	if f.pageCount == 0 {
+		return ErrBadHeader
+	}
+	return nil
+}
+
+// readerAt adapts a backend to io.Reader at a fixed offset.
+type readerAt struct {
+	b   backend
+	off int64
+}
+
+func (r readerAt) Read(p []byte) (int, error) {
+	n, err := r.b.ReadAt(p, r.off)
+	return n, err
+}
+
+// PageSize returns the page size in bytes.
+func (f *File) PageSize() int { return f.pageSize }
+
+// NumPages returns the number of pages in the file including the header and
+// any freed pages.
+func (f *File) NumPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int(f.pageCount)
+}
+
+// Stats returns a snapshot of the physical I/O counters.
+func (f *File) Stats() metrics.Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// ResetStats zeroes the physical I/O counters.
+func (f *File) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Reset()
+}
+
+// Allocate returns a fresh page, reusing a freed page when available.
+// The page contents are undefined; callers must fully initialize it.
+func (f *File) Allocate() (PageID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return InvalidPage, ErrClosed
+	}
+	if f.freeHead != InvalidPage {
+		id := f.freeHead
+		// The first 4 bytes of a free page hold the next free page.
+		buf := make([]byte, 4)
+		if _, err := f.b.ReadAt(buf, int64(id)*int64(f.pageSize)); err != nil {
+			return InvalidPage, fmt.Errorf("pagefile: read free list: %w", err)
+		}
+		f.stats.PhysicalReads++
+		f.freeHead = PageID(getU32(buf))
+		return id, f.writeHeader()
+	}
+	id := PageID(f.pageCount)
+	f.pageCount++
+	// Extend the file so the page exists on disk.
+	zero := make([]byte, f.pageSize)
+	if _, err := f.b.WriteAt(zero, int64(id)*int64(f.pageSize)); err != nil {
+		f.pageCount--
+		return InvalidPage, fmt.Errorf("pagefile: extend: %w", err)
+	}
+	f.stats.PhysicalWrites++
+	return id, f.writeHeader()
+}
+
+// Free returns a page to the free list. Freeing the header page or an
+// out-of-range page is an error.
+func (f *File) Free(id PageID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || uint32(id) >= f.pageCount {
+		return fmt.Errorf("%w: free %d of %d", ErrPageOutOfRange, id, f.pageCount)
+	}
+	buf := make([]byte, 4)
+	putU32(buf, uint32(f.freeHead))
+	if _, err := f.b.WriteAt(buf, int64(id)*int64(f.pageSize)); err != nil {
+		return fmt.Errorf("pagefile: write free list: %w", err)
+	}
+	f.stats.PhysicalWrites++
+	f.freeHead = id
+	return f.writeHeader()
+}
+
+// ReadPage reads page id into dst, which must be exactly PageSize bytes.
+func (f *File) ReadPage(id PageID, dst []byte) error {
+	if len(dst) != f.pageSize {
+		return fmt.Errorf("pagefile: ReadPage buffer is %d bytes, want %d", len(dst), f.pageSize)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || uint32(id) >= f.pageCount {
+		return fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, f.pageCount)
+	}
+	if _, err := f.b.ReadAt(dst, int64(id)*int64(f.pageSize)); err != nil {
+		return fmt.Errorf("pagefile: read page %d: %w", id, err)
+	}
+	f.stats.PhysicalReads++
+	return nil
+}
+
+// WritePage writes src (exactly PageSize bytes) to page id.
+func (f *File) WritePage(id PageID, src []byte) error {
+	if len(src) != f.pageSize {
+		return fmt.Errorf("pagefile: WritePage buffer is %d bytes, want %d", len(src), f.pageSize)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || uint32(id) >= f.pageCount {
+		return fmt.Errorf("%w: write %d of %d", ErrPageOutOfRange, id, f.pageCount)
+	}
+	if _, err := f.b.WriteAt(src, int64(id)*int64(f.pageSize)); err != nil {
+		return fmt.Errorf("pagefile: write page %d: %w", id, err)
+	}
+	f.stats.PhysicalWrites++
+	return nil
+}
+
+// Sync flushes the backend to stable storage.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return f.b.Sync()
+}
+
+// Close flushes the header and closes the backend. Further operations fail
+// with ErrClosed.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if err := f.b.Sync(); err != nil {
+		f.b.Close()
+		return err
+	}
+	return f.b.Close()
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

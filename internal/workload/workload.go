@@ -1,0 +1,455 @@
+// Package workload derives the joining element sets of the paper's
+// performance study (§6). Starting from a base ancestor list A and
+// descendant list D extracted from a corpus, it manufactures inputs with
+// controlled join selectivity:
+//
+//   - VaryAncestorSelectivity (§6.2, Table 2 / Figure 8(a)(b)): descendants
+//     are removed until only the requested fraction of ancestors has at
+//     least one match, while ~99% of the remaining descendants match.
+//   - VaryDescendantSelectivity (§6.3, Table 3 / Figure 8(c)(d)): ancestors
+//     are removed until only the requested fraction of descendants has a
+//     match, while ~99% of the remaining ancestors match.
+//   - VaryBothSelectivity (§6.4, Figure 8(e)(f)): joined elements are
+//     removed from both sets and replaced by dummy elements that join
+//     nothing, keeping both list sizes unchanged.
+//
+// The constructions follow the paper's described methodology; achieved
+// selectivities are reported via Stats so the harness can print them.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"xrtree/internal/xmldoc"
+)
+
+// Sets is one derived workload: the two join inputs.
+type Sets struct {
+	A []xmldoc.Element
+	D []xmldoc.Element
+}
+
+// Stats describes the achieved join characteristics of a Sets.
+type Stats struct {
+	NumA, NumD         int
+	JoiningA, JoiningD int     // elements with at least one match
+	FracA, FracD       float64 // joining fractions
+	Pairs              int     // total result pairs
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("|A|=%d |D|=%d joinA=%.1f%% joinD=%.1f%% pairs=%d",
+		s.NumA, s.NumD, 100*s.FracA, 100*s.FracD, s.Pairs)
+}
+
+// Measure computes the achieved statistics of a workload by a sweep join.
+func Measure(s Sets) Stats {
+	chains := ancestorChains(s.A, s.D)
+	st := Stats{NumA: len(s.A), NumD: len(s.D)}
+	joinedA := make([]bool, len(s.A))
+	for _, chain := range chains {
+		if len(chain) > 0 {
+			st.JoiningD++
+		}
+		st.Pairs += len(chain)
+		for _, ai := range chain {
+			joinedA[ai] = true
+		}
+	}
+	for _, j := range joinedA {
+		if j {
+			st.JoiningA++
+		}
+	}
+	if st.NumA > 0 {
+		st.FracA = float64(st.JoiningA) / float64(st.NumA)
+	}
+	if st.NumD > 0 {
+		st.FracD = float64(st.JoiningD) / float64(st.NumD)
+	}
+	return st
+}
+
+// ancestorChains returns, for every element of D (by index), the indices of
+// its ancestors in A, outermost first. Both inputs must be start-sorted.
+// It runs one stack sweep over the merged lists.
+func ancestorChains(A, D []xmldoc.Element) [][]int {
+	chains := make([][]int, len(D))
+	var stack []int
+	ai, di := 0, 0
+	for di < len(D) {
+		if ai < len(A) && A[ai].Start < D[di].Start {
+			for len(stack) > 0 && A[stack[len(stack)-1]].End < A[ai].Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, ai)
+			ai++
+			continue
+		}
+		for len(stack) > 0 && A[stack[len(stack)-1]].End < D[di].Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			chains[di] = append([]int(nil), stack...)
+		}
+		di++
+	}
+	return chains
+}
+
+// dummyFactory mints elements that join nothing: disjoint unit regions
+// placed beyond every existing position.
+type dummyFactory struct {
+	pos   uint32
+	docID uint32
+	ref   uint32
+}
+
+func newDummyFactory(A, D []xmldoc.Element) *dummyFactory {
+	var max uint32
+	var docID uint32 = 1
+	for _, e := range A {
+		if e.End > max {
+			max = e.End
+		}
+		docID = e.DocID
+	}
+	for _, e := range D {
+		if e.End > max {
+			max = e.End
+		}
+	}
+	return &dummyFactory{pos: max + 10, docID: docID, ref: 1 << 30}
+}
+
+func (f *dummyFactory) next(level uint16) xmldoc.Element {
+	e := xmldoc.Element{DocID: f.docID, Start: f.pos, End: f.pos + 1, Level: level, Ref: f.ref}
+	f.pos += 3
+	f.ref++
+	return e
+}
+
+// VaryAncestorSelectivity builds the §6.2 workload: the ancestor list is
+// unchanged; the descendant list is reduced so that about pctA of the
+// ancestors join, with dJoinFrac (the paper uses 0.99) of the remaining
+// descendants joining.
+func VaryAncestorSelectivity(A, D []xmldoc.Element, pctA, dJoinFrac float64, seed int64) Sets {
+	chains := ancestorChains(A, D)
+	rng := rand.New(rand.NewSource(seed))
+	budget := int(pctA * float64(len(A)))
+
+	joined := make([]bool, len(A))
+	joinedCount := 0
+	keepD := make([]bool, len(D))
+	// Pass 1: admit descendants while their ancestor chains fit the budget.
+	for _, di := range rng.Perm(len(D)) {
+		chain := chains[di]
+		if len(chain) == 0 {
+			continue
+		}
+		fresh := 0
+		for _, ai := range chain {
+			if !joined[ai] {
+				fresh++
+			}
+		}
+		if joinedCount+fresh > budget {
+			continue
+		}
+		for _, ai := range chain {
+			if !joined[ai] {
+				joined[ai] = true
+				joinedCount++
+			}
+		}
+		keepD[di] = true
+	}
+	// Tiny budgets (1% of a small A) may admit nothing; keep the experiment
+	// meaningful by admitting the descendant with the shortest chain.
+	if joinedCount == 0 {
+		best := -1
+		for di, chain := range chains {
+			if len(chain) == 0 {
+				continue
+			}
+			if best < 0 || len(chain) < len(chains[best]) {
+				best = di
+			}
+		}
+		if best >= 0 {
+			for _, ai := range chains[best] {
+				if !joined[ai] {
+					joined[ai] = true
+					joinedCount++
+				}
+			}
+			keepD[best] = true
+		}
+	}
+	// Pass 2: admit any remaining descendant whose chain is fully joined.
+	for di, chain := range chains {
+		if keepD[di] || len(chain) == 0 {
+			continue
+		}
+		ok := true
+		for _, ai := range chain {
+			if !joined[ai] {
+				ok = false
+				break
+			}
+		}
+		keepD[di] = ok
+	}
+
+	var out []xmldoc.Element
+	joiningD := 0
+	var nonJoinPool []int
+	for di := range D {
+		if keepD[di] {
+			out = append(out, D[di])
+			joiningD++
+		} else if len(chains[di]) == 0 {
+			nonJoinPool = append(nonJoinPool, di)
+		}
+	}
+	// Mix in non-joining descendants to hit the requested join fraction.
+	needNonJoin := int(float64(joiningD)*(1-dJoinFrac)/dJoinFrac + 0.5)
+	rng.Shuffle(len(nonJoinPool), func(i, j int) {
+		nonJoinPool[i], nonJoinPool[j] = nonJoinPool[j], nonJoinPool[i]
+	})
+	factory := newDummyFactory(A, D)
+	for i := 0; i < needNonJoin; i++ {
+		if i < len(nonJoinPool) {
+			out = append(out, D[nonJoinPool[i]])
+		} else {
+			out = append(out, factory.next(3))
+		}
+	}
+	xmldoc.SortByStart(out)
+	return Sets{A: A, D: out}
+}
+
+// VaryDescendantSelectivity builds the §6.3 workload: the descendant list
+// is unchanged; the ancestor list is reduced so that about pctD of the
+// descendants join, with aJoinFrac (0.99 in the paper) of the remaining
+// ancestors joining.
+func VaryDescendantSelectivity(A, D []xmldoc.Element, pctD, aJoinFrac float64, seed int64) Sets {
+	chains := ancestorChains(A, D)
+	rng := rand.New(rand.NewSource(seed))
+	budget := int(pctD * float64(len(D)))
+
+	// Group ancestors into top-level subtrees: keeping a group makes all
+	// descendants under its root join.
+	group := make([]int, len(A)) // A index → group id
+	var groupRoots []int
+	for ai := range A {
+		if len(groupRoots) > 0 {
+			rootIdx := groupRoots[len(groupRoots)-1]
+			if A[rootIdx].Contains(A[ai]) {
+				group[ai] = len(groupRoots) - 1
+				continue
+			}
+		}
+		group[ai] = len(groupRoots)
+		groupRoots = append(groupRoots, ai)
+	}
+	// Descendants covered per group.
+	dsPerGroup := make([][]int, len(groupRoots))
+	for di, chain := range chains {
+		if len(chain) > 0 {
+			g := group[chain[0]]
+			dsPerGroup[g] = append(dsPerGroup[g], di)
+		}
+	}
+	keepGroup := make([]bool, len(groupRoots))
+	covered := 0
+	for _, g := range rng.Perm(len(groupRoots)) {
+		n := len(dsPerGroup[g])
+		if n == 0 || covered+n > budget {
+			continue
+		}
+		keepGroup[g] = true
+		covered += n
+	}
+	// If every group overshoots a tiny budget, keep the smallest non-empty
+	// group so the workload still has a join.
+	if covered == 0 {
+		best := -1
+		for g, ds := range dsPerGroup {
+			if len(ds) == 0 {
+				continue
+			}
+			if best < 0 || len(ds) < len(dsPerGroup[best]) {
+				best = g
+			}
+		}
+		if best >= 0 {
+			keepGroup[best] = true
+		}
+	}
+
+	// Ancestors of kept groups stay; those among them that join nothing
+	// count toward the 1% non-joining allowance.
+	joins := make([]bool, len(A))
+	for _, chain := range chains {
+		if len(chain) == 0 {
+			continue
+		}
+		if keepGroup[group[chain[0]]] {
+			for _, ai := range chain {
+				joins[ai] = true
+			}
+		}
+	}
+	var kept []xmldoc.Element
+	joiningA := 0
+	var nonJoiners []xmldoc.Element
+	for ai := range A {
+		if !keepGroup[group[ai]] {
+			continue
+		}
+		if joins[ai] {
+			kept = append(kept, A[ai])
+			joiningA++
+		} else {
+			nonJoiners = append(nonJoiners, A[ai])
+		}
+	}
+	needNonJoin := int(float64(joiningA)*(1-aJoinFrac)/aJoinFrac + 0.5)
+	factory := newDummyFactory(A, D)
+	for i := 0; i < needNonJoin; i++ {
+		if i < len(nonJoiners) {
+			kept = append(kept, nonJoiners[i])
+		} else {
+			kept = append(kept, factory.next(2))
+		}
+	}
+	xmldoc.SortByStart(kept)
+	return Sets{A: kept, D: D}
+}
+
+// VaryBothSelectivity builds the §6.4 workload: about pct of each list
+// joins, and both lists keep their original sizes — removed joined elements
+// are replaced with dummies that join nothing.
+func VaryBothSelectivity(A, D []xmldoc.Element, pct float64, seed int64) Sets {
+	chains := ancestorChains(A, D)
+	rng := rand.New(rand.NewSource(seed))
+	budgetA := int(pct * float64(len(A)))
+	budgetD := int(pct * float64(len(D)))
+
+	joined := make([]bool, len(A))
+	joinedCount := 0
+	keepD := make([]bool, len(D))
+	keptD := 0
+	for _, di := range rng.Perm(len(D)) {
+		if keptD >= budgetD {
+			break
+		}
+		chain := chains[di]
+		if len(chain) == 0 {
+			continue
+		}
+		fresh := 0
+		for _, ai := range chain {
+			if !joined[ai] {
+				fresh++
+			}
+		}
+		if joinedCount+fresh > budgetA {
+			continue
+		}
+		for _, ai := range chain {
+			if !joined[ai] {
+				joined[ai] = true
+				joinedCount++
+			}
+		}
+		keepD[di] = true
+		keptD++
+	}
+	// Keep at least one joining pair when the budgets round down to zero.
+	if keptD == 0 {
+		best := -1
+		for di, chain := range chains {
+			if len(chain) == 0 {
+				continue
+			}
+			if best < 0 || len(chain) < len(chains[best]) {
+				best = di
+			}
+		}
+		if best >= 0 {
+			for _, ai := range chains[best] {
+				if !joined[ai] {
+					joined[ai] = true
+					joinedCount++
+				}
+			}
+			keepD[best] = true
+			keptD++
+		}
+	}
+
+	var outA []xmldoc.Element
+	for ai := range A {
+		if joined[ai] {
+			outA = append(outA, A[ai])
+		}
+	}
+	var outD []xmldoc.Element
+	for di := range D {
+		if keepD[di] {
+			outD = append(outD, D[di])
+		}
+	}
+	// Pad both lists back to their original sizes with dummies that join
+	// nothing. Dummies are laid out in alternating chunks of ancestors and
+	// descendants across the position space, the way removed document
+	// structure leaves non-joining elements interleaved: runs of dummy
+	// descendants sit between dummy ancestors, so an algorithm that can
+	// range-skip descendants (B+, XR) benefits while one that cannot skip
+	// flat ancestors (B+) still pays for every dummy ancestor — the
+	// behavior Figure 8(e)(f) contrasts.
+	// Chunks span several 4 KiB pages (a page holds ~255 elements) so that
+	// skipping a run of dummies also skips whole pages — otherwise every
+	// algorithm touches every page and the I/O difference disappears.
+	factory := newDummyFactory(A, D)
+	const chunk = 2048
+	needA, needD := len(A)-len(outA), len(D)-len(outD)
+	for needA > 0 || needD > 0 {
+		for i := 0; i < chunk && needA > 0; i++ {
+			outA = append(outA, factory.next(2))
+			needA--
+		}
+		for i := 0; i < chunk && needD > 0; i++ {
+			outD = append(outD, factory.next(3))
+			needD--
+		}
+	}
+	xmldoc.SortByStart(outA)
+	xmldoc.SortByStart(outD)
+	return Sets{A: outA, D: outD}
+}
+
+// SelectivitySweep is the x-axis of the paper's §6 experiments.
+var SelectivitySweep = []float64{0.90, 0.70, 0.55, 0.40, 0.25, 0.15, 0.05, 0.01}
+
+// SweepLabels renders the sweep points the way the paper's tables do.
+func SweepLabels() []string {
+	labels := make([]string, len(SelectivitySweep))
+	for i, p := range SelectivitySweep {
+		labels[i] = fmt.Sprintf("%d%%", int(p*100+0.5))
+	}
+	return labels
+}
+
+// SortedCopy returns a start-sorted copy of es (workload outputs share
+// backing arrays with their inputs; callers that mutate should copy).
+func SortedCopy(es []xmldoc.Element) []xmldoc.Element {
+	out := append([]xmldoc.Element(nil), es...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

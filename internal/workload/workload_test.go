@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"xrtree/internal/datagen"
+	"xrtree/internal/xmldoc"
+)
+
+func baseSets(t *testing.T) (as, ds []xmldoc.Element) {
+	t.Helper()
+	doc, err := datagen.Department(datagen.DeptConfig{
+		Seed: 1, DocID: 1, Departments: 20, Employees: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.ElementsByTag("employee"), doc.ElementsByTag("name")
+}
+
+func flatSets(t *testing.T) (as, ds []xmldoc.Element) {
+	t.Helper()
+	doc, err := datagen.Conference(datagen.ConfConfig{
+		Seed: 2, DocID: 2, Conferences: 20, Papers: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.ElementsByTag("paper"), doc.ElementsByTag("author")
+}
+
+func checkSorted(t *testing.T, what string, es []xmldoc.Element) {
+	t.Helper()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Start >= es[i].Start {
+			t.Fatalf("%s: not sorted/unique at %d (%d, %d)", what, i, es[i-1].Start, es[i].Start)
+		}
+	}
+}
+
+func TestMeasureOnBaseSets(t *testing.T) {
+	as, ds := baseSets(t)
+	st := Measure(Sets{A: as, D: ds})
+	if st.NumA != len(as) || st.NumD != len(ds) {
+		t.Fatalf("sizes wrong: %+v", st)
+	}
+	// Every employee has a name child, so every ancestor joins; every name
+	// under an employee joins (department names do not).
+	if st.FracA < 0.99 {
+		t.Errorf("FracA = %.3f, want ≈ 1 (every employee has a name)", st.FracA)
+	}
+	if st.Pairs == 0 {
+		t.Error("no pairs")
+	}
+}
+
+func TestAncestorChainsAgainstBruteForce(t *testing.T) {
+	as, ds := baseSets(t)
+	if len(ds) > 300 {
+		ds = ds[:300]
+	}
+	chains := ancestorChains(as, ds)
+	for di, d := range ds {
+		var want []int
+		for ai, a := range as {
+			if a.Start < d.Start && d.Start < a.End {
+				want = append(want, ai)
+			}
+		}
+		got := chains[di]
+		if len(got) != len(want) {
+			t.Fatalf("d %d: chain size %d, want %d", di, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("d %d: chain[%d] = %d, want %d", di, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestVaryAncestorSelectivity(t *testing.T) {
+	for _, base := range []string{"nested", "flat"} {
+		var as, ds []xmldoc.Element
+		if base == "nested" {
+			as, ds = baseSets(t)
+		} else {
+			as, ds = flatSets(t)
+		}
+		for _, pct := range SelectivitySweep {
+			s := VaryAncestorSelectivity(as, ds, pct, 0.99, 7)
+			checkSorted(t, "A", s.A)
+			checkSorted(t, "D", s.D)
+			if len(s.A) != len(as) {
+				t.Errorf("%s pct %.2f: |A| changed (%d → %d)", base, pct, len(as), len(s.A))
+			}
+			st := Measure(s)
+			if math.Abs(st.FracA-pct) > 0.08 && float64(st.JoiningA) > 5 {
+				t.Errorf("%s: target ancestor selectivity %.2f, achieved %.3f (%+v)", base, pct, st.FracA, st)
+			}
+			if st.NumD > 50 && (st.FracD < 0.93 || st.FracD > 1.0) {
+				t.Errorf("%s pct %.2f: descendant join fraction %.3f, want ≈ 0.99", base, pct, st.FracD)
+			}
+		}
+	}
+}
+
+func TestVaryDescendantSelectivity(t *testing.T) {
+	as, ds := baseSets(t)
+	for _, pct := range SelectivitySweep {
+		s := VaryDescendantSelectivity(as, ds, pct, 0.99, 11)
+		checkSorted(t, "A", s.A)
+		checkSorted(t, "D", s.D)
+		if len(s.D) != len(ds) {
+			t.Errorf("pct %.2f: |D| changed (%d → %d)", pct, len(ds), len(s.D))
+		}
+		st := Measure(s)
+		if math.Abs(st.FracD-pct) > 0.08 && st.JoiningD > 5 {
+			t.Errorf("target descendant selectivity %.2f, achieved %.3f (%+v)", pct, st.FracD, st)
+		}
+		if st.NumA > 50 && st.FracA < 0.93 {
+			t.Errorf("pct %.2f: ancestor join fraction %.3f, want ≈ 0.99", pct, st.FracA)
+		}
+	}
+}
+
+func TestVaryBothSelectivity(t *testing.T) {
+	as, ds := baseSets(t)
+	for _, pct := range SelectivitySweep {
+		s := VaryBothSelectivity(as, ds, pct, 13)
+		checkSorted(t, "A", s.A)
+		checkSorted(t, "D", s.D)
+		if len(s.A) != len(as) || len(s.D) != len(ds) {
+			t.Errorf("pct %.2f: sizes changed (%d,%d) → (%d,%d)",
+				pct, len(as), len(ds), len(s.A), len(s.D))
+		}
+		st := Measure(s)
+		if math.Abs(st.FracA-pct) > 0.10 && st.JoiningA > 5 {
+			t.Errorf("pct %.2f: ancestor fraction %.3f", pct, st.FracA)
+		}
+		if math.Abs(st.FracD-pct) > 0.10 && st.JoiningD > 5 {
+			t.Errorf("pct %.2f: descendant fraction %.3f", pct, st.FracD)
+		}
+	}
+}
+
+func TestDummiesDoNotJoin(t *testing.T) {
+	as, ds := baseSets(t)
+	s := VaryBothSelectivity(as, ds, 0.05, 17)
+	st := Measure(s)
+	// With 5% selectivity, 95% of both lists are dummies or non-joiners.
+	if st.FracA > 0.15 || st.FracD > 0.15 {
+		t.Errorf("dummies appear to join: %+v", st)
+	}
+	// All dummies lie beyond the original maximum position.
+	var max uint32
+	for _, e := range as {
+		if e.End > max {
+			max = e.End
+		}
+	}
+	for _, e := range ds {
+		if e.End > max {
+			max = e.End
+		}
+	}
+	for _, e := range s.A {
+		if e.Start > max && e.End != e.Start+1 {
+			t.Errorf("dummy %v is not a unit region", e)
+		}
+	}
+}
+
+func TestSweepLabels(t *testing.T) {
+	labels := SweepLabels()
+	if len(labels) != len(SelectivitySweep) {
+		t.Fatal("label count mismatch")
+	}
+	if labels[0] != "90%" || labels[len(labels)-1] != "1%" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestSortedCopyDoesNotAlias(t *testing.T) {
+	as, _ := baseSets(t)
+	cp := SortedCopy(as)
+	if len(cp) != len(as) {
+		t.Fatal("length mismatch")
+	}
+	cp[0].Start = 999999
+	if as[0].Start == 999999 {
+		t.Error("SortedCopy aliases its input")
+	}
+}

@@ -1,0 +1,100 @@
+package xmldoc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const attrXML = `<emp id="7" dept="eng"><name lang="en">alice</name><emp id="8"><name>bob</name></emp></emp>`
+
+func TestIncludeAttributes(t *testing.T) {
+	doc, err := ParseString(attrXML, ParseOptions{DocID: 1, IncludeAttributes: true, KeepText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := doc.ElementsByTag("@id")
+	if len(ids) != 2 {
+		t.Fatalf("@id nodes = %d, want 2", len(ids))
+	}
+	depts := doc.ElementsByTag("@dept")
+	if len(depts) != 1 {
+		t.Fatalf("@dept nodes = %d", len(depts))
+	}
+	// Attribute node nests directly inside its owner.
+	emp := doc.ElementsByTag("emp")[0]
+	if !emp.IsParentOf(ids[0]) {
+		t.Errorf("emp %v is not parent of @id %v", emp, ids[0])
+	}
+	n, ok := doc.Node(ids[0].Ref)
+	if !ok || n.Text != "7" {
+		t.Errorf("@id value = %q", n.Text)
+	}
+	if err := ValidateStrictNesting(doc.AllElements()); err != nil {
+		t.Fatalf("nesting with attributes: %v", err)
+	}
+}
+
+func TestIncludeText(t *testing.T) {
+	doc, err := ParseString(attrXML, ParseOptions{DocID: 1, IncludeText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := doc.ElementsByTag("#text")
+	if len(texts) != 2 {
+		t.Fatalf("#text nodes = %d, want 2 (alice, bob)", len(texts))
+	}
+	n, ok := doc.Node(texts[0].Ref)
+	if !ok || n.Text != "alice" {
+		t.Errorf("first text node = %q", n.Text)
+	}
+	if err := ValidateStrictNesting(doc.AllElements()); err != nil {
+		t.Fatalf("nesting with text nodes: %v", err)
+	}
+	// Whitespace-only runs must not produce nodes.
+	doc2, err := ParseString("<a> <b/> </a>", ParseOptions{IncludeText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc2.ElementsByTag("#text"); len(got) != 0 {
+		t.Errorf("whitespace produced %d text nodes", len(got))
+	}
+}
+
+func TestAttributesRoundTripThroughWriteXML(t *testing.T) {
+	doc, err := ParseString(attrXML, ParseOptions{DocID: 1, IncludeAttributes: true, IncludeText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `id="7"`) || !strings.Contains(out, `dept="eng"`) {
+		t.Errorf("attributes missing from output: %s", out)
+	}
+	if !strings.Contains(out, "alice") || !strings.Contains(out, "bob") {
+		t.Errorf("text missing from output: %s", out)
+	}
+	re, err := ParseString(out, ParseOptions{DocID: 1, IncludeAttributes: true, IncludeText: true})
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if re.NumElements() != doc.NumElements() {
+		t.Errorf("round trip: %d elements, want %d", re.NumElements(), doc.NumElements())
+	}
+}
+
+func TestAttributesOffByDefault(t *testing.T) {
+	doc, err := ParseString(attrXML, ParseOptions{DocID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.ElementsByTag("@id"); len(got) != 0 {
+		t.Errorf("attributes materialized without opt-in: %d", len(got))
+	}
+	if got := doc.ElementsByTag("#text"); len(got) != 0 {
+		t.Errorf("text materialized without opt-in: %d", len(got))
+	}
+}

@@ -1,0 +1,374 @@
+package xmldoc
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Node is one element node of a parsed document tree.
+type Node struct {
+	Tag      string
+	Element  Element
+	Parent   *Node
+	Children []*Node
+	// Text holds the concatenated character data directly under this node.
+	Text string
+}
+
+// Document is a parsed, region-encoded XML document.
+type Document struct {
+	DocID uint32
+	Root  *Node
+	// nodes is the node list in document order; index = Element.Ref.
+	nodes []*Node
+	// byTag caches tag → elements extraction results.
+	byTag map[string][]Element
+	// maxPos is the largest position assigned.
+	maxPos Position
+}
+
+// ErrEmptyDocument is returned when parsing input with no root element.
+var ErrEmptyDocument = errors.New("xmldoc: document has no root element")
+
+// ParseOptions configures Parse.
+type ParseOptions struct {
+	// DocID is the document identifier stamped on every element.
+	DocID uint32
+	// PositionGap is the increment between consecutive assigned positions.
+	// The paper's Figure 1 leaves gaps (1,100 / 2,15 / …) so later
+	// insertions have room; a gap of 1 packs positions densely. Zero means 1.
+	PositionGap uint32
+	// KeepText retains character data on nodes (off by default: the join
+	// experiments only need structure).
+	KeepText bool
+	// IncludeAttributes materializes each attribute as a region-encoded
+	// child node tagged "@name", following the paper's tree model where
+	// "nodes represent elements, attributes and text data" (§2). Attribute
+	// nodes carry their value as Text and can participate in structural
+	// joins like any element.
+	IncludeAttributes bool
+	// IncludeText materializes each non-empty character-data run as a
+	// region-encoded child node tagged "#text" whose Text holds the data.
+	IncludeText bool
+}
+
+func (o ParseOptions) gap() uint32 {
+	if o.PositionGap == 0 {
+		return 1
+	}
+	return o.PositionGap
+}
+
+// Parse reads XML from r and region-encodes every element by depth-first
+// traversal, assigning a number at each visit (opening and closing tag)
+// exactly as §2.1 describes.
+func Parse(r io.Reader, opts ParseOptions) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	doc := &Document{DocID: opts.DocID, byTag: make(map[string][]Element)}
+	gap := opts.gap()
+	var pos Position
+	next := func() Position {
+		pos += gap
+		return pos
+	}
+	var stack []*Node
+	var textBuf strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{
+				Tag: t.Name.Local,
+				Element: Element{
+					DocID: opts.DocID,
+					Start: next(),
+					Level: uint16(len(stack) + 1),
+					Ref:   uint32(len(doc.nodes)),
+				},
+			}
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				n.Parent = parent
+				parent.Children = append(parent.Children, n)
+			} else if doc.Root == nil {
+				doc.Root = n
+			} else {
+				return nil, errors.New("xmldoc: multiple root elements")
+			}
+			doc.nodes = append(doc.nodes, n)
+			stack = append(stack, n)
+			if opts.IncludeAttributes {
+				for _, attr := range t.Attr {
+					a := &Node{
+						Tag:  "@" + attr.Name.Local,
+						Text: attr.Value,
+						Element: Element{
+							DocID: opts.DocID,
+							Start: next(),
+							Level: uint16(len(stack) + 1),
+							Ref:   uint32(len(doc.nodes)),
+						},
+						Parent: n,
+					}
+					a.Element.End = next()
+					n.Children = append(n.Children, a)
+					doc.nodes = append(doc.nodes, a)
+				}
+			}
+			textBuf.Reset()
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmldoc: unbalanced end element")
+			}
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n.Element.End = next()
+			if opts.KeepText && n.Text == "" {
+				n.Text = strings.TrimSpace(textBuf.String())
+			}
+			textBuf.Reset()
+		case xml.CharData:
+			if opts.IncludeText {
+				if txt := strings.TrimSpace(string(t)); txt != "" && len(stack) > 0 {
+					parent := stack[len(stack)-1]
+					tn := &Node{
+						Tag:  "#text",
+						Text: txt,
+						Element: Element{
+							DocID: opts.DocID,
+							Start: next(),
+							Level: uint16(len(stack) + 1),
+							Ref:   uint32(len(doc.nodes)),
+						},
+						Parent: parent,
+					}
+					tn.Element.End = next()
+					parent.Children = append(parent.Children, tn)
+					doc.nodes = append(doc.nodes, tn)
+				}
+			}
+			if opts.KeepText {
+				textBuf.Write(t)
+			}
+		}
+	}
+	if doc.Root == nil {
+		return nil, ErrEmptyDocument
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmldoc: unclosed elements at EOF")
+	}
+	doc.maxPos = pos
+	return doc, nil
+}
+
+// ParseString is Parse over a string, for tests and examples.
+func ParseString(s string, opts ParseOptions) (*Document, error) {
+	return Parse(strings.NewReader(s), opts)
+}
+
+// NumElements returns the number of element nodes in the document.
+func (d *Document) NumElements() int { return len(d.nodes) }
+
+// MaxPosition returns the largest region position assigned.
+func (d *Document) MaxPosition() Position { return d.maxPos }
+
+// Node returns the node with the given Ref (document-order ordinal).
+func (d *Document) Node(ref uint32) (*Node, bool) {
+	if int(ref) >= len(d.nodes) {
+		return nil, false
+	}
+	return d.nodes[ref], true
+}
+
+// ElementsByTag returns the start-sorted element set for one tag name —
+// the input lists a structural join consumes. The slice is cached and must
+// not be modified by callers.
+func (d *Document) ElementsByTag(tag string) []Element {
+	if es, ok := d.byTag[tag]; ok {
+		return es
+	}
+	var es []Element
+	for _, n := range d.nodes {
+		if n.Tag == tag {
+			es = append(es, n.Element)
+		}
+	}
+	// Document order already sorts by start, but be defensive.
+	SortByStart(es)
+	d.byTag[tag] = es
+	return es
+}
+
+// Tags returns the distinct tag names in the document, sorted.
+func (d *Document) Tags() []string {
+	seen := make(map[string]bool)
+	for _, n := range d.nodes {
+		seen[n.Tag] = true
+	}
+	tags := make([]string, 0, len(seen))
+	for t := range seen {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// AllElements returns every element in document (= start) order.
+func (d *Document) AllElements() []Element {
+	es := make([]Element, len(d.nodes))
+	for i, n := range d.nodes {
+		es[i] = n.Element
+	}
+	return es
+}
+
+// Builder constructs a document tree directly, bypassing XML text. The
+// synthetic data generator uses it to build large corpora quickly; tests
+// verify it agrees with Parse over the serialized form.
+type Builder struct {
+	doc   *Document
+	stack []*Node
+	pos   Position
+	gap   uint32
+	err   error
+}
+
+// NewBuilder returns a Builder for a new document.
+func NewBuilder(docID uint32, positionGap uint32) *Builder {
+	if positionGap == 0 {
+		positionGap = 1
+	}
+	return &Builder{
+		doc: &Document{DocID: docID, byTag: make(map[string][]Element)},
+		gap: positionGap,
+	}
+}
+
+// Open starts a new element with the given tag as a child of the current
+// element (or as the root).
+func (b *Builder) Open(tag string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.pos += b.gap
+	n := &Node{
+		Tag: tag,
+		Element: Element{
+			DocID: b.doc.DocID,
+			Start: b.pos,
+			Level: uint16(len(b.stack) + 1),
+			Ref:   uint32(len(b.doc.nodes)),
+		},
+	}
+	if len(b.stack) > 0 {
+		parent := b.stack[len(b.stack)-1]
+		n.Parent = parent
+		parent.Children = append(parent.Children, n)
+	} else if b.doc.Root == nil {
+		b.doc.Root = n
+	} else {
+		b.err = errors.New("xmldoc: builder: multiple root elements")
+		return b
+	}
+	b.doc.nodes = append(b.doc.nodes, n)
+	b.stack = append(b.stack, n)
+	return b
+}
+
+// Close ends the current element.
+func (b *Builder) Close() *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.stack) == 0 {
+		b.err = errors.New("xmldoc: builder: close with no open element")
+		return b
+	}
+	b.pos += b.gap
+	n := b.stack[len(b.stack)-1]
+	n.Element.End = b.pos
+	b.stack = b.stack[:len(b.stack)-1]
+	return b
+}
+
+// Leaf emits an element with no children (Open immediately followed by Close).
+func (b *Builder) Leaf(tag string) *Builder { return b.Open(tag).Close() }
+
+// Text sets the text of the currently open element.
+func (b *Builder) Text(s string) *Builder {
+	if b.err == nil && len(b.stack) > 0 {
+		b.stack[len(b.stack)-1].Text = s
+	}
+	return b
+}
+
+// Document finishes the build and returns the document.
+func (b *Builder) Document() (*Document, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.doc.Root == nil {
+		return nil, ErrEmptyDocument
+	}
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("xmldoc: builder: %d unclosed elements", len(b.stack))
+	}
+	b.doc.maxPos = b.pos
+	return b.doc, nil
+}
+
+// WriteXML serializes the document as XML text to w. Together with Parse it
+// round-trips the structure; tests use it to prove Builder ≡ Parse.
+// Attribute nodes ("@name") render as attributes of their parent's opening
+// tag and text nodes ("#text") as character data.
+func (d *Document) WriteXML(w io.Writer) error {
+	var write func(n *Node) error
+	write = func(n *Node) error {
+		if _, err := fmt.Fprintf(w, "<%s", n.Tag); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if strings.HasPrefix(c.Tag, "@") {
+				if _, err := fmt.Fprintf(w, " %s=%q", c.Tag[1:], c.Text); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := io.WriteString(w, ">"); err != nil {
+			return err
+		}
+		if n.Text != "" {
+			if err := xml.EscapeText(w, []byte(n.Text)); err != nil {
+				return err
+			}
+		}
+		for _, c := range n.Children {
+			switch {
+			case strings.HasPrefix(c.Tag, "@"):
+				// already rendered in the opening tag
+			case c.Tag == "#text":
+				if err := xml.EscapeText(w, []byte(c.Text)); err != nil {
+					return err
+				}
+			default:
+				if err := write(c); err != nil {
+					return err
+				}
+			}
+		}
+		_, err := fmt.Fprintf(w, "</%s>", n.Tag)
+		return err
+	}
+	return write(d.Root)
+}

@@ -1,0 +1,167 @@
+package xmldoc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the two alternative numbering schemes surveyed in
+// §2.1 of the paper alongside region encoding, with converters from a
+// parsed Document. They are not used by the XR-tree itself (which indexes
+// region codes) but are provided — and cross-checked in tests — because the
+// paper positions region encoding against them and downstream users may
+// hold data numbered either way.
+
+// DurableCode is the durable numbering scheme of Li & Moon / Chien et al.:
+// each element is numbered (order, size) and u is an ancestor of v iff
+// u.Order < v.Order < u.Order + u.Size.
+type DurableCode struct {
+	Order uint32
+	Size  uint32
+}
+
+// IsAncestorOf reports the ancestor relation under durable numbering.
+func (u DurableCode) IsAncestorOf(v DurableCode) bool {
+	return u.Order < v.Order && v.Order < u.Order+u.Size
+}
+
+// DietzCode is Dietz's numbering: (preorder, postorder) tree traversal
+// ranks. u is an ancestor of v iff u.Pre < v.Pre and v.Post < u.Post.
+type DietzCode struct {
+	Pre  uint32
+	Post uint32
+}
+
+// IsAncestorOf reports the ancestor relation under Dietz numbering.
+func (u DietzCode) IsAncestorOf(v DietzCode) bool {
+	return u.Pre < v.Pre && v.Post < u.Post
+}
+
+// DurableCodes assigns durable (order, size) codes to every element of d,
+// indexed by Element.Ref. Order is the preorder rank scaled by a gap of 1;
+// Size counts the descendants (so order+size bounds the subtree).
+func (d *Document) DurableCodes() []DurableCode {
+	codes := make([]DurableCode, len(d.nodes))
+	var order uint32
+	var walk func(n *Node) uint32 // returns subtree node count
+	walk = func(n *Node) uint32 {
+		order++
+		my := order
+		var count uint32 = 1
+		for _, c := range n.Children {
+			count += walk(c)
+		}
+		codes[n.Element.Ref] = DurableCode{Order: my, Size: count}
+		return count
+	}
+	if d.Root != nil {
+		walk(d.Root)
+	}
+	return codes
+}
+
+// DietzCodes assigns (preorder, postorder) codes to every element of d,
+// indexed by Element.Ref.
+func (d *Document) DietzCodes() []DietzCode {
+	codes := make([]DietzCode, len(d.nodes))
+	var pre, post uint32
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		pre++
+		codes[n.Element.Ref] = DietzCode{Pre: pre}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		post++
+		codes[n.Element.Ref].Post = post
+	}
+	if d.Root != nil {
+		walk(d.Root)
+	}
+	return codes
+}
+
+// FromDurable converts durably numbered elements to region-encoded ones so
+// data numbered with the (order, size) scheme can be indexed by an XR-tree
+// directly. Durable intervals are half-open ([order, order+size)), so
+// sibling intervals may touch; mapping onto a doubled axis —
+// Start = 2·order, End = 2·(order+size) − 1 — yields strict regions while
+// preserving the ancestor relation exactly:
+// u.order < v.order < u.order + u.size ⟺ u.Start < v.Start < u.End.
+// Levels are reconstructed by a stack sweep and Refs are assigned in
+// order. The input must describe a strictly nested forest sorted by Order;
+// ErrNotNested is returned otherwise.
+func FromDurable(docID uint32, codes []DurableCode) ([]Element, error) {
+	out := make([]Element, len(codes))
+	var stack []Element
+	for i, c := range codes {
+		if i > 0 && codes[i-1].Order >= c.Order {
+			return nil, fmt.Errorf("%w: orders not strictly increasing at %d", ErrNotNested, i)
+		}
+		if c.Size == 0 {
+			return nil, fmt.Errorf("%w: zero size at %d", ErrNotNested, i)
+		}
+		e := Element{DocID: docID, Start: 2 * c.Order, End: 2*(c.Order+c.Size) - 1, Ref: uint32(i)}
+		for len(stack) > 0 && stack[len(stack)-1].End < e.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if !top.Contains(e) {
+				return nil, fmt.Errorf("%w: %v and %v partially overlap", ErrNotNested, top, e)
+			}
+			e.Level = top.Level + 1
+		} else {
+			e.Level = 1
+		}
+		stack = append(stack, e)
+		out[i] = e
+	}
+	return out, nil
+}
+
+// FromDietz converts Dietz-numbered elements ((preorder, postorder) ranks)
+// to region-encoded ones. The regions are synthesized on a fresh position
+// axis — two numbers per element assigned during a stack sweep — such that
+// the ancestor relation is preserved exactly: u is an ancestor of v under
+// Dietz numbering iff the returned u.Start < v.Start < u.End. The input
+// must be sorted by Pre with distinct ranks; ErrNotNested otherwise.
+func FromDietz(docID uint32, codes []DietzCode) ([]Element, error) {
+	out := make([]Element, len(codes))
+	type open struct {
+		idx  int
+		post uint32
+	}
+	var stack []open
+	var pos Position
+	next := func() Position { pos++; return pos }
+	for i, c := range codes {
+		if i > 0 && codes[i-1].Pre >= c.Pre {
+			return nil, fmt.Errorf("%w: preorders not strictly increasing at %d", ErrNotNested, i)
+		}
+		// Close every open element that is not an ancestor of this one:
+		// ancestors have a larger postorder.
+		for len(stack) > 0 && stack[len(stack)-1].post < c.Post {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out[top.idx].End = next()
+		}
+		out[i] = Element{
+			DocID: docID,
+			Start: next(),
+			Level: uint16(len(stack) + 1),
+			Ref:   uint32(i),
+		}
+		stack = append(stack, open{idx: i, post: c.Post})
+	}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out[top.idx].End = next()
+	}
+	return out, nil
+}
+
+// ErrNotNested is returned by the numbering converters for input that does
+// not describe a strictly nested forest.
+var ErrNotNested = errors.New("xmldoc: input is not a strictly nested forest")

@@ -1,0 +1,146 @@
+package xmldoc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomDoc builds a random strictly nested document for converter tests.
+func randomDoc(t *testing.T, seed int64, n int) *Document {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(1, 1)
+	count := 0
+	var build func(depth int)
+	build = func(depth int) {
+		count++
+		b.Open("n")
+		kids := rng.Intn(3)
+		if depth > 7 {
+			kids = 0
+		}
+		for i := 0; i < kids && count < n; i++ {
+			build(depth + 1)
+		}
+		b.Close()
+	}
+	b.Open("root")
+	for count < n {
+		build(1)
+	}
+	b.Close()
+	doc, err := b.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestFromDurableRoundTrip(t *testing.T) {
+	doc := randomDoc(t, 5, 200)
+	dur := doc.DurableCodes()
+	// Durable codes are indexed by Ref = document order, which is also
+	// ascending Order, so they are already sorted.
+	els, err := FromDurable(9, dur)
+	if err != nil {
+		t.Fatalf("FromDurable: %v", err)
+	}
+	orig := doc.AllElements()
+	if len(els) != len(orig) {
+		t.Fatalf("length %d, want %d", len(els), len(orig))
+	}
+	if err := ValidateStrictNesting(els); err != nil {
+		t.Fatalf("converted elements not nested: %v", err)
+	}
+	for i := range orig {
+		for j := range orig {
+			if i == j {
+				continue
+			}
+			if orig[i].IsAncestorOf(orig[j]) != els[i].IsAncestorOf(els[j]) {
+				t.Fatalf("ancestor relation differs for pair (%d,%d)", i, j)
+			}
+		}
+	}
+	// Levels must be reconstructed identically.
+	for i := range orig {
+		if els[i].Level != orig[i].Level {
+			t.Fatalf("element %d level %d, want %d", i, els[i].Level, orig[i].Level)
+		}
+	}
+}
+
+func TestFromDietzRoundTrip(t *testing.T) {
+	doc := randomDoc(t, 7, 200)
+	dz := doc.DietzCodes()
+	els, err := FromDietz(9, dz)
+	if err != nil {
+		t.Fatalf("FromDietz: %v", err)
+	}
+	orig := doc.AllElements()
+	if err := ValidateStrictNesting(els); err != nil {
+		t.Fatalf("converted elements not nested: %v", err)
+	}
+	for i := range orig {
+		for j := range orig {
+			if i == j {
+				continue
+			}
+			if orig[i].IsAncestorOf(orig[j]) != els[i].IsAncestorOf(els[j]) {
+				t.Fatalf("ancestor relation differs for pair (%d,%d)", i, j)
+			}
+		}
+		if els[i].Level != orig[i].Level {
+			t.Fatalf("element %d level %d, want %d", i, els[i].Level, orig[i].Level)
+		}
+	}
+}
+
+func TestFromDurableErrors(t *testing.T) {
+	bad := []DurableCode{{Order: 5, Size: 2}, {Order: 5, Size: 1}}
+	if _, err := FromDurable(1, bad); !errors.Is(err, ErrNotNested) {
+		t.Errorf("unsorted orders: err = %v", err)
+	}
+	zero := []DurableCode{{Order: 1, Size: 0}}
+	if _, err := FromDurable(1, zero); !errors.Is(err, ErrNotNested) {
+		t.Errorf("zero size: err = %v", err)
+	}
+	overlap := []DurableCode{{Order: 1, Size: 5}, {Order: 4, Size: 10}}
+	if _, err := FromDurable(1, overlap); !errors.Is(err, ErrNotNested) {
+		t.Errorf("partial overlap: err = %v", err)
+	}
+	if els, err := FromDurable(1, nil); err != nil || len(els) != 0 {
+		t.Errorf("empty input: %v, %v", els, err)
+	}
+}
+
+func TestFromDietzErrors(t *testing.T) {
+	bad := []DietzCode{{Pre: 2, Post: 1}, {Pre: 2, Post: 2}}
+	if _, err := FromDietz(1, bad); !errors.Is(err, ErrNotNested) {
+		t.Errorf("unsorted preorders: err = %v", err)
+	}
+	if els, err := FromDietz(1, nil); err != nil || len(els) != 0 {
+		t.Errorf("empty input: %v, %v", els, err)
+	}
+}
+
+func TestFromDurableSingleAndChain(t *testing.T) {
+	// One element.
+	els, err := FromDurable(1, []DurableCode{{Order: 10, Size: 3}})
+	if err != nil || len(els) != 1 || els[0].Level != 1 {
+		t.Fatalf("single: %v, %v", els, err)
+	}
+	// A pure chain a ⊃ b ⊃ c.
+	chain := []DurableCode{{Order: 1, Size: 10}, {Order: 2, Size: 5}, {Order: 3, Size: 2}}
+	els, err = FromDurable(1, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if els[0].Level != 1 || els[1].Level != 2 || els[2].Level != 3 {
+		t.Errorf("chain levels: %v", els)
+	}
+	if !els[0].IsAncestorOf(els[2]) || !els[1].IsAncestorOf(els[2]) {
+		t.Error("chain ancestry broken")
+	}
+}

@@ -1,0 +1,345 @@
+package xmldoc
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperFigure1 builds the example document of the paper's Figure 1 with a
+// position gap chosen so the numbers land close to the figure's spirit
+// (exact figure values are hand-picked in the paper; what matters is the
+// nesting structure).
+const paperFigure1XML = `<dept>
+  <emp><name/><emp><emp/></emp></emp>
+  <emp><emp><emp/></emp><emp><name/><emp><emp/><emp/></emp></emp><name/></emp>
+  <emp><name/><emp/></emp>
+  <office/>
+</dept>`
+
+func TestParseAssignsNestedRegions(t *testing.T) {
+	doc, err := ParseString(paperFigure1XML, ParseOptions{DocID: 1})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if doc.Root.Tag != "dept" {
+		t.Fatalf("root tag = %q, want dept", doc.Root.Tag)
+	}
+	all := doc.AllElements()
+	if err := ValidateStrictNesting(all); err != nil {
+		t.Fatalf("nesting: %v", err)
+	}
+	root := doc.Root.Element
+	if root.Level != 1 {
+		t.Errorf("root level = %d, want 1", root.Level)
+	}
+	for _, e := range all[1:] {
+		if !root.IsAncestorOf(e) {
+			t.Errorf("root %v is not ancestor of %v", root, e)
+		}
+	}
+	emps := doc.ElementsByTag("emp")
+	if len(emps) != 12 {
+		t.Errorf("len(emp) = %d, want 12", len(emps))
+	}
+	names := doc.ElementsByTag("name")
+	if len(names) != 4 {
+		t.Errorf("len(name) = %d, want 4", len(names))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"unclosed", "<a><b></b>"},
+		{"garbage", "<a></b>"},
+		{"two roots", "<a/><b/>"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.in, ParseOptions{}); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestParseKeepText(t *testing.T) {
+	doc, err := ParseString("<a><b>hello</b></a>", ParseOptions{KeepText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.Root.Children[0]
+	if b.Text != "hello" {
+		t.Errorf("text = %q, want hello", b.Text)
+	}
+}
+
+func TestPositionGap(t *testing.T) {
+	doc, err := ParseString("<a><b/></a>", ParseOptions{PositionGap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := doc.Root.Element
+	b := doc.Root.Children[0].Element
+	if a.Start != 10 || b.Start != 20 || b.End != 30 || a.End != 40 {
+		t.Errorf("positions a=%v b=%v, want (10,40) and (20,30)", a, b)
+	}
+}
+
+func TestAncestorParentPredicates(t *testing.T) {
+	a := Element{DocID: 1, Start: 1, End: 100, Level: 1}
+	b := Element{DocID: 1, Start: 2, End: 15, Level: 2}
+	c := Element{DocID: 1, Start: 5, End: 6, Level: 3}
+	other := Element{DocID: 2, Start: 2, End: 15, Level: 2}
+
+	if !a.IsAncestorOf(b) || !a.IsAncestorOf(c) || !b.IsAncestorOf(c) {
+		t.Error("ancestor relations wrong")
+	}
+	if b.IsAncestorOf(a) || c.IsAncestorOf(a) {
+		t.Error("inverted ancestor relation")
+	}
+	if a.IsAncestorOf(a) {
+		t.Error("element is its own ancestor")
+	}
+	if a.IsAncestorOf(other) {
+		t.Error("cross-document ancestor")
+	}
+	if !a.IsParentOf(b) || a.IsParentOf(c) || !b.IsParentOf(c) {
+		t.Error("parent relations wrong")
+	}
+}
+
+func TestStabs(t *testing.T) {
+	e := Element{Start: 10, End: 20}
+	for _, k := range []Position{10, 15, 20} {
+		if !e.Stabs(k) {
+			t.Errorf("Stabs(%d) = false, want true", k)
+		}
+	}
+	for _, k := range []Position{9, 21} {
+		if e.Stabs(k) {
+			t.Errorf("Stabs(%d) = true, want false", k)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	check := func(start, end uint32, level uint16, ref uint32, flags uint16) bool {
+		e := Element{Start: start, End: end, Level: level, Ref: ref}
+		var buf [EncodedSize]byte
+		e.Encode(buf[:], flags)
+		got, gotFlags := DecodeElement(buf[:])
+		return got.Start == start && got.End == end && got.Level == level &&
+			got.Ref == ref && gotFlags == flags
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderMatchesParse(t *testing.T) {
+	// Build a random tree, serialize, parse, and compare region codes.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		b := NewBuilder(7, 1)
+		var build func(depth int)
+		count := 0
+		build = func(depth int) {
+			count++
+			b.Open("n")
+			kids := rng.Intn(4)
+			if depth > 5 {
+				kids = 0
+			}
+			for i := 0; i < kids && count < 200; i++ {
+				build(depth + 1)
+			}
+			b.Close()
+		}
+		build(0)
+		doc, err := b.Document()
+		if err != nil {
+			t.Fatalf("Document: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := doc.WriteXML(&buf); err != nil {
+			t.Fatalf("WriteXML: %v", err)
+		}
+		parsed, err := ParseString(buf.String(), ParseOptions{DocID: 7})
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		want := doc.AllElements()
+		got := parsed.AllElements()
+		if len(want) != len(got) {
+			t.Fatalf("element counts differ: built %d, parsed %d", len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("element %d: built %+v, parsed %+v", i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder(1, 1).Open("a").Document(); err == nil {
+		t.Error("unclosed element accepted")
+	}
+	if _, err := NewBuilder(1, 1).Document(); err == nil {
+		t.Error("empty document accepted")
+	}
+	b := NewBuilder(1, 1)
+	b.Open("a").Close()
+	b.Open("b") // second root
+	if _, err := b.Document(); err == nil {
+		t.Error("multiple roots accepted")
+	}
+	if _, err := func() (*Document, error) {
+		b := NewBuilder(1, 1)
+		b.Close()
+		return b.Document()
+	}(); err == nil {
+		t.Error("close without open accepted")
+	}
+}
+
+func TestValidateStrictNesting(t *testing.T) {
+	good := []Element{{Start: 1, End: 100}, {Start: 2, End: 15}, {Start: 5, End: 6}, {Start: 20, End: 75}}
+	if err := ValidateStrictNesting(good); err != nil {
+		t.Errorf("valid list rejected: %v", err)
+	}
+	overlap := []Element{{Start: 1, End: 10}, {Start: 5, End: 20}}
+	if err := ValidateStrictNesting(overlap); err == nil {
+		t.Error("partially overlapping regions accepted")
+	}
+	unsorted := []Element{{Start: 5, End: 6}, {Start: 1, End: 100}}
+	if err := ValidateStrictNesting(unsorted); err == nil {
+		t.Error("unsorted list accepted")
+	}
+	degenerate := []Element{{Start: 5, End: 5}}
+	if err := ValidateStrictNesting(degenerate); err == nil {
+		t.Error("degenerate region accepted")
+	}
+}
+
+func TestNumberingSchemesAgree(t *testing.T) {
+	// Property: for every pair of elements in a random document, the
+	// ancestor relation is identical under region, durable, and Dietz
+	// numbering.
+	rng := rand.New(rand.NewSource(99))
+	b := NewBuilder(1, 1)
+	count := 0
+	var build func(depth int)
+	build = func(depth int) {
+		count++
+		b.Open("n")
+		kids := rng.Intn(3)
+		if depth > 6 {
+			kids = 0
+		}
+		for i := 0; i < kids && count < 120; i++ {
+			build(depth + 1)
+		}
+		b.Close()
+	}
+	build(0)
+	doc, err := b.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := doc.AllElements()
+	dur := doc.DurableCodes()
+	dietz := doc.DietzCodes()
+	for i := range es {
+		for j := range es {
+			if i == j {
+				continue
+			}
+			r := es[i].IsAncestorOf(es[j])
+			d := dur[es[i].Ref].IsAncestorOf(dur[es[j].Ref])
+			z := dietz[es[i].Ref].IsAncestorOf(dietz[es[j].Ref])
+			if r != d || r != z {
+				t.Fatalf("schemes disagree for %v vs %v: region=%v durable=%v dietz=%v",
+					es[i], es[j], r, d, z)
+			}
+		}
+	}
+}
+
+func TestElementsByTagSortedAndCached(t *testing.T) {
+	doc, err := ParseString(paperFigure1XML, ParseOptions{DocID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emps := doc.ElementsByTag("emp")
+	for i := 1; i < len(emps); i++ {
+		if emps[i-1].Start >= emps[i].Start {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	again := doc.ElementsByTag("emp")
+	if &again[0] != &emps[0] {
+		t.Error("ElementsByTag did not cache")
+	}
+	if got := doc.ElementsByTag("nosuch"); len(got) != 0 {
+		t.Errorf("unknown tag returned %d elements", len(got))
+	}
+}
+
+func TestTags(t *testing.T) {
+	doc, err := ParseString(paperFigure1XML, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := doc.Tags()
+	want := []string{"dept", "emp", "name", "office"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Tags = %v, want %v", got, want)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	doc, err := ParseString("<a><b/></a>", ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := doc.Node(1)
+	if !ok || n.Tag != "b" {
+		t.Errorf("Node(1) = %v,%v", n, ok)
+	}
+	if _, ok := doc.Node(99); ok {
+		t.Error("Node(99) found")
+	}
+	if n.Parent == nil || n.Parent.Tag != "a" {
+		t.Error("parent link broken")
+	}
+}
+
+func TestWriteXMLEscapesText(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.Open("a").Text("x<y&z").Close()
+	doc, err := b.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "x<y") {
+		t.Errorf("unescaped text in output: %s", out)
+	}
+	re, err := ParseString(out, ParseOptions{KeepText: true})
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if re.Root.Text != "x<y&z" {
+		t.Errorf("round-tripped text = %q", re.Root.Text)
+	}
+}

@@ -1,0 +1,187 @@
+package xrtree_test
+
+import (
+	"strings"
+	"testing"
+
+	"xrtree"
+	"xrtree/internal/datagen"
+	"xrtree/internal/pathexpr"
+)
+
+const queryXML = `
+<departments>
+  <department><name>eng</name>
+    <employee><name>alice</name>
+      <employee><name>bob</name><email/></employee>
+    </employee>
+    <employee><name>carol</name></employee>
+  </department>
+  <department><name>ops</name>
+    <employee><name>dave</name></employee>
+  </department>
+</departments>`
+
+func indexedDoc(t *testing.T, xml string) *xrtree.IndexedDocument {
+	t.Helper()
+	doc, err := xrtree.ParseXML(strings.NewReader(xml), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := xrtree.NewMemStore(xrtree.StoreOptions{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store.IndexDocument(doc)
+}
+
+func TestQueryPathExpressions(t *testing.T) {
+	idx := indexedDoc(t, queryXML)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"employee//name", 4},         // names under any employee
+		{"employee/name", 4},          // all four are direct children
+		{"department/name", 2},        // department names only
+		{"department//name", 6},       // all names below departments
+		{"employee//employee", 1},     // only bob's employee is nested
+		{"employee/employee/name", 1}, // bob's name
+		{"departments//employee/email", 1},
+		{"department/employee/email", 0}, // email is one level deeper
+		{"nosuch//name", 0},
+		{"employee//nosuch", 0},
+	}
+	for _, tc := range cases {
+		var st xrtree.Stats
+		got, err := idx.Query(tc.expr, &st)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", tc.expr, err)
+		}
+		if len(got) != tc.want {
+			t.Errorf("Query(%q) = %d results, want %d (%v)", tc.expr, len(got), tc.want, got)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Start >= got[i].Start {
+				t.Errorf("Query(%q): results not sorted", tc.expr)
+			}
+		}
+	}
+}
+
+func TestQueryNodesResolvesText(t *testing.T) {
+	doc, err := xrtree.ParseXML(strings.NewReader(queryXML), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = doc
+	// Re-parse keeping text so nodes carry names.
+	idx := indexedDoc(t, queryXML)
+	nodes, err := idx.QueryNodes("employee/employee/name", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Tag != "name" {
+		t.Fatalf("QueryNodes = %v", nodes)
+	}
+	if nodes[0].Parent == nil || nodes[0].Parent.Tag != "employee" {
+		t.Error("node parent link broken")
+	}
+}
+
+func TestQueryParseErrors(t *testing.T) {
+	idx := indexedDoc(t, queryXML)
+	for _, expr := range []string{"", "a//", "a b", "///"} {
+		if _, err := idx.Query(expr, nil); err == nil {
+			t.Errorf("Query(%q) succeeded, want parse error", expr)
+		}
+	}
+}
+
+func TestQueryMatchesReferenceOnCorpus(t *testing.T) {
+	corpus, err := datagen.Department(datagen.DeptConfig{Seed: 9, DocID: 1, Departments: 6, Employees: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := xrtree.NewMemStore(xrtree.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	idx := store.IndexDocument(corpus)
+	for _, expr := range []string{
+		"department//name",
+		"employee/employee//name",
+		"departments/department/employee",
+		"employee//email",
+	} {
+		got, err := idx.Query(expr, nil)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", expr, err)
+		}
+		p, err := pathexpr.Parse(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pathexpr.Reference(p, corpus)
+		if len(got) != len(want) {
+			t.Fatalf("Query(%q) = %d results, reference %d", expr, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Start != want[i].Start {
+				t.Fatalf("Query(%q) result %d = %v, want %v", expr, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQueryAttributeAndTextSteps(t *testing.T) {
+	const xml = `<dept><emp id="7"><name>alice</name></emp><emp id="8"/><office id="x"/></dept>`
+	doc, err := xrtree.ParseXMLWithOptions(strings.NewReader(xml), xrtree.ParseOptions{
+		DocID: 1, IncludeAttributes: true, IncludeText: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := xrtree.NewMemStore(xrtree.StoreOptions{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	idx := store.IndexDocument(doc)
+
+	ids, err := idx.Query("emp/@id", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("emp/@id = %d results, want 2 (office's id excluded)", len(ids))
+	}
+	nodes, err := idx.QueryNodes("emp//name/#text", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Text != "alice" {
+		t.Fatalf("emp//name/#text = %v", nodes)
+	}
+}
+
+func TestIndexedDocumentCachesSets(t *testing.T) {
+	idx := indexedDoc(t, queryXML)
+	s1, err := idx.Set("employee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := idx.Set("employee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("Set rebuilt an already-indexed tag")
+	}
+	missing, err := idx.Set("nosuch")
+	if err != nil || missing != nil {
+		t.Errorf("Set(nosuch) = %v, %v", missing, err)
+	}
+}
