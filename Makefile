@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench examples experiments verify clean
+.PHONY: all build test race bench bench-json examples experiments verify clean
 
 all: build test
 
@@ -19,6 +19,12 @@ race:
 # One testing.B benchmark per paper table/figure; see bench_test.go.
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
+
+# Machine-readable benchmark report (schema xrtree-bench/1): all three
+# selectivity sweeps with phase breakdowns, event histograms, and skipping
+# effectiveness. BENCH_baseline.json in the repo is one committed run.
+bench-json:
+	$(GO) run ./cmd/xrbench -json BENCH_xrbench.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,151 @@
+package xrtree
+
+// Machine-readable benchmark output: BuildBenchReport runs the three §6
+// sweeps with observation enabled and flattens everything — run metadata,
+// the classic counters, derived and wall times, per-phase breakdowns,
+// event histograms, skipping effectiveness — into one JSON document with a
+// stable schema ("xrtree-bench/1"), so regression tooling can diff runs
+// without parsing the human tables.
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// BenchSchema identifies the report format; bump on incompatible change.
+const BenchSchema = "xrtree-bench/1"
+
+// BenchReport is the root of the JSON benchmark document.
+type BenchReport struct {
+	Schema      string       `json:"schema"`
+	CreatedAt   time.Time    `json:"created_at"`
+	GoVersion   string       `json:"go_version"`
+	Seed        int64        `json:"seed"`
+	Scale       float64      `json:"scale"`
+	PageSize    int          `json:"page_size"`
+	BufferPages int          `json:"buffer_pages"`
+	CostModel   CostModel    `json:"cost_model"`
+	Sweeps      []BenchSweep `json:"sweeps"`
+}
+
+// BenchSweep is one experiment (ancestor / descendant / both selectivity)
+// over one corpus.
+type BenchSweep struct {
+	Experiment string       `json:"experiment"`
+	Corpus     string       `json:"corpus"`
+	Points     []BenchPoint `json:"points"`
+}
+
+// BenchPoint is one x-axis point of a sweep.
+type BenchPoint struct {
+	Label      string     `json:"label"`
+	Target     float64    `json:"target"`
+	NumA       int        `json:"num_a"`
+	NumD       int        `json:"num_d"`
+	Pairs      int        `json:"pairs"`
+	Algorithms []BenchAlg `json:"algorithms"`
+}
+
+// BenchAlg is one algorithm's measurement at one point.
+type BenchAlg struct {
+	Alg               string         `json:"alg"`
+	ElementsScanned   int64          `json:"elements_scanned"`
+	OutputPairs       int64          `json:"output_pairs"`
+	IndexNodeReads    int64          `json:"index_node_reads"`
+	LeafReads         int64          `json:"leaf_reads"`
+	StabPageReads     int64          `json:"stab_page_reads"`
+	BufferHits        int64          `json:"buffer_hits"`
+	BufferMisses      int64          `json:"buffer_misses"`
+	PhysicalReads     int64          `json:"physical_reads"`
+	PhysicalWrites    int64          `json:"physical_writes"`
+	PageEvictions     int64          `json:"page_evictions"`
+	DerivedMS         float64        `json:"derived_ms"`
+	WallMS            float64        `json:"wall_ms"`
+	SkipEffectiveness float64        `json:"skip_effectiveness"`
+	Phases            *JoinPhases    `json:"phases,omitempty"`
+	Events            *TraceSnapshot `json:"events,omitempty"`
+}
+
+func benchAlg(r AlgResult) BenchAlg {
+	return BenchAlg{
+		Alg:               r.Alg.String(),
+		ElementsScanned:   r.Stats.ElementsScanned,
+		OutputPairs:       r.Stats.OutputPairs,
+		IndexNodeReads:    r.Stats.IndexNodeReads,
+		LeafReads:         r.Stats.LeafReads,
+		StabPageReads:     r.Stats.StabPageReads,
+		BufferHits:        r.Stats.BufferHits,
+		BufferMisses:      r.Stats.BufferMisses,
+		PhysicalReads:     r.Stats.PhysicalReads,
+		PhysicalWrites:    r.Stats.PhysicalWrites,
+		PageEvictions:     r.Stats.PageEvictions,
+		DerivedMS:         float64(r.Derived.Microseconds()) / 1000,
+		WallMS:            float64(r.Stats.Elapsed.Microseconds()) / 1000,
+		SkipEffectiveness: r.SkipEffectiveness,
+		Phases:            r.Phases,
+		Events:            r.Events,
+	}
+}
+
+func benchSweeps(experiment string, res []SweepResult) []BenchSweep {
+	var out []BenchSweep
+	for _, sr := range res {
+		bs := BenchSweep{Experiment: experiment, Corpus: sr.Corpus}
+		for _, p := range sr.Points {
+			bp := BenchPoint{
+				Label:  p.Label,
+				Target: p.Target,
+				NumA:   p.Workload.NumA,
+				NumD:   p.Workload.NumD,
+				Pairs:  p.Workload.Pairs,
+			}
+			for _, r := range p.Results {
+				bp.Algorithms = append(bp.Algorithms, benchAlg(r))
+			}
+			bs.Points = append(bs.Points, bp)
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
+// BuildBenchReport runs the ancestor-, descendant- and both-selectivity
+// sweeps with observation enabled and assembles the full report.
+func BuildBenchReport(cfg ExperimentConfig) (*BenchReport, error) {
+	cfg.defaults()
+	cfg.Observe = true
+	rep := &BenchReport{
+		Schema:      BenchSchema,
+		CreatedAt:   time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		Seed:        cfg.Seed,
+		Scale:       cfg.Scale,
+		PageSize:    cfg.PageSize,
+		BufferPages: cfg.BufferPages,
+		CostModel:   cfg.Model,
+	}
+	for _, exp := range []struct {
+		name string
+		run  func(ExperimentConfig) ([]SweepResult, error)
+	}{
+		{"ancestor-selectivity", RunAncestorSweep},
+		{"descendant-selectivity", RunDescendantSweep},
+		{"both-selectivity", RunBothSweep},
+	} {
+		res, err := exp.run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sweeps = append(rep.Sweeps, benchSweeps(exp.name, res)...)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

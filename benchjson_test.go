@@ -1,0 +1,68 @@
+package xrtree_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"xrtree"
+)
+
+// TestBenchReportRoundTrip builds a tiny report, serializes it, and parses
+// it back — the guarantee external tooling depends on.
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep, err := xrtree.BuildBenchReport(xrtree.ExperimentConfig{
+		Seed:  7,
+		Scale: 0.05,
+		Sweep: []float64{0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != xrtree.BenchSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Sweeps) == 0 {
+		t.Fatal("no sweeps in report")
+	}
+	experiments := map[string]bool{}
+	for _, sw := range rep.Sweeps {
+		experiments[sw.Experiment] = true
+		for _, p := range sw.Points {
+			if len(p.Algorithms) == 0 {
+				t.Fatalf("%s/%s point %s has no algorithms", sw.Experiment, sw.Corpus, p.Label)
+			}
+			for _, alg := range p.Algorithms {
+				if alg.Phases == nil || alg.Events == nil {
+					t.Errorf("%s %s: observability fields missing", sw.Experiment, alg.Alg)
+				}
+				if alg.OutputPairs != int64(p.Pairs) {
+					t.Errorf("%s %s: %d pairs, workload says %d", sw.Experiment, alg.Alg, alg.OutputPairs, p.Pairs)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"ancestor-selectivity", "descendant-selectivity", "both-selectivity"} {
+		if !experiments[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back xrtree.BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Schema != rep.Schema || back.Seed != rep.Seed || len(back.Sweeps) != len(rep.Sweeps) {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back.Schema, rep.Schema)
+	}
+	// Spot-check a nested numeric field survives.
+	a0 := rep.Sweeps[0].Points[0].Algorithms
+	b0 := back.Sweeps[0].Points[0].Algorithms
+	if len(a0) != len(b0) || a0[0].ElementsScanned != b0[0].ElementsScanned {
+		t.Error("nested algorithm data does not round-trip")
+	}
+}

@@ -17,6 +17,9 @@
 //
 //	xrbench -exp table2 -scale 1.0 -seed 1
 //	xrbench -exp table2 -csv out/   # also write plotting-friendly CSVs
+//	xrbench -json BENCH_xrbench.json  # machine-readable report of all
+//	                                  # three selectivity sweeps, with
+//	                                  # phase breakdowns and histograms
 package main
 
 import (
@@ -39,10 +42,25 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "corpus size multiplier")
 		buffers = flag.Int("buffers", 100, "buffer pool pages")
 		csvDir  = flag.String("csv", "", "also write each sweep as CSV files into this directory")
+		jsonOut = flag.String("json", "", "write the machine-readable benchmark report (schema xrtree-bench/1) to this file and exit")
 	)
 	flag.Parse()
 
 	cfg := xrtree.ExperimentConfig{Seed: *seed, Scale: *scale, BufferPages: *buffers}
+
+	if *jsonOut != "" {
+		// Open the output before the (long) sweep run so a bad path fails
+		// immediately.
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := must(xrtree.BuildBenchReport(cfg))
+		check(rep.WriteJSON(f))
+		check(f.Close())
+		log.Printf("wrote %s", *jsonOut)
+		return
+	}
 	run := func(id string) {
 		switch id {
 		case "table2":

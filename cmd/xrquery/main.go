@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,21 +28,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xrquery: ")
 	var (
-		in       = flag.String("in", "", "input XML file")
-		storeArg = flag.String("store", "", "store file built by xrload (alternative to -in)")
-		query    = flag.String("query", "", "join query: anc//desc or anc/desc (required)")
-		alg      = flag.String("alg", "xr", "algorithm: noindex, mpmgjn, bplus, xr, or all")
-		quiet    = flag.Bool("quiet", false, "suppress pair output, print only counts")
-		limit    = flag.Int("limit", 20, "max pairs to print")
-		attrs    = flag.Bool("attrs", false, "materialize attributes (@name) and text (#text) as nodes")
+		in        = flag.String("in", "", "input XML file")
+		storeArg  = flag.String("store", "", "store file built by xrload (alternative to -in)")
+		query     = flag.String("query", "", "join query: anc//desc or anc/desc (required)")
+		alg       = flag.String("alg", "xr", "algorithm: noindex, mpmgjn, bplus, xr, or all")
+		quiet     = flag.Bool("quiet", false, "suppress pair output, print only counts")
+		limit     = flag.Int("limit", 20, "max pairs to print")
+		attrs     = flag.Bool("attrs", false, "materialize attributes (@name) and text (#text) as nodes")
+		stats     = flag.Bool("stats", false, "print the full counter snapshot and join-phase breakdown per query")
+		statsJSON = flag.Bool("stats-json", false, "print the per-query observation as JSON")
 	)
 	flag.Parse()
 	if (*in == "") == (*storeArg == "") || *query == "" {
 		log.Fatal("exactly one of -in or -store, plus -query, are required")
 	}
+	opts := runOpts{quiet: *quiet, limit: *limit, stats: *stats, statsJSON: *statsJSON}
 
 	if *storeArg != "" {
-		runFromStore(*storeArg, *query, *alg, *quiet, *limit)
+		runFromStore(*storeArg, *query, *alg, opts)
 		return
 	}
 
@@ -82,25 +86,93 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	runJoins(store, a, d, algs, mode, opts)
+}
+
+// runOpts bundles the output options of a join run.
+type runOpts struct {
+	quiet     bool
+	limit     int
+	stats     bool
+	statsJSON bool
+}
+
+// queryObservation is the machine-readable form of one -stats-json line.
+type queryObservation struct {
+	Alg               string               `json:"alg"`
+	Pairs             int64                `json:"pairs"`
+	ElementsScanned   int64                `json:"elements_scanned"`
+	BufferHits        int64                `json:"buffer_hits"`
+	BufferMisses      int64                `json:"buffer_misses"`
+	PhysicalReads     int64                `json:"physical_reads"`
+	PageEvictions     int64                `json:"page_evictions"`
+	ElapsedMS         float64              `json:"elapsed_ms"`
+	SkipEffectiveness float64              `json:"skip_effectiveness"`
+	Phases            xrtree.JoinPhases    `json:"phases"`
+	Events            xrtree.TraceSnapshot `json:"events"`
+}
+
+// runJoins runs every requested algorithm over the indexed sets, printing
+// pairs and the cost summary; with stats/statsJSON it traces each run and
+// reports the phase breakdown and skipping effectiveness too.
+func runJoins(store *xrtree.Store, a, d *xrtree.ElementSet, algs []xrtree.Algorithm, mode xrtree.Mode, opts runOpts) {
 	for _, algo := range algs {
 		if err := store.DropCache(); err != nil {
 			log.Fatal(err)
 		}
-		var st xrtree.Stats
-		store.AttachStats(&st)
 		printed := 0
-		err := xrtree.Join(algo, mode, a, d, func(av, dv xrtree.Element) {
-			if !*quiet && printed < *limit {
+		emit := func(av, dv xrtree.Element) {
+			if !opts.quiet && printed < opts.limit {
 				fmt.Printf("  %v  ⊃  %v\n", av, dv)
 				printed++
 			}
-		}, &st)
-		store.AttachStats(nil)
+		}
+		if !opts.stats && !opts.statsJSON {
+			var st xrtree.Stats
+			store.AttachStats(&st)
+			err := xrtree.Join(algo, mode, a, d, emit, &st)
+			store.AttachStats(nil)
+			if err != nil {
+				log.Fatalf("%s: %v", algo, err)
+			}
+			fmt.Printf("%-9s pairs=%d scanned=%d misses=%d elapsed=%v\n",
+				algo, st.OutputPairs, st.ElementsScanned, st.BufferMisses, st.Elapsed)
+			continue
+		}
+		rep, err := xrtree.ObservedJoin(algo, mode, a, d, emit)
 		if err != nil {
 			log.Fatalf("%s: %v", algo, err)
 		}
+		st := rep.Stats
+		if opts.statsJSON {
+			obs := queryObservation{
+				Alg:               algo.String(),
+				Pairs:             st.OutputPairs,
+				ElementsScanned:   st.ElementsScanned,
+				BufferHits:        st.BufferHits,
+				BufferMisses:      st.BufferMisses,
+				PhysicalReads:     st.PhysicalReads,
+				PageEvictions:     st.PageEvictions,
+				ElapsedMS:         float64(st.Elapsed.Microseconds()) / 1000,
+				SkipEffectiveness: rep.SkipEffectiveness,
+				Phases:            rep.Phases,
+				Events:            rep.Events,
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(obs); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		ph := rep.Phases
 		fmt.Printf("%-9s pairs=%d scanned=%d misses=%d elapsed=%v\n",
 			algo, st.OutputPairs, st.ElementsScanned, st.BufferMisses, st.Elapsed)
+		fmt.Printf("          hits=%d physical_reads=%d evictions=%d skip_effectiveness=%.3f\n",
+			st.BufferHits, st.PhysicalReads, st.PageEvictions, rep.SkipEffectiveness)
+		fmt.Printf("          phases: anc_probes=%d ancestors_fetched=%d anc_skips=%d (dist %d) desc_skips=%d (dist %d) output_batches=%d index_descends=%d stab_scans=%d\n",
+			ph.AncProbes, ph.AncestorsFetched, ph.AncSkips, ph.AncSkipDistance,
+			ph.DescSkips, ph.DescSkipDistance, ph.OutputBatches, ph.IndexDescends, ph.StabScans)
 	}
 }
 
@@ -127,7 +199,7 @@ func parseQuery(q string) (anc, desc string, mode xrtree.Mode, err error) {
 
 // runFromStore reopens a catalogued store and runs a two-step join over
 // its persisted index sets — no XML parsing or index building involved.
-func runFromStore(path, query, alg string, quiet bool, limit int) {
+func runFromStore(path, query, alg string, opts runOpts) {
 	store, err := xrtree.OpenStore(path, xrtree.StoreOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -149,26 +221,7 @@ func runFromStore(path, query, alg string, quiet bool, limit int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, algo := range algs {
-		if err := store.DropCache(); err != nil {
-			log.Fatal(err)
-		}
-		var st xrtree.Stats
-		store.AttachStats(&st)
-		printed := 0
-		err := xrtree.Join(algo, mode, a, d, func(av, dv xrtree.Element) {
-			if !quiet && printed < limit {
-				fmt.Printf("  %v  ⊃  %v\n", av, dv)
-				printed++
-			}
-		}, &st)
-		store.AttachStats(nil)
-		if err != nil {
-			log.Fatalf("%s: %v", algo, err)
-		}
-		fmt.Printf("%-9s pairs=%d scanned=%d misses=%d elapsed=%v\n",
-			algo, st.OutputPairs, st.ElementsScanned, st.BufferMisses, st.Elapsed)
-	}
+	runJoins(store, a, d, algs, mode, opts)
 }
 
 // runPath evaluates a multi-step path expression with the XR-stack

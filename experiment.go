@@ -42,6 +42,10 @@ type ExperimentConfig struct {
 	Model CostModel
 	// Mode selects the join relationship (default AncestorDescendant).
 	Mode Mode
+	// Observe attaches a fresh event Collector to every measured join and
+	// fills the observability fields of each AlgResult (phase breakdown,
+	// event histograms, skipping effectiveness).
+	Observe bool
 }
 
 func (c *ExperimentConfig) defaults() {
@@ -62,11 +66,21 @@ func (c *ExperimentConfig) defaults() {
 	}
 }
 
-// AlgResult is one algorithm's measured cost at one sweep point.
+// AlgResult is one algorithm's measured cost at one sweep point. The
+// observability fields are populated only when ExperimentConfig.Observe is
+// set.
 type AlgResult struct {
 	Alg     Algorithm
 	Stats   Stats
 	Derived time.Duration // Model-derived time (the Figure 8 proxy)
+
+	// Phases is the per-phase breakdown of the traced join (nil without
+	// Observe).
+	Phases *JoinPhases
+	// Events is the raw per-event trace snapshot (nil without Observe).
+	Events *TraceSnapshot
+	// SkipEffectiveness is 1 − scanned/(|A|+|D|) (0 without Observe).
+	SkipEffectiveness float64
 }
 
 // SweepPoint is one x-axis point of a sweep.
@@ -167,17 +181,35 @@ func runPoint(cfg ExperimentConfig, pct float64, sets workload.Sets) (SweepPoint
 			return point, err
 		}
 		var st Stats
+		var col *Collector
+		if cfg.Observe {
+			col = NewCollector()
+			st.Tracer = col
+		}
 		store.AttachStats(&st)
 		err := Join(alg, cfg.Mode, a, d, nil, &st)
 		store.AttachStats(nil)
 		if err != nil {
 			return point, fmt.Errorf("%s: %w", alg, err)
 		}
-		point.Results = append(point.Results, AlgResult{
+		r := AlgResult{
 			Alg:     alg,
 			Stats:   st,
 			Derived: cfg.Model.DerivedTime(&st),
-		})
+		}
+		if col != nil {
+			// Physical I/O is counted at the file layer; recover the
+			// per-run counts from the traced page events.
+			r.Stats.PhysicalReads = col.Count(EvPageRead)
+			r.Stats.PhysicalWrites = col.Count(EvPageWrite)
+			ph := col.JoinPhases()
+			ev := col.Snapshot()
+			r.Phases = &ph
+			r.Events = &ev
+			r.SkipEffectiveness = SkippingEffectiveness(
+				st.ElementsScanned, int64(a.Len()+d.Len()))
+		}
+		point.Results = append(point.Results, r)
 	}
 	return point, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xrtree/internal/metrics"
+	"xrtree/internal/obs"
 	"xrtree/internal/pagefile"
 	"xrtree/internal/xmldoc"
 )
@@ -40,6 +41,7 @@ func (t *Tree) descendToLeaf(key uint32) (pagefile.PageID, []byte, error) {
 				return pagefile.InvalidPage, nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
 			}
 			t.countLeaf()
+			t.c.Emit(obs.EvIndexDescend, int64(t.h))
 			return id, data, nil
 		}
 		if isLeaf(data) {
@@ -96,6 +98,7 @@ func (t *Tree) descendToLeafCounted(key uint32, c *metrics.Counters) (pagefile.P
 			if c != nil {
 				c.LeafReads++
 			}
+			c.Emit(obs.EvIndexDescend, int64(t.h))
 			return id, data, nil
 		}
 		if isLeaf(data) {

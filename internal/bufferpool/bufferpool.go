@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xrtree/internal/metrics"
+	"xrtree/internal/obs"
 	"xrtree/internal/pagefile"
 )
 
@@ -55,10 +57,57 @@ type Pool struct {
 	lruHead, lruTail *frame
 	cap              int
 
-	stats metrics.Counters
-	// sink, when non-nil, also receives hit/miss increments; experiments
-	// point this at their per-run counter set.
+	// stats are the pool's always-on counters, atomic so Stats snapshots
+	// never race with concurrent fetches.
+	stats obs.Counters
+	// sink, when non-nil, also receives hit/miss/eviction increments;
+	// experiments point this at their per-run counter set. Increments use
+	// atomic adds on the sink's fields so a sink shared between concurrent
+	// queries does not race (the owner still reads it plainly after
+	// detaching, which SetSink's mutex makes safe). The sink's Tracer, if
+	// set, receives PageEvict events.
 	sink *metrics.Counters
+
+	// series, when enabled, records the hit rate of every window of page
+	// accesses — the hit-rate-over-time view of the paper's dominant cost.
+	series hitRateSeries
+}
+
+// hitRateSeries accumulates a bounded hit-rate time series. When the point
+// buffer is full, adjacent points are merged pairwise and the window
+// doubles, so memory stays constant over arbitrarily long runs while the
+// whole history keeps uniform resolution.
+type hitRateSeries struct {
+	window   int // accesses per point; 0 = disabled
+	hits     int // hits in the current window
+	accesses int // accesses in the current window
+	points   []float64
+}
+
+// seriesMaxPoints bounds the series buffer before pairwise compaction.
+const seriesMaxPoints = 512
+
+func (s *hitRateSeries) record(hit bool) {
+	if s.window == 0 {
+		return
+	}
+	s.accesses++
+	if hit {
+		s.hits++
+	}
+	if s.accesses < s.window {
+		return
+	}
+	s.points = append(s.points, float64(s.hits)/float64(s.accesses))
+	s.hits, s.accesses = 0, 0
+	if len(s.points) >= seriesMaxPoints {
+		half := s.points[:0]
+		for i := 0; i+1 < len(s.points); i += 2 {
+			half = append(half, (s.points[i]+s.points[i+1])/2)
+		}
+		s.points = half
+		s.window *= 2
+	}
 }
 
 // New creates a pool of capacity frames over file. Capacity must be ≥ 1.
@@ -79,26 +128,52 @@ func (p *Pool) File() *pagefile.File { return p.file }
 // Capacity returns the pool capacity in frames.
 func (p *Pool) Capacity() int { return p.cap }
 
-// SetSink directs hit/miss counting to c in addition to the pool's own
-// statistics. Pass nil to detach.
+// SetSink directs hit/miss/eviction counting to c in addition to the
+// pool's own statistics. Pass nil to detach. Attaching and detaching
+// through the pool mutex establishes the happens-before edge that lets the
+// owner read the sink plainly after detaching.
 func (p *Pool) SetSink(c *metrics.Counters) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.sink = c
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot view of the pool's atomic counters in the
+// historical plain-counter form.
 func (p *Pool) Stats() metrics.Counters {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return metrics.FromSnapshot(p.stats.Snapshot())
 }
+
+// ObsStats exposes the pool's live atomic counters for callers that want
+// to take their own deltas.
+func (p *Pool) ObsStats() *obs.Counters { return &p.stats }
 
 // ResetStats zeroes the pool counters.
 func (p *Pool) ResetStats() {
+	p.stats.Reset()
+}
+
+// EnableHitRateSeries starts recording the pool hit rate once per window
+// of page accesses (window ≥ 1); 0 disables. When the internal buffer
+// fills, adjacent points merge and the effective window doubles, so the
+// series stays bounded. Enabling resets any prior series.
+func (p *Pool) EnableHitRateSeries(window int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats.Reset()
+	if window < 0 {
+		window = 0
+	}
+	p.series = hitRateSeries{window: window}
+}
+
+// HitRateSeries returns the recorded hit-rate points and the number of
+// page accesses each point currently spans (0 when disabled).
+func (p *Pool) HitRateSeries() (window int, points []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]float64, len(p.series.points))
+	copy(out, p.series.points)
+	return p.series.window, out
 }
 
 // --- intrusive LRU list ---------------------------------------------------
@@ -138,17 +213,19 @@ func (p *Pool) Fetch(id pagefile.PageID) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
-		p.stats.BufferHits++
+		p.stats.BufferHits.Add(1)
 		if p.sink != nil {
-			p.sink.BufferHits++
+			atomic.AddInt64(&p.sink.BufferHits, 1)
 		}
+		p.series.record(true)
 		p.pinLocked(f)
 		return f.data, nil
 	}
-	p.stats.BufferMisses++
+	p.stats.BufferMisses.Add(1)
 	if p.sink != nil {
-		p.sink.BufferMisses++
+		atomic.AddInt64(&p.sink.BufferMisses, 1)
 	}
+	p.series.record(false)
 	f, err := p.admitLocked(id)
 	if err != nil {
 		return nil, err
@@ -283,6 +360,11 @@ func (p *Pool) admitLocked(id pagefile.PageID) (*frame, error) {
 		}
 		if err := p.flushLocked(victim); err != nil {
 			return nil, err
+		}
+		p.stats.PageEvictions.Add(1)
+		if p.sink != nil {
+			atomic.AddInt64(&p.sink.PageEvictions, 1)
+			p.sink.Emit(obs.EvPageEvict, 1)
 		}
 		p.lruRemove(victim)
 		delete(p.frames, victim.id)

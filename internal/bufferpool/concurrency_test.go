@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"xrtree/internal/metrics"
 	"xrtree/internal/pagefile"
 )
 
@@ -123,5 +124,63 @@ func TestConcurrentWriters(t *testing.T) {
 			}
 			pool.Unpin(id, false)
 		}
+	}
+}
+
+// TestConcurrentSharedSink shares one metrics sink between concurrent
+// fetchers — the data race the atomic sink increments fix; run with -race.
+// After detaching, the sink's plain reads must equal the pool's own
+// counters exactly.
+func TestConcurrentSharedSink(t *testing.T) {
+	f := pagefile.NewMem(pagefile.Options{PageSize: 256})
+	defer f.Close()
+	pool, err := New(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]pagefile.PageID, 32)
+	for i := range ids {
+		id, _, err := pool.FetchNew()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	pool.ResetStats()
+
+	var sink metrics.Counters
+	pool.SetSink(&sink)
+	const workers, rounds = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := ids[(g*7+i)%len(ids)]
+				if _, err := pool.Fetch(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := pool.Unpin(id, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	pool.SetSink(nil)
+
+	if got := sink.PageAccesses(); got != workers*rounds {
+		t.Errorf("sink saw %d accesses, want %d", got, workers*rounds)
+	}
+	own := pool.Stats()
+	if sink.BufferHits != own.BufferHits || sink.BufferMisses != own.BufferMisses ||
+		sink.PageEvictions != own.PageEvictions {
+		t.Errorf("sink %+v disagrees with pool stats %+v", sink, own)
 	}
 }

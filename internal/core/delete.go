@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"xrtree/internal/obs"
 	"xrtree/internal/pagefile"
 	"xrtree/internal/xmldoc"
 )
@@ -26,6 +27,7 @@ func (t *Tree) Delete(start uint32) error {
 		return err
 	}
 	found := false
+	t.c.Emit(obs.EvIndexDescend, int64(t.h))
 	if _, err := t.deleteFrom(t.root, t.h, e, &found); err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"xrtree/internal/obs"
 	"xrtree/internal/pagefile"
 	"xrtree/internal/xmldoc"
 )
@@ -59,6 +60,7 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 	if e.End <= e.Start {
 		return fmt.Errorf("xrtree: degenerate region %v", e)
 	}
+	t.c.Emit(obs.EvIndexDescend, int64(t.h))
 	res, err := t.insertInto(t.root, t.h, e, false)
 	if err != nil {
 		return err

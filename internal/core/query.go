@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"xrtree/internal/metrics"
+	"xrtree/internal/obs"
 	"xrtree/internal/pagefile"
 	"xrtree/internal/xmldoc"
 )
@@ -63,6 +64,7 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 		return nil, err
 	}
 	addLeaf(c)
+	c.Emit(obs.EvIndexDescend, int64(t.h))
 	n := leafCount(data)
 	first := 0
 	if minStart > 0 {
@@ -74,7 +76,9 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 	// terminal boundary entry) cost no I/O and are index work, which is how
 	// the paper's XR numbers behave (≈ joined ancestors + consumed
 	// descendants; see EXPERIMENTS.md).
+	examined := 0
 	for i := first; i < n; {
+		examined++
 		el, fl := leafElem(data, i)
 		if el.Start >= sd {
 			break
@@ -93,6 +97,8 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 		}
 		i++
 	}
+	c.Emit(obs.EvLeafScan, int64(examined))
+	c.Emit(obs.EvAncProbe, int64(len(out)-len(dst)))
 	if err := t.pool.Unpin(id, false); err != nil {
 		return nil, err
 	}
@@ -118,9 +124,11 @@ func (t *Tree) searchStabList(node []byte, sd uint32, minStart uint32, c *metric
 		if ps == 0 || !(ps < sd && sd < keyPE(node, i2)) {
 			continue
 		}
+		before := len(*out)
 		if err := t.scanPSL(node, i2, sd, minStart, c, out); err != nil {
 			return err
 		}
+		c.Emit(obs.EvStabScan, int64(len(*out)-before))
 	}
 	return nil
 }
@@ -228,6 +236,7 @@ func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
 		return nil, err
 	}
 	addLeaf(c)
+	c.Emit(obs.EvIndexDescend, int64(t.h))
 	return &Iterator{t: t, c: c, pageID: id, data: data, idx: leafSearch(data, key)}, nil
 }
 

@@ -1,7 +1,10 @@
 package join
 
 import (
+	"time"
+
 	"xrtree/internal/metrics"
+	"xrtree/internal/obs"
 	"xrtree/internal/xmldoc"
 )
 
@@ -65,6 +68,7 @@ func MPMGJN(mode Mode, a Source, d MarkableSource, emit EmitFunc, c *metrics.Cou
 		if err := di.Restore(mark); err != nil {
 			return err
 		}
+		var emitted int64
 		for {
 			dv, ok := di.Next()
 			if !ok {
@@ -80,10 +84,14 @@ func MPMGJN(mode Mode, a Source, d MarkableSource, emit EmitFunc, c *metrics.Cou
 			}
 			if matches(mode, av, dv) {
 				emit(av, dv)
+				emitted++
 				if c != nil {
 					c.OutputPairs++
 				}
 			}
+		}
+		if emitted > 0 {
+			c.Emit(obs.EvOutput, emitted)
 		}
 		if di.Err() != nil {
 			return di.Err()
@@ -128,6 +136,7 @@ func BPlus(mode Mode, a, d Seeker, emit EmitFunc, c *metrics.Counters) error {
 				// boundary element counts as scanned (its subtree does not),
 				// matching the paper's B+ accounting.
 				countScan(c, 1)
+				c.Emit(obs.EvSkipAnc, int64(ca.cur.End+1)-int64(ca.cur.Start))
 				it, err := a.SeekGE(ca.cur.End+1, c)
 				if err != nil {
 					return err
@@ -144,6 +153,7 @@ func BPlus(mode Mode, a, d Seeker, emit EmitFunc, c *metrics.Counters) error {
 				// Skip descendants that precede every remaining ancestor;
 				// the examined boundary descendant counts as scanned.
 				countScan(c, 1)
+				c.Emit(obs.EvSkipDesc, int64(ca.cur.Start+1)-int64(cd.cur.Start))
 				it, err := d.SeekGE(ca.cur.Start+1, c)
 				if err != nil {
 					return err
@@ -214,6 +224,7 @@ func XRStack(mode Mode, a AncestorSeeker, d Seeker, emit EmitFunc, c *metrics.Co
 			// Line 12 seeks the first ancestor with start > CurD.start; we
 			// seek to ≥ so an element starting exactly at CurD.start (only
 			// possible in a self-join) stays visible as a future ancestor.
+			c.Emit(obs.EvSkipAnc, int64(cd.cur.Start)-int64(ca.cur.Start))
 			it, err := a.SeekGE(cd.cur.Start, c)
 			if err != nil {
 				return err
@@ -233,6 +244,7 @@ func XRStack(mode Mode, a AncestorSeeker, d Seeker, emit EmitFunc, c *metrics.Co
 				// the examined boundary descendant counts as scanned (same
 				// accounting as the B+ algorithm's descendant skip).
 				countScan(c, 1)
+				c.Emit(obs.EvSkipDesc, int64(ca.cur.Start+1)-int64(cd.cur.Start))
 				it, err := d.SeekGE(ca.cur.Start+1, c)
 				if err != nil {
 					return err
@@ -269,9 +281,18 @@ func firstErr(errs ...error) error {
 	return nil
 }
 
+// startTimer times a join run, accumulating into c.Elapsed and emitting the
+// run's duration as one EvJoinSpan event.
 func startTimer(c *metrics.Counters) func() {
-	t := metrics.StartTimer(c)
-	return t.Stop
+	if c == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		c.Elapsed += d
+		c.Emit(obs.EvJoinSpan, int64(d))
+	}
 }
 
 // Reference computes the join by brute force over in-memory slices — the

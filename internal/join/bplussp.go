@@ -15,6 +15,7 @@ import (
 
 	"xrtree/internal/elemlist"
 	"xrtree/internal/metrics"
+	"xrtree/internal/obs"
 	"xrtree/internal/xmldoc"
 )
 
@@ -104,6 +105,7 @@ func BPlusSP(mode Mode, a SiblingListSource, d Seeker, emit EmitFunc, c *metrics
 				// counts as scanned, its subtree is skipped with a single
 				// positional access.
 				countScan(c, 1)
+				c.Emit(obs.EvSkipAnc, int64(ca.cur.End+1)-int64(ca.cur.Start))
 				next := int(a.Sib[ordinal])
 				it, err := a.L.ScanAt(next, c)
 				if err != nil {
@@ -120,6 +122,7 @@ func BPlusSP(mode Mode, a SiblingListSource, d Seeker, emit EmitFunc, c *metrics
 				cd.advance()
 			} else {
 				countScan(c, 1)
+				c.Emit(obs.EvSkipDesc, int64(ca.cur.Start+1)-int64(cd.cur.Start))
 				it, err := d.SeekGE(ca.cur.Start+1, c)
 				if err != nil {
 					return err

@@ -26,6 +26,7 @@ import (
 	"xrtree/internal/core"
 	"xrtree/internal/elemlist"
 	"xrtree/internal/metrics"
+	"xrtree/internal/obs"
 	"xrtree/internal/xmldoc"
 )
 
@@ -207,14 +208,20 @@ func (s *ancStack) popNonAncestors(start uint32) {
 	}
 }
 
-// emitAll pairs every stacked ancestor with d.
+// emitAll pairs every stacked ancestor with d. One call is one output
+// batch; its size flows to the tracer as a single EvOutput event.
 func (s *ancStack) emitAll(mode Mode, d xmldoc.Element, emit EmitFunc, c *metrics.Counters) {
+	var n int64
 	for _, a := range s.els {
 		if matches(mode, a, d) {
 			emit(a, d)
-			if c != nil {
-				c.OutputPairs++
-			}
+			n++
+		}
+	}
+	if c != nil {
+		c.OutputPairs += n
+		if n > 0 {
+			c.Emit(obs.EvOutput, n)
 		}
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"xrtree/internal/obs"
 )
 
 // Counters accumulates the cost metrics of one operation or experiment run.
@@ -42,8 +44,44 @@ type Counters struct {
 	PhysicalReads  int64
 	PhysicalWrites int64
 
+	// PageEvictions counts buffer-pool frames evicted to admit new pages.
+	PageEvictions int64
+
 	// Elapsed is wall-clock time, set by Timer or by the caller.
 	Elapsed time.Duration
+
+	// Tracer, when non-nil, receives structured events from every layer
+	// the counters pass through (see internal/obs). It rides inside the
+	// counter set so enabling a trace never changes a call signature; it
+	// is carried, not accumulated — Add ignores it and Reset preserves it.
+	Tracer obs.Tracer
+}
+
+// Emit sends one event to the attached tracer. Safe on a nil receiver and
+// a nil tracer — the disabled fast path costs two nil checks and does not
+// allocate (TestNilTracerEmitZeroAllocs).
+func (c *Counters) Emit(kind obs.EventKind, value int64) {
+	if c == nil || c.Tracer == nil {
+		return
+	}
+	c.Tracer.Event(kind, value)
+}
+
+// FromSnapshot converts an atomic-counter snapshot (internal/obs) into the
+// plain counter form, the view the pre-existing Stats APIs return.
+func FromSnapshot(s obs.CountersSnapshot) Counters {
+	return Counters{
+		ElementsScanned: s.ElementsScanned,
+		OutputPairs:     s.OutputPairs,
+		IndexNodeReads:  s.IndexNodeReads,
+		LeafReads:       s.LeafReads,
+		StabPageReads:   s.StabPageReads,
+		BufferHits:      s.BufferHits,
+		BufferMisses:    s.BufferMisses,
+		PhysicalReads:   s.PhysicalReads,
+		PhysicalWrites:  s.PhysicalWrites,
+		PageEvictions:   s.PageEvictions,
+	}
 }
 
 // Add accumulates other into c.
@@ -60,11 +98,16 @@ func (c *Counters) Add(other *Counters) {
 	c.BufferMisses += other.BufferMisses
 	c.PhysicalReads += other.PhysicalReads
 	c.PhysicalWrites += other.PhysicalWrites
+	c.PageEvictions += other.PageEvictions
 	c.Elapsed += other.Elapsed
 }
 
-// Reset zeroes all counters.
-func (c *Counters) Reset() { *c = Counters{} }
+// Reset zeroes all counters, preserving the attached Tracer.
+func (c *Counters) Reset() {
+	tr := c.Tracer
+	*c = Counters{}
+	c.Tracer = tr
+}
 
 // PageAccesses returns the total logical page accesses (hits + misses).
 func (c *Counters) PageAccesses() int64 { return c.BufferHits + c.BufferMisses }
@@ -94,6 +137,9 @@ func (c *Counters) String() string {
 	fmt.Fprintf(&b, "scanned=%d pairs=%d idx=%d leaf=%d stab=%d hits=%d misses=%d pr=%d pw=%d",
 		c.ElementsScanned, c.OutputPairs, c.IndexNodeReads, c.LeafReads, c.StabPageReads,
 		c.BufferHits, c.BufferMisses, c.PhysicalReads, c.PhysicalWrites)
+	if c.PageEvictions > 0 {
+		fmt.Fprintf(&b, " evict=%d", c.PageEvictions)
+	}
 	if c.Elapsed > 0 {
 		fmt.Fprintf(&b, " elapsed=%s", c.Elapsed)
 	}

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"xrtree/internal/obs"
 )
 
 func TestAddAccumulates(t *testing.T) {
@@ -52,6 +54,70 @@ func TestStringIncludesKeyFields(t *testing.T) {
 	zero := Counters{}
 	if strings.Contains(zero.String(), "elapsed=") {
 		t.Error("zero counters should omit elapsed")
+	}
+}
+
+func TestEmitRoutesToTracer(t *testing.T) {
+	col := obs.NewCollector()
+	c := Counters{Tracer: col}
+	c.Emit(obs.EvSkipDesc, 42)
+	if col.Count(obs.EvSkipDesc) != 1 || col.Value(obs.EvSkipDesc) != 42 {
+		t.Errorf("event not delivered: count=%d value=%d",
+			col.Count(obs.EvSkipDesc), col.Value(obs.EvSkipDesc))
+	}
+	// Nil receiver and nil tracer are both no-ops.
+	(*Counters)(nil).Emit(obs.EvSkipDesc, 1)
+	(&Counters{}).Emit(obs.EvSkipDesc, 1)
+}
+
+func TestNilTracerEmitZeroAllocs(t *testing.T) {
+	var c Counters
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Emit(obs.EvPageRead, 1)
+		c.ElementsScanned++
+	})
+	if allocs != 0 {
+		t.Errorf("Emit with nil tracer allocates %.1f per op", allocs)
+	}
+}
+
+func TestResetPreservesTracer(t *testing.T) {
+	col := obs.NewCollector()
+	c := Counters{ElementsScanned: 9, Tracer: col}
+	c.Reset()
+	if c.ElementsScanned != 0 {
+		t.Error("Reset did not zero counters")
+	}
+	if c.Tracer != obs.Tracer(col) {
+		t.Error("Reset dropped the tracer")
+	}
+}
+
+func TestFromSnapshot(t *testing.T) {
+	var o obs.Counters
+	o.BufferHits.Add(3)
+	o.BufferMisses.Add(4)
+	o.PageEvictions.Add(2)
+	o.ElementsScanned.Add(10)
+	c := FromSnapshot(o.Snapshot())
+	if c.BufferHits != 3 || c.BufferMisses != 4 || c.PageEvictions != 2 || c.ElementsScanned != 10 {
+		t.Errorf("FromSnapshot = %+v", c)
+	}
+	if c.PageAccesses() != 7 {
+		t.Errorf("PageAccesses = %d", c.PageAccesses())
+	}
+}
+
+func TestAddIgnoresTracerAndEvictions(t *testing.T) {
+	col := obs.NewCollector()
+	a := Counters{PageEvictions: 1}
+	b := Counters{PageEvictions: 2, Tracer: col}
+	a.Add(&b)
+	if a.PageEvictions != 3 {
+		t.Errorf("PageEvictions = %d, want 3", a.PageEvictions)
+	}
+	if a.Tracer != nil {
+		t.Error("Add must not copy the tracer")
 	}
 }
 

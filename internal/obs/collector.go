@@ -1,0 +1,104 @@
+package obs
+
+import "sync/atomic"
+
+// Collector is the standard Tracer: it aggregates the event stream into a
+// per-kind occurrence count and a per-kind value histogram, lock-free. One
+// Collector typically audits one operation (a join, a query, a benchmark
+// point); Reset allows reuse between runs.
+type Collector struct {
+	counts [NumEvents]atomic.Int64
+	hists  [NumEvents]Histogram
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Event records one event. Unknown kinds are dropped.
+func (c *Collector) Event(kind EventKind, value int64) {
+	if kind >= NumEvents {
+		return
+	}
+	c.counts[kind].Add(1)
+	c.hists[kind].Observe(value)
+}
+
+// Count returns how many events of the kind were recorded.
+func (c *Collector) Count(kind EventKind) int64 {
+	if kind >= NumEvents {
+		return 0
+	}
+	return c.counts[kind].Load()
+}
+
+// Value returns the sum of the values of all events of the kind (total
+// pairs output, total nanoseconds, total entries scanned, ...).
+func (c *Collector) Value(kind EventKind) int64 {
+	if kind >= NumEvents {
+		return 0
+	}
+	return c.hists[kind].Sum()
+}
+
+// Histogram returns the live histogram of the kind's values (nil for an
+// unknown kind). The caller must not reset it.
+func (c *Collector) Histogram(kind EventKind) *Histogram {
+	if kind >= NumEvents {
+		return nil
+	}
+	return &c.hists[kind]
+}
+
+// Reset zeroes every count and histogram.
+func (c *Collector) Reset() {
+	for k := range c.counts {
+		c.counts[k].Store(0)
+		c.hists[k].Reset()
+	}
+}
+
+// JoinPhases is the per-phase breakdown of one structural join, derived
+// from the event stream — the accounting the paper's Tables 2-3 imply but
+// never show directly. The three phases of the XR-stack algorithm are the
+// ancestor probe (FindAncestors + the seek past the current descendant),
+// the descendant skip (range queries past non-joining descendants), and
+// output (reporting stacked pairs).
+type JoinPhases struct {
+	// AncProbes counts FindAncestors calls; AncestorsFetched is the total
+	// number of ancestors they returned (the R of Theorem 4, summed).
+	AncProbes        int64 `json:"anc_probes"`
+	AncestorsFetched int64 `json:"ancestors_fetched"`
+	// AncSkips counts ancestor-side index skips; AncSkipDistance is the
+	// total start-position distance they jumped.
+	AncSkips        int64 `json:"anc_skips"`
+	AncSkipDistance int64 `json:"anc_skip_distance"`
+	// DescSkips counts descendant-side range-query skips and
+	// DescSkipDistance their total start-position distance.
+	DescSkips        int64 `json:"desc_skips"`
+	DescSkipDistance int64 `json:"desc_skip_distance"`
+	// OutputBatches counts per-descendant emit batches; OutputPairs the
+	// pairs reported.
+	OutputBatches int64 `json:"output_batches"`
+	OutputPairs   int64 `json:"output_pairs"`
+	// IndexDescends counts root→leaf descents (probes + skips + the two
+	// opening scans); StabScans the primary-stab-list walks behind the
+	// probes.
+	IndexDescends int64 `json:"index_descends"`
+	StabScans     int64 `json:"stab_scans"`
+}
+
+// JoinPhases derives the phase breakdown from the collected events.
+func (c *Collector) JoinPhases() JoinPhases {
+	return JoinPhases{
+		AncProbes:        c.Count(EvAncProbe),
+		AncestorsFetched: c.Value(EvAncProbe),
+		AncSkips:         c.Count(EvSkipAnc),
+		AncSkipDistance:  c.Value(EvSkipAnc),
+		DescSkips:        c.Count(EvSkipDesc),
+		DescSkipDistance: c.Value(EvSkipDesc),
+		OutputBatches:    c.Count(EvOutput),
+		OutputPairs:      c.Value(EvOutput),
+		IndexDescends:    c.Count(EvIndexDescend),
+		StabScans:        c.Count(EvStabScan),
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"xrtree/internal/metrics"
+	"xrtree/internal/obs"
 )
 
 // PageID identifies a page within a File. Page 0 is the file header and is
@@ -115,6 +116,10 @@ type File struct {
 	freeHead  PageID // head of the free-page list
 
 	stats metrics.Counters
+
+	// tracer, when non-nil, receives one PageRead/PageWrite event per
+	// physical page transfer, mirroring the stats counters exactly.
+	tracer obs.Tracer
 }
 
 // Options configures Create/Open.
@@ -251,6 +256,21 @@ func (f *File) ResetStats() {
 	f.stats.Reset()
 }
 
+// SetTracer attaches tr to the file: every physical page read and write
+// emits one obs.EvPageRead / obs.EvPageWrite event. Pass nil to detach.
+func (f *File) SetTracer(tr obs.Tracer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tracer = tr
+}
+
+// emit sends one event to the attached tracer; callers hold f.mu.
+func (f *File) emit(kind obs.EventKind) {
+	if f.tracer != nil {
+		f.tracer.Event(kind, 1)
+	}
+}
+
 // Allocate returns a fresh page, reusing a freed page when available.
 // The page contents are undefined; callers must fully initialize it.
 func (f *File) Allocate() (PageID, error) {
@@ -267,6 +287,7 @@ func (f *File) Allocate() (PageID, error) {
 			return InvalidPage, fmt.Errorf("pagefile: read free list: %w", err)
 		}
 		f.stats.PhysicalReads++
+		f.emit(obs.EvPageRead)
 		f.freeHead = PageID(getU32(buf))
 		return id, f.writeHeader()
 	}
@@ -279,6 +300,7 @@ func (f *File) Allocate() (PageID, error) {
 		return InvalidPage, fmt.Errorf("pagefile: extend: %w", err)
 	}
 	f.stats.PhysicalWrites++
+	f.emit(obs.EvPageWrite)
 	return id, f.writeHeader()
 }
 
@@ -299,6 +321,7 @@ func (f *File) Free(id PageID) error {
 		return fmt.Errorf("pagefile: write free list: %w", err)
 	}
 	f.stats.PhysicalWrites++
+	f.emit(obs.EvPageWrite)
 	f.freeHead = id
 	return f.writeHeader()
 }
@@ -320,6 +343,7 @@ func (f *File) ReadPage(id PageID, dst []byte) error {
 		return fmt.Errorf("pagefile: read page %d: %w", id, err)
 	}
 	f.stats.PhysicalReads++
+	f.emit(obs.EvPageRead)
 	return nil
 }
 
@@ -340,6 +364,7 @@ func (f *File) WritePage(id PageID, src []byte) error {
 		return fmt.Errorf("pagefile: write page %d: %w", id, err)
 	}
 	f.stats.PhysicalWrites++
+	f.emit(obs.EvPageWrite)
 	return nil
 }
 

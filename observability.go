@@ -1,0 +1,116 @@
+package xrtree
+
+// Public surface of the observability layer (internal/obs): tracers,
+// event collectors with histograms, per-join-phase breakdowns, and the
+// derived skipping-effectiveness metric the paper's Table 3 discussion is
+// about. Tracing is strictly opt-in — with no tracer attached every Emit
+// call is two nil checks and zero allocations (see
+// BenchmarkJoinTracerOverhead).
+
+import (
+	"xrtree/internal/obs"
+)
+
+// Tracer receives structured trace events. Implementations must be safe
+// for concurrent use; Collector is the standard implementation.
+type Tracer = obs.Tracer
+
+// EventKind identifies one traced operation kind.
+type EventKind = obs.EventKind
+
+// The trace event vocabulary (see internal/obs for each kind's value
+// semantics: tree heights, scan lengths, skip distances, batch sizes,
+// nanoseconds).
+const (
+	EvIndexDescend = obs.EvIndexDescend
+	EvStabScan     = obs.EvStabScan
+	EvLeafScan     = obs.EvLeafScan
+	EvSkipDesc     = obs.EvSkipDesc
+	EvSkipAnc      = obs.EvSkipAnc
+	EvAncProbe     = obs.EvAncProbe
+	EvOutput       = obs.EvOutput
+	EvPageRead     = obs.EvPageRead
+	EvPageWrite    = obs.EvPageWrite
+	EvPageEvict    = obs.EvPageEvict
+	EvJoinSpan     = obs.EvJoinSpan
+)
+
+// Collector is the standard Tracer: lock-free per-kind counters and
+// fixed-bucket histograms of event values.
+type Collector = obs.Collector
+
+// NewCollector returns an empty Collector ready to attach as a Tracer.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// JoinPhases is the per-phase breakdown of one traced join: ancestor
+// probing, ancestor/descendant skipping, and output emission.
+type JoinPhases = obs.JoinPhases
+
+// TraceSnapshot is a point-in-time export of a Collector: per-event counts,
+// value sums, and histograms, JSON-serializable.
+type TraceSnapshot = obs.Snapshot
+
+// SkippingEffectiveness is the fraction of input elements a join avoided
+// scanning: 1 − scanned/total, clamped to [0, 1]. The paper's Table 3
+// argument is that XR-stack keeps this near 1 on low-selectivity joins.
+func SkippingEffectiveness(scanned, total int64) float64 {
+	return obs.SkippingEffectiveness(scanned, total)
+}
+
+// SetTracer installs tr as the store's default tracer (nil removes it).
+// The tracer observes physical page I/O on the store's file; operations
+// that take a *Stats with their own Tracer see events routed there while
+// an AttachStats attachment is live.
+func (s *Store) SetTracer(tr Tracer) {
+	s.tracer = tr
+	s.file.SetTracer(tr)
+}
+
+// JoinReport is the full observation of one traced join run.
+type JoinReport struct {
+	// Alg is the algorithm that ran.
+	Alg Algorithm `json:"alg"`
+	// Stats holds the classic counters (elements scanned, hits, misses,
+	// physical I/O, output pairs, elapsed).
+	Stats Stats `json:"-"`
+	// Phases breaks the join into its phases: ancestor probes, skips on
+	// either side with total skip distances, and output batches.
+	Phases JoinPhases `json:"phases"`
+	// Events is the raw per-event snapshot including histograms.
+	Events TraceSnapshot `json:"events"`
+	// SkipEffectiveness is 1 − scanned/(len(a)+len(d)), clamped to [0, 1].
+	SkipEffectiveness float64 `json:"skip_effectiveness"`
+}
+
+// ObservedJoin runs Join with a fresh Collector attached and returns the
+// complete observation: classic counters, per-phase breakdown, raw event
+// histograms, and skipping effectiveness. Buffer-pool and physical-I/O
+// costs of the sets' store(s) are attributed to the run.
+func ObservedJoin(alg Algorithm, mode Mode, a, d *ElementSet, emit EmitFunc) (*JoinReport, error) {
+	col := NewCollector()
+	st := Stats{Tracer: col}
+	a.store.AttachStats(&st)
+	if d.store != a.store {
+		d.store.AttachStats(&st)
+	}
+	err := Join(alg, mode, a, d, emit, &st)
+	a.store.AttachStats(nil)
+	if d.store != a.store {
+		d.store.AttachStats(nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Physical I/O is counted at the file layer, not in the per-run
+	// counter set; the tracer saw every page event, so recover the counts
+	// from it.
+	st.PhysicalReads = col.Count(obs.EvPageRead)
+	st.PhysicalWrites = col.Count(obs.EvPageWrite)
+	return &JoinReport{
+		Alg:               alg,
+		Stats:             st,
+		Phases:            col.JoinPhases(),
+		Events:            col.Snapshot(),
+		SkipEffectiveness: SkippingEffectiveness(st.ElementsScanned, int64(a.Len()+d.Len())),
+	}, nil
+}

@@ -92,6 +92,10 @@ type StoreOptions struct {
 	// BufferPages is the buffer-pool capacity in frames. Default 100, the
 	// paper's setting (§6.1).
 	BufferPages int
+	// Tracer, when non-nil, receives structured trace events (page I/O,
+	// index descents, skips, output batches) from every operation on the
+	// store. Equivalent to calling SetTracer after creation.
+	Tracer Tracer
 }
 
 // Store owns one paged file and its buffer pool; all indexes built through
@@ -100,6 +104,9 @@ type StoreOptions struct {
 type Store struct {
 	file *pagefile.File
 	pool *bufferpool.Pool
+	// tracer is the store's default tracer, restored when an AttachStats
+	// sink with its own tracer detaches.
+	tracer Tracer
 }
 
 func newStore(file *pagefile.File, opts StoreOptions) (*Store, error) {
@@ -112,7 +119,10 @@ func newStore(file *pagefile.File, opts StoreOptions) (*Store, error) {
 		file.Close()
 		return nil, err
 	}
-	s := &Store{file: file, pool: pool}
+	s := &Store{file: file, pool: pool, tracer: opts.Tracer}
+	if opts.Tracer != nil {
+		file.SetTracer(opts.Tracer)
+	}
 	if file.NumPages() == 1 {
 		// Fresh file: reserve page 1 as the catalog head before anything
 		// else is allocated (see catalog.go).
@@ -161,7 +171,16 @@ func (s *Store) Close() error {
 func (s *Store) DropCache() error { return s.pool.DropClean() }
 
 // AttachStats directs buffer-pool hit/miss accounting to st (nil detaches).
-func (s *Store) AttachStats(st *Stats) { s.pool.SetSink(st) }
+// When st carries a Tracer, physical-I/O events are routed to it for the
+// duration of the attachment; detaching restores the store's own tracer.
+func (s *Store) AttachStats(st *Stats) {
+	s.pool.SetSink(st)
+	if st != nil && st.Tracer != nil {
+		s.file.SetTracer(st.Tracer)
+	} else {
+		s.file.SetTracer(s.tracer)
+	}
+}
 
 // PoolStats returns the buffer pool's cumulative counters.
 func (s *Store) PoolStats() Stats { return s.pool.Stats() }
