@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json examples experiments verify clean
+.PHONY: all build test race bench bench-json bench-smoke examples experiments verify clean fmt-check lint ci
 
 all: build test
 
@@ -25,6 +25,34 @@ bench:
 # effectiveness. BENCH_baseline.json in the repo is one committed run.
 bench-json:
 	$(GO) run ./cmd/xrbench -json BENCH_xrbench.json
+
+# Bench-regression gate: a reduced-scale report diffed against the
+# committed baseline by shape (schema, sweeps, phase breakdowns, parallel
+# rows) — never by timing, so it is safe on loaded CI machines.
+bench-smoke:
+	$(GO) run ./cmd/xrbench -json /tmp/xrtree_bench_smoke.json -scale 0.2
+	$(GO) run ./cmd/xrcheckbench -baseline BENCH_baseline.json /tmp/xrtree_bench_smoke.json
+
+# gofmt as a check: fail when any file needs reformatting.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Prefer golangci-lint (config in .golangci.yml), fall back to staticcheck,
+# then to go vet when neither tool is installed.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	elif command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "golangci-lint/staticcheck not installed; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
+# Everything the CI pipeline runs, in the same order, runnable locally.
+ci: build fmt-check lint test race bench-smoke
+	@echo "ci: all checks passed"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -28,6 +28,10 @@ type BenchReport struct {
 	BufferPages int          `json:"buffer_pages"`
 	CostModel   CostModel    `json:"cost_model"`
 	Sweeps      []BenchSweep `json:"sweeps"`
+	// Parallel is the workers-speedup study of the parallel join driver
+	// (added after schema 1 shipped; additive, so the schema id is
+	// unchanged — readers of the original shape ignore it).
+	Parallel *ParallelStudy `json:"parallel,omitempty"`
 }
 
 // BenchSweep is one experiment (ancestor / descendant / both selectivity)
@@ -140,6 +144,15 @@ func BuildBenchReport(cfg ExperimentConfig) (*BenchReport, error) {
 		}
 		rep.Sweeps = append(rep.Sweeps, benchSweeps(exp.name, res)...)
 	}
+	ps, err := RunParallelStudy(ParallelStudyConfig{
+		Seed:        cfg.Seed,
+		Departments: int(25 * cfg.Scale),
+		Model:       cfg.Model,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Parallel = ps
 	return rep, nil
 }
 

@@ -11,6 +11,7 @@
 //	ops      — §5 basic-operation cost study (Theorems 3–4)
 //	ablation — §3.2 separator key-choice ablation
 //	pc       — §5.3 extension: the ancestor sweep under parent-child joins
+//	parallel — workers-speedup sweep of the parallel join driver
 //	all      — everything above
 //
 // Usage:
@@ -41,6 +42,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		scale   = flag.Float64("scale", 1.0, "corpus size multiplier")
 		buffers = flag.Int("buffers", 100, "buffer pool pages")
+		workers = flag.Int("workers", 4, "maximum worker count for the parallel experiment")
 		csvDir  = flag.String("csv", "", "also write each sweep as CSV files into this directory")
 		jsonOut = flag.String("json", "", "write the machine-readable benchmark report (schema xrtree-bench/1) to this file and exit")
 	)
@@ -107,6 +109,21 @@ func main() {
 				fmt.Printf("\n§5.3 extension — parent-child joins, ancestor sweep (%s)\n", r.Corpus)
 				check(xrtree.FormatScannedTable(os.Stdout, r, "Join-A"))
 			}
+		case "parallel":
+			ws := []int{1}
+			for w := 2; w < *workers; w *= 2 {
+				ws = append(ws, w)
+			}
+			if *workers > 1 {
+				ws = append(ws, *workers)
+			}
+			s := must(xrtree.RunParallelStudy(xrtree.ParallelStudyConfig{
+				Seed:        *seed,
+				Departments: int(25 * *scale),
+				Workers:     ws,
+			}))
+			fmt.Println("\nParallel driver — workers speedup, multi-document employee//name join")
+			check(xrtree.FormatParallelStudy(os.Stdout, s))
 		case "stablist":
 			rows := must(xrtree.RunStabListStudy(xrtree.StabStudyConfig{
 				Seed: *seed, Elements: int(20000 * *scale),
@@ -139,7 +156,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table2", "fig8ab", "table3", "fig8cd", "fig8ef", "stablist", "updates", "ops", "ablation", "pc"} {
+		for _, id := range []string{"table2", "fig8ab", "table3", "fig8cd", "fig8ef", "stablist", "updates", "ops", "ablation", "pc", "parallel"} {
 			fmt.Printf("\n==== %s ====\n", strings.ToUpper(id))
 			run(id)
 		}

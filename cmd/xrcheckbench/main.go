@@ -1,0 +1,149 @@
+// Command xrcheckbench diffs a machine-readable benchmark report (the
+// xrbench -json output) against a committed baseline — by SHAPE, not by
+// timing. CI runs a reduced-scale smoke report and checks that it still
+// has the schema version, sweep structure, algorithm coverage, phase
+// breakdowns, and parallel-study rows of the committed baseline: the kinds
+// of regressions a refactor silently introduces (a sweep dropped, an
+// algorithm skipped, observation wired out) without any timing noise.
+//
+// Usage:
+//
+//	xrcheckbench -baseline BENCH_baseline.json candidate.json
+//
+// Exit status 0 when the candidate matches the baseline's shape; 1 with a
+// list of mismatches otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"xrtree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xrcheckbench: ")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: xrcheckbench [-baseline file] candidate.json")
+	}
+
+	base := load(*baselinePath)
+	cand := load(flag.Arg(0))
+
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if cand.Schema != base.Schema {
+		addf("schema: candidate %q, baseline %q", cand.Schema, base.Schema)
+	}
+	if len(cand.Sweeps) != len(base.Sweeps) {
+		addf("sweeps: candidate has %d, baseline %d", len(cand.Sweeps), len(base.Sweeps))
+	}
+	for i := 0; i < len(base.Sweeps) && i < len(cand.Sweeps); i++ {
+		checkSweep(addf, cand.Sweeps[i], base.Sweeps[i])
+	}
+	checkParallel(addf, cand.Parallel, base.Parallel)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			log.Printf("MISMATCH: %s", p)
+		}
+		log.Fatalf("%d shape mismatches against %s", len(problems), *baselinePath)
+	}
+	fmt.Printf("ok: %s matches the shape of %s (%d sweeps)\n",
+		flag.Arg(0), *baselinePath, len(base.Sweeps))
+}
+
+func checkSweep(addf func(string, ...any), c, b xrtree.BenchSweep) {
+	id := fmt.Sprintf("sweep %s/%s", b.Experiment, b.Corpus)
+	if c.Experiment != b.Experiment || c.Corpus != b.Corpus {
+		addf("%s: candidate has %s/%s in its place", id, c.Experiment, c.Corpus)
+		return
+	}
+	if len(c.Points) != len(b.Points) {
+		addf("%s: %d points, baseline %d", id, len(c.Points), len(b.Points))
+		return
+	}
+	for j, bp := range b.Points {
+		cp := c.Points[j]
+		pid := fmt.Sprintf("%s point %s", id, bp.Label)
+		if cp.Label != bp.Label {
+			addf("%s: candidate label %q", pid, cp.Label)
+			continue
+		}
+		if len(cp.Algorithms) != len(bp.Algorithms) {
+			addf("%s: %d algorithms, baseline %d", pid, len(cp.Algorithms), len(bp.Algorithms))
+			continue
+		}
+		for k, ba := range bp.Algorithms {
+			ca := cp.Algorithms[k]
+			aid := fmt.Sprintf("%s alg %s", pid, ba.Alg)
+			if ca.Alg != ba.Alg {
+				addf("%s: candidate has %s in its place", aid, ca.Alg)
+				continue
+			}
+			// Shape of the observation, not its values: the smoke run must
+			// still carry a phase breakdown and an event snapshot, and a
+			// join that produced pairs in the baseline must produce pairs.
+			if ca.Phases == nil {
+				addf("%s: phase breakdown missing", aid)
+			} else if *ca.Phases == (xrtree.JoinPhases{}) && *ba.Phases != (xrtree.JoinPhases{}) {
+				addf("%s: phase breakdown empty", aid)
+			}
+			if ca.Events == nil {
+				addf("%s: event snapshot missing", aid)
+			}
+			if ba.OutputPairs > 0 && ca.OutputPairs == 0 {
+				addf("%s: no output pairs (baseline had %d)", aid, ba.OutputPairs)
+			}
+		}
+	}
+}
+
+func checkParallel(addf func(string, ...any), c, b *xrtree.ParallelStudy) {
+	if b == nil {
+		return
+	}
+	if c == nil {
+		addf("parallel study missing from candidate")
+		return
+	}
+	if len(c.Rows) != len(b.Rows) {
+		addf("parallel study: %d rows, baseline %d", len(c.Rows), len(b.Rows))
+		return
+	}
+	for i, br := range b.Rows {
+		cr := c.Rows[i]
+		if cr.Workers != br.Workers {
+			addf("parallel row %d: workers %d, baseline %d", i, cr.Workers, br.Workers)
+		}
+		if cr.Pairs == 0 || cr.ElementsScanned == 0 {
+			addf("parallel row %d (workers=%d): empty measurement", i, cr.Workers)
+		}
+		if cr.Pairs != c.Rows[0].Pairs {
+			addf("parallel row %d (workers=%d): %d pairs, row 0 has %d — worker counts must not change results",
+				i, cr.Workers, cr.Pairs, c.Rows[0].Pairs)
+		}
+	}
+}
+
+func load(path string) *xrtree.BenchReport {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var rep xrtree.BenchReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return &rep
+}

@@ -11,6 +11,9 @@ package xrtree
 import (
 	"fmt"
 	"sort"
+
+	"xrtree/internal/join"
+	"xrtree/internal/metrics"
 )
 
 // Collection indexes tag sets across multiple documents and runs
@@ -71,6 +74,51 @@ func (c *Collection) Join(alg Algorithm, mode Mode, ancTag, descTag string, emit
 		}
 	}
 	return nil
+}
+
+// ParallelJoinOptions configures Collection.ParallelJoin.
+type ParallelJoinOptions struct {
+	// Workers is the number of join goroutines; ≤ 0 selects GOMAXPROCS,
+	// 1 degrades to the sequential per-document loop.
+	Workers int
+}
+
+// ParallelJoin is Collection.Join distributed over a worker pool: the join
+// partitions by DocId (pairs never cross documents, §2.2), each worker
+// runs whole per-document joins, and results reach emit in document order
+// — the exact pair stream of the sequential Join. Costs from every worker
+// are merged into st after the pool drains, so st needs no atomicity; a
+// Tracer carried by st must be safe for concurrent use (Collector is).
+// Index building happens up front in the calling goroutine and is not
+// parallelized.
+func (c *Collection) ParallelJoin(alg Algorithm, mode Mode, ancTag, descTag string, emit EmitFunc, st *Stats, opts ParallelJoinOptions) error {
+	var tasks []join.Task
+	for _, idx := range c.docs {
+		as := idx.doc.ElementsByTag(ancTag)
+		ds := idx.doc.ElementsByTag(descTag)
+		if len(as) == 0 || len(ds) == 0 {
+			continue
+		}
+		a, err := c.setFor(idx, ancTag, as)
+		if err != nil {
+			return err
+		}
+		d, err := c.setFor(idx, descTag, ds)
+		if err != nil {
+			return err
+		}
+		docID := idx.doc.DocID
+		tasks = append(tasks, join.Task{
+			DocID: docID,
+			Run: func(emit EmitFunc, jc *metrics.Counters) error {
+				if err := Join(alg, mode, a, d, emit, jc); err != nil {
+					return fmt.Errorf("xrtree: DocID %d: %w", docID, err)
+				}
+				return nil
+			},
+		})
+	}
+	return join.Parallel(tasks, join.Options{Workers: opts.Workers}, emit, st)
 }
 
 // setFor builds (or reuses) the full three-path index for a tag within one

@@ -10,11 +10,22 @@
 // observe page misses. Iterators support SeekGE, the primitive the B+ join
 // algorithm uses to skip descendants ("range queries"), and sequential
 // scans over the leaf chain.
+//
+// # Concurrency
+//
+// A Tree carries a coarse read/write latch: Insert, Delete and BulkLoad
+// hold it exclusively; Lookup and SeekGE hold it shared for the duration of
+// one descent. Iterators release the latch between calls by working on a
+// private copy of the current leaf (see Iterator), so readers — including
+// multiple iterators per goroutine — never deadlock against queued
+// writers. Query paths attribute costs to caller-supplied counters, never
+// to the shared tree sink.
 package btree
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"xrtree/internal/bufferpool"
 	"xrtree/internal/metrics"
@@ -74,7 +85,12 @@ type Tree struct {
 	leafCap int // max elements per leaf
 	intCap  int // max keys per internal node
 
-	c *metrics.Counters // optional counter sink
+	// latch is the tree's coarse reader/writer latch: writers (Insert,
+	// Delete, BulkLoad) hold it exclusively, readers take it shared per
+	// descent or per leaf hop.
+	latch sync.RWMutex
+
+	c *metrics.Counters // optional counter sink, used by write paths only
 }
 
 // New creates an empty tree whose pages come from pool's file.
@@ -179,6 +195,27 @@ func (t *Tree) countLeaf() {
 func (t *Tree) countScan(n int) {
 	if t.c != nil {
 		t.c.ElementsScanned += int64(n)
+	}
+}
+
+// The add* helpers attribute costs to an explicit counter set; query paths
+// use them (instead of the tree-attached sink) so concurrent readers never
+// share mutable counter state.
+func addNode(c *metrics.Counters) {
+	if c != nil {
+		c.IndexNodeReads++
+	}
+}
+
+func addLeaf(c *metrics.Counters) {
+	if c != nil {
+		c.LeafReads++
+	}
+}
+
+func addScan(c *metrics.Counters, n int64) {
+	if c != nil {
+		c.ElementsScanned += n
 	}
 }
 

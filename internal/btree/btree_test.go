@@ -68,7 +68,7 @@ func TestInsertLookupScan(t *testing.T) {
 		t.Errorf("Height = %d, want ≥ 3 with 256B pages", tr.Height())
 	}
 	for _, k := range keys {
-		e, err := tr.Lookup(uint32(k*2 + 1))
+		e, err := tr.Lookup(uint32(k*2+1), nil)
 		if err != nil {
 			t.Fatalf("Lookup(%d): %v", k*2+1, err)
 		}
@@ -76,7 +76,7 @@ func TestInsertLookupScan(t *testing.T) {
 			t.Fatalf("Lookup(%d) = %v", k*2+1, e)
 		}
 	}
-	if _, err := tr.Lookup(4); !errors.Is(err, ErrNotFound) {
+	if _, err := tr.Lookup(4, nil); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Lookup(missing) err = %v, want ErrNotFound", err)
 	}
 	got := collect(t, tr)
@@ -193,7 +193,7 @@ func TestDeleteSimple(t *testing.T) {
 		t.Errorf("Len = %d, want 250", tr.Len())
 	}
 	for i := 1; i <= 500; i++ {
-		_, err := tr.Lookup(uint32(i))
+		_, err := tr.Lookup(uint32(i), nil)
 		if i%2 == 1 && !errors.Is(err, ErrNotFound) {
 			t.Fatalf("Lookup(%d) after delete: %v", i, err)
 		}
@@ -329,7 +329,7 @@ func TestBulkLoadMatchesInserts(t *testing.T) {
 	if err := tr.Delete(1); err != nil {
 		t.Fatalf("Delete after BulkLoad: %v", err)
 	}
-	if _, err := tr.Lookup(4); err != nil {
+	if _, err := tr.Lookup(4, nil); err != nil {
 		t.Errorf("Lookup(4): %v", err)
 	}
 }
@@ -392,7 +392,7 @@ func TestOpenReattaches(t *testing.T) {
 	if tr2.Len() != 100 || tr2.DocID() != 42 || tr2.Height() != tr.Height() {
 		t.Errorf("reopened tree: len=%d docID=%d h=%d", tr2.Len(), tr2.DocID(), tr2.Height())
 	}
-	if _, err := tr2.Lookup(50); err != nil {
+	if _, err := tr2.Lookup(50, nil); err != nil {
 		t.Errorf("Lookup after Open: %v", err)
 	}
 }

@@ -10,6 +10,8 @@ import (
 // Delete removes the element with the given start key. It returns
 // ErrNotFound if no such element exists.
 func (t *Tree) Delete(key uint32) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	if _, err := t.deleteFrom(t.root, t.h, key); err != nil {
 		return err
 	}

@@ -14,6 +14,8 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 	if e.DocID != t.docID {
 		return fmt.Errorf("btree: insert of DocID %d into tree for DocID %d", e.DocID, t.docID)
 	}
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	promoKey, promoChild, err := t.insertInto(t.root, t.h, e)
 	if err != nil {
 		return err
@@ -217,6 +219,8 @@ func insertIntEntry(data []byte, ci, m int, key uint32, child pagefile.PageID) {
 // must be empty. fill is the target leaf occupancy in (0,1]; 0 means 1.0
 // (fully packed, which is what the read-only join experiments use).
 func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	if t.count != 0 {
 		return fmt.Errorf("btree: BulkLoad into non-empty tree (%d elements)", t.count)
 	}

@@ -2,6 +2,7 @@ package btree
 
 import (
 	"fmt"
+	"sync"
 
 	"xrtree/internal/metrics"
 	"xrtree/internal/obs"
@@ -9,111 +10,101 @@ import (
 	"xrtree/internal/xmldoc"
 )
 
-// Lookup returns the element whose start equals key, or ErrNotFound.
-func (t *Tree) Lookup(key uint32) (xmldoc.Element, error) {
-	id, data, err := t.descendToLeaf(key)
+// pageBufs pools the per-iterator leaf-copy buffers; XR joins open
+// thousands of short-lived iterators, so Seek/Close must not allocate.
+var pageBufs sync.Pool
+
+func getPageBuf(n int) []byte {
+	if v := pageBufs.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putPageBuf(b []byte) {
+	if b != nil {
+		pageBufs.Put(&b)
+	}
+}
+
+// Lookup returns the element whose start equals key, or ErrNotFound, with
+// costs attributed to c (nil discards them). Safe for concurrent readers.
+func (t *Tree) Lookup(key uint32, c *metrics.Counters) (xmldoc.Element, error) {
+	buf := getPageBuf(t.pool.File().PageSize())
+	defer putPageBuf(buf)
+	t.latch.RLock()
+	err := t.descendToLeafCopy(key, c, buf)
+	t.latch.RUnlock()
 	if err != nil {
 		return xmldoc.Element{}, err
 	}
-	defer t.pool.Unpin(id, false)
-	pos := leafSearch(data, key)
-	if pos < leafCount(data) && leafKey(data, pos) == key {
-		e := leafElem(data, pos)
+	pos := leafSearch(buf, key)
+	if pos < leafCount(buf) && leafKey(buf, pos) == key {
+		e := leafElem(buf, pos)
 		e.DocID = t.docID
-		t.countScan(1)
+		addScan(c, 1)
 		return e, nil
 	}
 	return xmldoc.Element{}, fmt.Errorf("%w: start %d", ErrNotFound, key)
 }
 
-// descendToLeaf walks from the root to the leaf that would contain key,
-// returning the pinned leaf. The caller must unpin it.
-func (t *Tree) descendToLeaf(key uint32) (pagefile.PageID, []byte, error) {
+// descendToLeafCopy walks from the root to the leaf that would contain key,
+// copying each visited page into buf through the pool (so nothing stays
+// pinned); on return buf holds the leaf. The caller must hold t.latch in at
+// least read mode.
+func (t *Tree) descendToLeafCopy(key uint32, c *metrics.Counters, buf []byte) error {
 	id := t.root
 	for level := t.h; ; level-- {
-		data, err := t.pool.Fetch(id)
-		if err != nil {
-			return pagefile.InvalidPage, nil, err
+		if err := t.pool.FetchCopy(id, buf); err != nil {
+			return err
 		}
 		if level == 1 {
-			if !isLeaf(data) {
-				t.pool.Unpin(id, false)
-				return pagefile.InvalidPage, nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
+			if !isLeaf(buf) {
+				return fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
 			}
-			t.countLeaf()
-			t.c.Emit(obs.EvIndexDescend, int64(t.h))
-			return id, data, nil
+			addLeaf(c)
+			c.Emit(obs.EvIndexDescend, int64(t.h))
+			return nil
 		}
-		if isLeaf(data) {
-			t.pool.Unpin(id, false)
-			return pagefile.InvalidPage, nil, fmt.Errorf("%w: unexpected leaf at height %d", ErrCorrupt, level)
+		if isLeaf(buf) {
+			return fmt.Errorf("%w: unexpected leaf at height %d", ErrCorrupt, level)
 		}
-		t.countNode()
-		child := intChild(data, intSearch(data, key))
-		if err := t.pool.Unpin(id, false); err != nil {
-			return pagefile.InvalidPage, nil, err
-		}
-		id = child
+		addNode(c)
+		id = intChild(buf, intSearch(buf, key))
 	}
 }
 
-// Iterator walks leaf entries in ascending start order. At most one page is
-// pinned at a time; Close releases it.
+// Iterator walks leaf entries in ascending start order. It owns a private
+// copy of the current leaf, so it holds no pin and no latch between calls:
+// any number of iterators — including several on one tree within a single
+// goroutine, as self-joins do — coexist with each other and with point
+// queries. A scan that races a concurrent Delete's page merge may observe a
+// recycled page; that is detected (ErrCorrupt) rather than latched away,
+// keeping iterators deadlock-free. Close returns the page copy to a pool.
 type Iterator struct {
-	t      *Tree
-	c      *metrics.Counters
-	pageID pagefile.PageID
-	data   []byte
-	idx    int
-	err    error
-	done   bool
+	t    *Tree
+	c    *metrics.Counters
+	buf  []byte
+	idx  int
+	err  error
+	done bool
 }
 
 // SeekGE returns an iterator positioned at the first element with
 // start ≥ key. This is the range-query primitive of the B+ join algorithm.
 // Safe for concurrent readers.
 func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
-	id, data, err := t.descendToLeafCounted(key, c)
+	buf := getPageBuf(t.pool.File().PageSize())
+	t.latch.RLock()
+	err := t.descendToLeafCopy(key, c, buf)
+	t.latch.RUnlock()
 	if err != nil {
+		putPageBuf(buf)
 		return nil, err
 	}
-	it := &Iterator{t: t, c: c, pageID: id, data: data, idx: leafSearch(data, key)}
-	return it, nil
-}
-
-// descendToLeafCounted is descendToLeaf with costs attributed to an
-// explicit counter set instead of the tree-attached sink.
-func (t *Tree) descendToLeafCounted(key uint32, c *metrics.Counters) (pagefile.PageID, []byte, error) {
-	id := t.root
-	for level := t.h; ; level-- {
-		data, err := t.pool.Fetch(id)
-		if err != nil {
-			return pagefile.InvalidPage, nil, err
-		}
-		if level == 1 {
-			if !isLeaf(data) {
-				t.pool.Unpin(id, false)
-				return pagefile.InvalidPage, nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
-			}
-			if c != nil {
-				c.LeafReads++
-			}
-			c.Emit(obs.EvIndexDescend, int64(t.h))
-			return id, data, nil
-		}
-		if isLeaf(data) {
-			t.pool.Unpin(id, false)
-			return pagefile.InvalidPage, nil, fmt.Errorf("%w: unexpected leaf at height %d", ErrCorrupt, level)
-		}
-		if c != nil {
-			c.IndexNodeReads++
-		}
-		child := intChild(data, intSearch(data, key))
-		if err := t.pool.Unpin(id, false); err != nil {
-			return pagefile.InvalidPage, nil, err
-		}
-		id = child
-	}
+	return &Iterator{t: t, c: c, buf: buf, idx: leafSearch(buf, key)}, nil
 }
 
 // Scan returns an iterator over the whole tree from the smallest start.
@@ -128,36 +119,15 @@ func (it *Iterator) Next() (xmldoc.Element, bool) {
 		return xmldoc.Element{}, false
 	}
 	for {
-		if it.idx < leafCount(it.data) {
-			e := leafElem(it.data, it.idx)
+		if it.idx < leafCount(it.buf) {
+			e := leafElem(it.buf, it.idx)
 			e.DocID = it.t.docID
 			it.idx++
-			if it.c != nil {
-				it.c.ElementsScanned++
-			}
+			addScan(it.c, 1)
 			return e, true
 		}
-		next := leafNext(it.data)
-		if err := it.t.pool.Unpin(it.pageID, false); err != nil {
-			it.err = err
-			it.data = nil
+		if !it.advancePage() {
 			return xmldoc.Element{}, false
-		}
-		it.data = nil
-		if next == pagefile.InvalidPage {
-			it.done = true
-			return xmldoc.Element{}, false
-		}
-		data, err := it.t.pool.Fetch(next)
-		if err != nil {
-			it.err = err
-			return xmldoc.Element{}, false
-		}
-		it.pageID = next
-		it.data = data
-		it.idx = 0
-		if it.c != nil {
-			it.c.LeafReads++
 		}
 	}
 }
@@ -167,50 +137,54 @@ func (it *Iterator) Peek() (xmldoc.Element, bool) {
 	if it.err != nil || it.done {
 		return xmldoc.Element{}, false
 	}
-	// Advance page boundaries without consuming.
-	for it.idx >= leafCount(it.data) {
-		next := leafNext(it.data)
-		if err := it.t.pool.Unpin(it.pageID, false); err != nil {
-			it.err = err
-			it.data = nil
+	for it.idx >= leafCount(it.buf) {
+		if !it.advancePage() {
 			return xmldoc.Element{}, false
-		}
-		it.data = nil
-		if next == pagefile.InvalidPage {
-			it.done = true
-			return xmldoc.Element{}, false
-		}
-		data, err := it.t.pool.Fetch(next)
-		if err != nil {
-			it.err = err
-			return xmldoc.Element{}, false
-		}
-		it.pageID = next
-		it.data = data
-		it.idx = 0
-		if it.c != nil {
-			it.c.LeafReads++
 		}
 	}
-	e := leafElem(it.data, it.idx)
+	e := leafElem(it.buf, it.idx)
 	e.DocID = it.t.docID
 	return e, true
+}
+
+// advancePage replaces the iterator's leaf copy with the next leaf on the
+// chain, re-taking the tree latch for the hop.
+func (it *Iterator) advancePage() bool {
+	next := leafNext(it.buf)
+	if next == pagefile.InvalidPage {
+		it.done = true
+		return false
+	}
+	t := it.t
+	t.latch.RLock()
+	err := t.pool.FetchCopy(next, it.buf)
+	t.latch.RUnlock()
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if !isLeaf(it.buf) {
+		// The page was merged away and recycled between hops.
+		it.err = fmt.Errorf("%w: leaf chain broken at page %d by a concurrent structural change", ErrCorrupt, next)
+		return false
+	}
+	it.idx = 0
+	if it.c != nil {
+		it.c.LeafReads++
+	}
+	return true
 }
 
 // Err returns the first iteration error.
 func (it *Iterator) Err() error { return it.err }
 
-// Close releases the iterator's pin. Safe to call multiple times.
+// Close releases the iterator's page copy. Safe to call multiple times.
 func (it *Iterator) Close() error {
-	if it.data != nil {
-		err := it.t.pool.Unpin(it.pageID, false)
-		it.data = nil
-		if it.err == nil {
-			it.err = err
-		}
-		return err
+	if it.buf != nil {
+		putPageBuf(it.buf)
+		it.buf = nil
 	}
-	return nil
+	return it.err
 }
 
 // Range returns all elements with start in [lo, hi], a convenience wrapper

@@ -10,6 +10,19 @@
 // that varying the pool size does not essentially change the results; the
 // default here is likewise 100 frames and the size is configurable for the
 // ablation benchmark.
+//
+// # Sharding
+//
+// The pool is lock-striped: frames are partitioned into a power-of-two
+// number of shards keyed by page id, each shard owning its own mutex,
+// frame map, and LRU list, so concurrent queries on different pages never
+// contend on one global lock. Page ids are allocated sequentially, so the
+// modulo mapping spreads a tree's pages round-robin across shards.
+// Replacement is LRU within a shard (an approximation of global LRU with
+// the same worst-case bound: a shard holds capacity/shards frames). The
+// shard count defaults to a heuristic — the largest power of two ≤ 8 that
+// keeps every shard at ≥ 16 frames — so small pools (including every
+// eviction-order test fixture) keep exact single-LRU semantics.
 package bufferpool
 
 import (
@@ -25,6 +38,14 @@ import (
 
 // DefaultFrames is the default pool capacity in frames, matching §6.1.
 const DefaultFrames = 100
+
+// Shard-count heuristic bounds: shards never exceed maxShards and never
+// hold fewer than minFramesPerShard frames (so a single descent can always
+// pin its whole root-to-leaf path inside one shard).
+const (
+	maxShards         = 8
+	minFramesPerShard = 16
+)
 
 // Errors returned by the pool.
 var (
@@ -47,15 +68,24 @@ type frame struct {
 	onLRU      bool
 }
 
-// Pool is a buffer pool over a single pagefile.File. All methods are safe
-// for concurrent use.
-type Pool struct {
+// shard is one lock-striped partition of the pool: its own mutex, frame
+// map, and LRU list over its slice of the capacity.
+type shard struct {
 	mu     sync.Mutex
-	file   *pagefile.File
 	frames map[pagefile.PageID]*frame
 	// lruHead is most recently unpinned; lruTail is the eviction victim.
 	lruHead, lruTail *frame
 	cap              int
+}
+
+// Pool is a sharded buffer pool over a single pagefile.File. All methods
+// are safe for concurrent use; per-page pin counts are protected by the
+// owning shard's mutex.
+type Pool struct {
+	file   *pagefile.File
+	shards []*shard
+	mask   uint32 // len(shards)-1; len(shards) is a power of two
+	cap    int
 
 	// stats are the pool's always-on counters, atomic so Stats snapshots
 	// never race with concurrent fetches.
@@ -63,14 +93,19 @@ type Pool struct {
 	// sink, when non-nil, also receives hit/miss/eviction increments;
 	// experiments point this at their per-run counter set. Increments use
 	// atomic adds on the sink's fields so a sink shared between concurrent
-	// queries does not race (the owner still reads it plainly after
-	// detaching, which SetSink's mutex makes safe). The sink's Tracer, if
-	// set, receives PageEvict events.
-	sink *metrics.Counters
+	// queries does not race. The owner may read the sink plainly only
+	// after detaching AND after every concurrent operation on the pool has
+	// returned (AttachStats callers detach after their join finishes). The
+	// sink's Tracer, if set, receives PageEvict events.
+	sink atomic.Pointer[metrics.Counters]
 
 	// series, when enabled, records the hit rate of every window of page
 	// accesses — the hit-rate-over-time view of the paper's dominant cost.
-	series hitRateSeries
+	// seriesOn mirrors series.window != 0 so the disabled fast path is one
+	// atomic load instead of a mutex acquisition.
+	seriesMu sync.Mutex
+	seriesOn atomic.Bool
+	series   hitRateSeries
 }
 
 // hitRateSeries accumulates a bounded hit-rate time series. When the point
@@ -110,16 +145,49 @@ func (s *hitRateSeries) record(hit bool) {
 	}
 }
 
-// New creates a pool of capacity frames over file. Capacity must be ≥ 1.
+// defaultShards returns the heuristic shard count for a pool of the given
+// capacity: the largest power of two ≤ maxShards with at least
+// minFramesPerShard frames per shard. Deterministic in the capacity alone,
+// so experiment miss counts do not depend on the host.
+func defaultShards(capacity int) int {
+	n := 1
+	for n < maxShards && capacity/(n*2) >= minFramesPerShard {
+		n *= 2
+	}
+	return n
+}
+
+// New creates a pool of capacity frames over file with the heuristic shard
+// count. Capacity must be ≥ 1.
 func New(file *pagefile.File, capacity int) (*Pool, error) {
+	return NewSharded(file, capacity, 0)
+}
+
+// NewSharded creates a pool with an explicit shard count (rounded up to a
+// power of two, clamped to capacity); shards ≤ 0 selects the heuristic.
+func NewSharded(file *pagefile.File, capacity, shards int) (*Pool, error) {
 	if capacity <= 0 {
 		return nil, ErrZeroFrames
 	}
-	return &Pool{
-		file:   file,
-		frames: make(map[pagefile.PageID]*frame, capacity),
-		cap:    capacity,
-	}, nil
+	if shards <= 0 {
+		shards = defaultShards(capacity)
+	}
+	for shards > capacity {
+		shards /= 2
+	}
+	n := 1
+	for n < shards {
+		n *= 2
+	}
+	p := &Pool{file: file, shards: make([]*shard, n), mask: uint32(n - 1), cap: capacity}
+	for i := range p.shards {
+		c := capacity / n
+		if i < capacity%n {
+			c++
+		}
+		p.shards[i] = &shard{frames: make(map[pagefile.PageID]*frame, c), cap: c}
+	}
+	return p, nil
 }
 
 // File returns the underlying paged file.
@@ -128,14 +196,21 @@ func (p *Pool) File() *pagefile.File { return p.file }
 // Capacity returns the pool capacity in frames.
 func (p *Pool) Capacity() int { return p.cap }
 
+// Shards returns the number of lock-striped partitions.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardFor maps a page id to its owning shard. Sequential allocation makes
+// this a round-robin spread.
+func (p *Pool) shardFor(id pagefile.PageID) *shard {
+	return p.shards[uint32(id)&p.mask]
+}
+
 // SetSink directs hit/miss/eviction counting to c in addition to the
-// pool's own statistics. Pass nil to detach. Attaching and detaching
-// through the pool mutex establishes the happens-before edge that lets the
-// owner read the sink plainly after detaching.
+// pool's own statistics. Pass nil to detach. Increments use atomic adds,
+// so attaching is immediately safe; plain reads of the sink are safe once
+// it is detached and no pool operation is in flight.
 func (p *Pool) SetSink(c *metrics.Counters) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.sink = c
+	p.sink.Store(c)
 }
 
 // Stats returns a snapshot view of the pool's atomic counters in the
@@ -158,49 +233,72 @@ func (p *Pool) ResetStats() {
 // fills, adjacent points merge and the effective window doubles, so the
 // series stays bounded. Enabling resets any prior series.
 func (p *Pool) EnableHitRateSeries(window int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.seriesMu.Lock()
+	defer p.seriesMu.Unlock()
 	if window < 0 {
 		window = 0
 	}
 	p.series = hitRateSeries{window: window}
+	p.seriesOn.Store(window != 0)
 }
 
 // HitRateSeries returns the recorded hit-rate points and the number of
 // page accesses each point currently spans (0 when disabled).
 func (p *Pool) HitRateSeries() (window int, points []float64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.seriesMu.Lock()
+	defer p.seriesMu.Unlock()
 	out := make([]float64, len(p.series.points))
 	copy(out, p.series.points)
 	return p.series.window, out
 }
 
-// --- intrusive LRU list ---------------------------------------------------
-
-func (p *Pool) lruPushFront(f *frame) {
-	f.prev = nil
-	f.next = p.lruHead
-	if p.lruHead != nil {
-		p.lruHead.prev = f
+// countAccess records one pool lookup in the always-on stats, the attached
+// sink, and (when enabled) the hit-rate series.
+func (p *Pool) countAccess(hit bool) {
+	if hit {
+		p.stats.BufferHits.Add(1)
+	} else {
+		p.stats.BufferMisses.Add(1)
 	}
-	p.lruHead = f
-	if p.lruTail == nil {
-		p.lruTail = f
+	if sink := p.sink.Load(); sink != nil {
+		if hit {
+			atomic.AddInt64(&sink.BufferHits, 1)
+		} else {
+			atomic.AddInt64(&sink.BufferMisses, 1)
+		}
+	}
+	if p.seriesOn.Load() {
+		p.seriesMu.Lock()
+		p.series.record(hit)
+		p.seriesMu.Unlock()
+	}
+}
+
+// --- intrusive LRU list (per shard) ----------------------------------------
+
+func (s *shard) lruPushFront(f *frame) {
+	f.prev = nil
+	f.next = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.prev = f
+	}
+	s.lruHead = f
+	if s.lruTail == nil {
+		s.lruTail = f
 	}
 	f.onLRU = true
 }
 
-func (p *Pool) lruRemove(f *frame) {
+func (s *shard) lruRemove(f *frame) {
 	if f.prev != nil {
 		f.prev.next = f.next
 	} else {
-		p.lruHead = f.next
+		s.lruHead = f.next
 	}
 	if f.next != nil {
 		f.next.prev = f.prev
 	} else {
-		p.lruTail = f.prev
+		s.lruTail = f.prev
 	}
 	f.prev, f.next = nil, nil
 	f.onLRU = false
@@ -210,33 +308,60 @@ func (p *Pool) lruRemove(f *frame) {
 // aliases the frame and is valid until the matching Unpin. Callers that
 // modify the bytes must pass dirty=true to Unpin.
 func (p *Pool) Fetch(id pagefile.PageID) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
-		p.stats.BufferHits.Add(1)
-		if p.sink != nil {
-			atomic.AddInt64(&p.sink.BufferHits, 1)
-		}
-		p.series.record(true)
-		p.pinLocked(f)
-		return f.data, nil
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := p.fetchLocked(s, id)
+	if err != nil {
+		return nil, err
 	}
-	p.stats.BufferMisses.Add(1)
-	if p.sink != nil {
-		atomic.AddInt64(&p.sink.BufferMisses, 1)
+	s.pinLocked(f)
+	return f.data, nil
+}
+
+// FetchCopy copies page id into dst (which must be PageSize bytes) with
+// the same hit/miss accounting as Fetch, but leaves nothing pinned: the
+// copy happens under the shard mutex. Iterators use it so they never hold
+// pins between calls. Callers must ensure no concurrent writer is mutating
+// the page's bytes (the index latching protocol does).
+func (p *Pool) FetchCopy(id pagefile.PageID, dst []byte) error {
+	if len(dst) != p.file.PageSize() {
+		return fmt.Errorf("bufferpool: FetchCopy buffer is %d bytes, want %d", len(dst), p.file.PageSize())
 	}
-	p.series.record(false)
-	f, err := p.admitLocked(id)
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := p.fetchLocked(s, id)
+	if err != nil {
+		return err
+	}
+	copy(dst, f.data)
+	if f.pins == 0 && !f.onLRU {
+		// Freshly admitted by this call: make it a replacement candidate.
+		s.lruPushFront(f)
+	}
+	return nil
+}
+
+// fetchLocked returns the resident frame for page id, admitting and
+// reading it on a miss. The caller holds s.mu; the returned frame is not
+// pinned by this call (a missed frame is registered but off the LRU).
+func (p *Pool) fetchLocked(s *shard, id pagefile.PageID) (*frame, error) {
+	if f, ok := s.frames[id]; ok {
+		p.countAccess(true)
+		return f, nil
+	}
+	p.countAccess(false)
+	f, err := p.admitLocked(s, id)
 	if err != nil {
 		return nil, err
 	}
 	if err := p.file.ReadPage(id, f.data); err != nil {
 		// Admission failed; drop the frame entirely.
-		delete(p.frames, id)
+		delete(s.frames, id)
 		return nil, err
 	}
-	p.pinLocked(f)
-	return f.data, nil
+	return f, nil
 }
 
 // FetchNew allocates a new page in the file, pins it, and returns its id
@@ -247,24 +372,26 @@ func (p *Pool) FetchNew() (pagefile.PageID, []byte, error) {
 	if err != nil {
 		return pagefile.InvalidPage, nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, err := p.admitLocked(id)
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := p.admitLocked(s, id)
 	if err != nil {
 		return pagefile.InvalidPage, nil, err
 	}
 	clear(f.data)
 	f.dirty = true
-	p.pinLocked(f)
+	s.pinLocked(f)
 	return id, f.data, nil
 }
 
 // Unpin releases one pin on page id. dirty marks the page as modified so it
 // is written back before eviction.
 func (p *Pool) Unpin(id pagefile.PageID, dirty bool) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok {
 		return fmt.Errorf("%w: page %d", ErrBadUnpin, id)
 	}
@@ -276,7 +403,7 @@ func (p *Pool) Unpin(id pagefile.PageID, dirty bool) error {
 	}
 	f.pins--
 	if f.pins == 0 {
-		p.lruPushFront(f)
+		s.lruPushFront(f)
 	}
 	return nil
 }
@@ -284,30 +411,34 @@ func (p *Pool) Unpin(id pagefile.PageID, dirty bool) error {
 // Discard drops page id from the pool without writing it back and frees it
 // in the file. The page must be pinned exactly once by the caller.
 func (p *Pool) Discard(id pagefile.PageID) error {
-	p.mu.Lock()
-	f, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	f, ok := s.frames[id]
 	if !ok {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return fmt.Errorf("%w: page %d", ErrBadUnpin, id)
 	}
 	if f.pins != 1 {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return fmt.Errorf("bufferpool: discard of page %d with %d pins", id, f.pins)
 	}
-	delete(p.frames, id)
-	p.mu.Unlock()
+	delete(s.frames, id)
+	s.mu.Unlock()
 	return p.file.Free(id)
 }
 
 // FlushAll writes every dirty frame back to the file. Pinned frames are
 // flushed too (they stay pinned and in the pool).
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if err := p.flushLocked(f); err != nil {
-			return err
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if err := p.flushLocked(f); err != nil {
+				s.mu.Unlock()
+				return err
+			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -315,66 +446,71 @@ func (p *Pool) FlushAll() error {
 // DropClean evicts every unpinned frame after flushing it; useful between
 // experiment runs to cold-start the cache deterministically.
 func (p *Pool) DropClean() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for f := p.lruHead; f != nil; {
-		next := f.next
-		if err := p.flushLocked(f); err != nil {
-			return err
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for f := s.lruHead; f != nil; {
+			next := f.next
+			if err := p.flushLocked(f); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			s.lruRemove(f)
+			delete(s.frames, f.id)
+			f = next
 		}
-		p.lruRemove(f)
-		delete(p.frames, f.id)
-		f = next
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // PinnedCount returns the number of frames currently pinned (for tests).
 func (p *Pool) PinnedCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			n++
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.pins > 0 {
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
-func (p *Pool) pinLocked(f *frame) {
+func (s *shard) pinLocked(f *frame) {
 	if f.pins == 0 && f.onLRU {
-		p.lruRemove(f)
+		s.lruRemove(f)
 	}
 	f.pins++
 }
 
-// admitLocked finds a frame for page id, evicting the LRU unpinned frame
-// when the pool is at capacity. The returned frame is registered in the
-// frame map with zero pins and stale data.
-func (p *Pool) admitLocked(id pagefile.PageID) (*frame, error) {
-	if len(p.frames) >= p.cap {
-		victim := p.lruTail
+// admitLocked finds a frame for page id within shard s, evicting the
+// shard's LRU unpinned frame when the shard is at capacity. The returned
+// frame is registered in the frame map with zero pins and stale data.
+func (p *Pool) admitLocked(s *shard, id pagefile.PageID) (*frame, error) {
+	if len(s.frames) >= s.cap {
+		victim := s.lruTail
 		if victim == nil {
-			return nil, fmt.Errorf("%w (%d frames)", ErrPoolFull, p.cap)
+			return nil, fmt.Errorf("%w (%d of %d shard frames)", ErrPoolFull, s.cap, p.cap)
 		}
 		if err := p.flushLocked(victim); err != nil {
 			return nil, err
 		}
 		p.stats.PageEvictions.Add(1)
-		if p.sink != nil {
-			atomic.AddInt64(&p.sink.PageEvictions, 1)
-			p.sink.Emit(obs.EvPageEvict, 1)
+		if sink := p.sink.Load(); sink != nil {
+			atomic.AddInt64(&sink.PageEvictions, 1)
+			sink.Emit(obs.EvPageEvict, 1)
 		}
-		p.lruRemove(victim)
-		delete(p.frames, victim.id)
+		s.lruRemove(victim)
+		delete(s.frames, victim.id)
 		victim.id = id
 		victim.dirty = false
-		p.frames[id] = victim
+		s.frames[id] = victim
 		return victim, nil
 	}
 	f := &frame{id: id, data: make([]byte, p.file.PageSize())}
-	p.frames[id] = f
+	s.frames[id] = f
 	return f, nil
 }
 

@@ -16,6 +16,8 @@ import (
 // be empty. fill is the target page occupancy in (0,1]; 0 means fully
 // packed.
 func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	if t.count != 0 {
 		return fmt.Errorf("xrtree: BulkLoad into non-empty tree (%d elements)", t.count)
 	}

@@ -23,6 +23,8 @@ import (
 //     its leaf InStabList flag mirrors that; elements in stab lists exist
 //     in leaves; the meta stab counters match reality.
 func (t *Tree) CheckInvariants() error {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
 	ck := &checker{t: t}
 	if _, _, _, err := ck.walk(t.root, t.h, 0, ^uint32(0), nil); err != nil {
 		return err

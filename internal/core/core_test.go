@@ -408,10 +408,10 @@ func TestDuplicateAndErrors(t *testing.T) {
 	if err := tr.Delete(999); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Delete(missing) err = %v", err)
 	}
-	if _, err := tr.Lookup(999); !errors.Is(err, ErrNotFound) {
+	if _, err := tr.Lookup(999, nil); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Lookup(missing) err = %v", err)
 	}
-	got, err := tr.Lookup(5)
+	got, err := tr.Lookup(5, nil)
 	if err != nil || got.End != 10 {
 		t.Errorf("Lookup(5) = %v, %v", got, err)
 	}

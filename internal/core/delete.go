@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"xrtree/internal/metrics"
 	"xrtree/internal/obs"
 	"xrtree/internal/pagefile"
 	"xrtree/internal/xmldoc"
@@ -20,9 +21,11 @@ import (
 // Delete removes the element whose region starts at start. It returns
 // ErrNotFound if no such element is indexed.
 func (t *Tree) Delete(start uint32) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	// Resolve the full region first so the destructive descent cannot fail
 	// halfway (the stab entry is keyed by the region, not just the start).
-	e, err := t.Lookup(start)
+	e, err := t.lookupLocked(start, t.c)
 	if err != nil {
 		return err
 	}
@@ -62,15 +65,24 @@ func (t *Tree) Delete(start uint32) error {
 	return t.syncMeta()
 }
 
-// Lookup returns the indexed element whose start equals start.
-func (t *Tree) Lookup(start uint32) (xmldoc.Element, error) {
+// Lookup returns the indexed element whose start equals start, attributing
+// costs to c (nil discards them). Safe for concurrent readers.
+func (t *Tree) Lookup(start uint32, c *metrics.Counters) (xmldoc.Element, error) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	return t.lookupLocked(start, c)
+}
+
+// lookupLocked is Lookup's body; the caller holds t.latch in at least read
+// mode (Delete calls it under the write latch).
+func (t *Tree) lookupLocked(start uint32, c *metrics.Counters) (xmldoc.Element, error) {
 	id := t.root
 	for level := t.h; level > 1; level-- {
 		data, err := t.pool.Fetch(id)
 		if err != nil {
 			return xmldoc.Element{}, err
 		}
-		t.countNode()
+		addNode(c)
 		child := intChild(data, intSearch(data, start))
 		if err := t.pool.Unpin(id, false); err != nil {
 			return xmldoc.Element{}, err
@@ -82,12 +94,12 @@ func (t *Tree) Lookup(start uint32) (xmldoc.Element, error) {
 		return xmldoc.Element{}, err
 	}
 	defer t.pool.Unpin(id, false)
-	t.countLeaf()
+	addLeaf(c)
 	pos := leafSearch(data, start)
 	if pos < leafCount(data) && leafKey(data, pos) == start {
 		el, _ := leafElem(data, pos)
 		el.DocID = t.docID
-		t.countScan(1)
+		addScan(c, 1)
 		return el, nil
 	}
 	return xmldoc.Element{}, fmt.Errorf("%w: start %d", ErrNotFound, start)

@@ -60,6 +60,8 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 	if e.End <= e.Start {
 		return fmt.Errorf("xrtree: degenerate region %v", e)
 	}
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	t.c.Emit(obs.EvIndexDescend, int64(t.h))
 	res, err := t.insertInto(t.root, t.h, e, false)
 	if err != nil {

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"xrtree/internal/metrics"
+	"xrtree/internal/xmldoc"
+)
+
+// TestReaderDuringInsert exercises the latching protocol: readers run
+// FindAncestors, FindDescendants, Lookup, and full scans while a writer
+// keeps inserting. The writer's elements live in a position range disjoint
+// from the probed one, so reader results over the static range must stay
+// exactly right even as inserts split leaves and grow the root under them.
+// Run with -race.
+func TestReaderDuringInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	static := genNested(rng, 1500, 12)
+	pool := newPool(t, 1024, 256)
+	tr, err := New(pool, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(static, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	o := newOracle()
+	for _, e := range static {
+		o.insert(e)
+	}
+	maxPos := static[len(static)-1].End + 2
+
+	stop := make(chan struct{})
+	var writerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Flat sibling regions strictly above maxPos: never ancestors or
+		// descendants of anything in the probed range.
+		pos := maxPos + 10
+		for i := 0; i < 800; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := xmldoc.Element{DocID: 1, Start: pos, End: pos + 1, Level: 1}
+			pos += 3
+			if err := tr.Insert(e); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g) + 100))
+			for i := 0; i < 150; i++ {
+				var c metrics.Counters
+				switch i % 4 {
+				case 0:
+					sd := uint32(r.Intn(int(maxPos)-2) + 2)
+					got, err := tr.FindAncestors(sd, 0, &c)
+					if err != nil {
+						t.Errorf("FindAncestors(%d): %v", sd, err)
+						return
+					}
+					if len(got) != len(o.ancestors(sd, 0)) {
+						t.Errorf("FindAncestors(%d) wrong size during inserts", sd)
+						return
+					}
+				case 1:
+					a := static[r.Intn(len(static))]
+					got, err := tr.FindDescendants(a.Start, a.End, &c)
+					if err != nil {
+						t.Errorf("FindDescendants(%d,%d): %v", a.Start, a.End, err)
+						return
+					}
+					if len(got) != len(o.descendants(a.Start, a.End)) {
+						t.Errorf("FindDescendants(%d,%d) wrong size during inserts", a.Start, a.End)
+						return
+					}
+				case 2:
+					e := static[r.Intn(len(static))]
+					got, err := tr.Lookup(e.Start, &c)
+					if err != nil {
+						t.Errorf("Lookup(%d): %v", e.Start, err)
+						return
+					}
+					if got.End != e.End {
+						t.Errorf("Lookup(%d) = %v, want %v", e.Start, got, e)
+						return
+					}
+				case 3:
+					// Full scan across the growing region: must stay sorted
+					// and cover at least the static set. Inserts only split
+					// pages (never merge), so the hop-by-hop scan cannot
+					// trip the recycled-page check.
+					it, err := tr.Scan(&c)
+					if err != nil {
+						t.Errorf("Scan: %v", err)
+						return
+					}
+					var prev uint32
+					n := 0
+					for {
+						e, ok := it.Next()
+						if !ok {
+							break
+						}
+						if e.Start <= prev && n > 0 {
+							t.Errorf("scan out of order: %d after %d", e.Start, prev)
+							it.Close()
+							return
+						}
+						prev = e.Start
+						n++
+					}
+					if err := it.Close(); err != nil {
+						t.Errorf("scan: %v", err)
+						return
+					}
+					if n < len(static) {
+						t.Errorf("scan saw %d elements, want ≥ %d", n, len(static))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	if writerErr != nil {
+		t.Fatalf("writer: %v", writerErr)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

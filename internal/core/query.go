@@ -11,7 +11,9 @@ package core
 // only read when it holds at least one result — Theorem 4's O(log_F N + R).
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 
 	"xrtree/internal/metrics"
 	"xrtree/internal/obs"
@@ -32,6 +34,8 @@ func (t *Tree) FindAncestors(sd uint32, minStart uint32, c *metrics.Counters) ([
 // capacity), for callers that probe in a loop — the XR-stack join calls it
 // once per descendant group.
 func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32, c *metrics.Counters) ([]xmldoc.Element, error) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
 	out := dst
 	id := t.root
 	for level := t.h; level > 1; level-- {
@@ -202,42 +206,69 @@ func (t *Tree) FindParent(sd uint32, level uint16, c *metrics.Counters) (xmldoc.
 	return xmldoc.Element{}, false, nil
 }
 
-// Iterator walks leaf entries in ascending start order; at most one page is
-// pinned at a time.
+// pageBufs pools the per-iterator leaf-copy buffers; the XR-stack join
+// reopens its descendant iterator on every skip, so Seek/Close must not
+// allocate.
+var pageBufs sync.Pool
+
+func getPageBuf(n int) []byte {
+	if v := pageBufs.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putPageBuf(b []byte) {
+	if b != nil {
+		pageBufs.Put(&b)
+	}
+}
+
+// Iterator walks leaf entries in ascending start order. It owns a private
+// copy of the current leaf, so it holds no page pin and no tree latch
+// between calls: any number of iterators — including several on one tree
+// within a single goroutine, as self-joins require — coexist with point
+// queries and with writers queued on the latch. A scan racing a concurrent
+// Delete's page merge may observe a recycled page; that is detected
+// (ErrCorrupt) rather than latched away. Close returns the copy to a pool.
 type Iterator struct {
-	t      *Tree
-	c      *metrics.Counters
-	pageID pagefile.PageID
-	data   []byte
-	idx    int
-	err    error
-	done   bool
+	t    *Tree
+	c    *metrics.Counters
+	buf  []byte
+	idx  int
+	err  error
+	done bool
 }
 
 // SeekGE returns an iterator positioned at the first element with
 // start ≥ key. FindDescendants and the XR-stack skip operations are built
 // on it.
 func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
+	buf := getPageBuf(t.pool.File().PageSize())
+	t.latch.RLock()
+	defer t.latch.RUnlock()
 	id := t.root
 	for level := t.h; level > 1; level-- {
-		data, err := t.pool.Fetch(id)
-		if err != nil {
+		if err := t.pool.FetchCopy(id, buf); err != nil {
+			putPageBuf(buf)
 			return nil, err
 		}
 		addNode(c)
-		child := intChild(data, intSearch(data, key))
-		if err := t.pool.Unpin(id, false); err != nil {
-			return nil, err
-		}
-		id = child
+		id = intChild(buf, intSearch(buf, key))
 	}
-	data, err := t.pool.Fetch(id)
-	if err != nil {
+	if err := t.pool.FetchCopy(id, buf); err != nil {
+		putPageBuf(buf)
 		return nil, err
+	}
+	if !isLeaf(buf) {
+		putPageBuf(buf)
+		return nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
 	}
 	addLeaf(c)
 	c.Emit(obs.EvIndexDescend, int64(t.h))
-	return &Iterator{t: t, c: c, pageID: id, data: data, idx: leafSearch(data, key)}, nil
+	return &Iterator{t: t, c: c, buf: buf, idx: leafSearch(buf, key)}, nil
 }
 
 // Scan returns an iterator over the whole indexed set.
@@ -249,13 +280,11 @@ func (it *Iterator) Next() (xmldoc.Element, bool) {
 		return xmldoc.Element{}, false
 	}
 	for {
-		if it.idx < leafCount(it.data) {
-			e, _ := leafElem(it.data, it.idx)
+		if it.idx < leafCount(it.buf) {
+			e, _ := leafElem(it.buf, it.idx)
 			e.DocID = it.t.docID
 			it.idx++
-			if it.c != nil {
-				it.c.ElementsScanned++
-			}
+			addScan(it.c, 1)
 			return e, true
 		}
 		if !it.advancePage() {
@@ -270,35 +299,37 @@ func (it *Iterator) Peek() (xmldoc.Element, bool) {
 	if it.err != nil || it.done {
 		return xmldoc.Element{}, false
 	}
-	for it.idx >= leafCount(it.data) {
+	for it.idx >= leafCount(it.buf) {
 		if !it.advancePage() {
 			return xmldoc.Element{}, false
 		}
 	}
-	e, _ := leafElem(it.data, it.idx)
+	e, _ := leafElem(it.buf, it.idx)
 	e.DocID = it.t.docID
 	return e, true
 }
 
+// advancePage replaces the iterator's leaf copy with the next leaf on the
+// chain, re-taking the tree latch for the hop.
 func (it *Iterator) advancePage() bool {
-	next := leafNext(it.data)
-	if err := it.t.pool.Unpin(it.pageID, false); err != nil {
-		it.err = err
-		it.data = nil
-		return false
-	}
-	it.data = nil
+	next := leafNext(it.buf)
 	if next == pagefile.InvalidPage {
 		it.done = true
 		return false
 	}
-	data, err := it.t.pool.Fetch(next)
+	t := it.t
+	t.latch.RLock()
+	err := t.pool.FetchCopy(next, it.buf)
+	t.latch.RUnlock()
 	if err != nil {
 		it.err = err
 		return false
 	}
-	it.pageID = next
-	it.data = data
+	if !isLeaf(it.buf) {
+		// The page was merged away and recycled between hops.
+		it.err = fmt.Errorf("%w: leaf chain broken at page %d by a concurrent structural change", ErrCorrupt, next)
+		return false
+	}
 	it.idx = 0
 	if it.c != nil {
 		it.c.LeafReads++
@@ -309,17 +340,13 @@ func (it *Iterator) advancePage() bool {
 // Err returns the first iteration error.
 func (it *Iterator) Err() error { return it.err }
 
-// Close releases the iterator's pin; safe to call repeatedly.
+// Close releases the iterator's page copy; safe to call repeatedly.
 func (it *Iterator) Close() error {
-	if it.data != nil {
-		err := it.t.pool.Unpin(it.pageID, false)
-		it.data = nil
-		if it.err == nil {
-			it.err = err
-		}
-		return err
+	if it.buf != nil {
+		putPageBuf(it.buf)
+		it.buf = nil
 	}
-	return nil
+	return it.err
 }
 
 // FindDescendants returns every indexed element strictly inside (sa, ea):

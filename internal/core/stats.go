@@ -30,6 +30,8 @@ func (s SpaceStats) AvgStabPages() float64 {
 
 // Space walks the tree and reports its page footprint. Read-only.
 func (t *Tree) Space() (SpaceStats, error) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
 	var st SpaceStats
 	if err := t.spaceWalk(t.root, t.h, &st); err != nil {
 		return SpaceStats{}, err

@@ -22,17 +22,24 @@
 //
 // # Concurrency
 //
-// A Tree supports any number of concurrent readers (FindAncestors,
-// FindDescendants, SeekGE, Scan, FindParent, FindChildren, Space,
-// CheckInvariants): query paths attribute costs to the caller-supplied
-// counter set and share no mutable tree state. Writers (Insert, Delete,
-// BulkLoad) require exclusive access — they are not safe concurrently with
-// each other or with readers.
+// A Tree carries a coarse reader/writer latch. Readers (FindAncestors,
+// FindDescendants, Lookup, SeekGE, Scan, FindParent, FindChildren, Space,
+// CheckInvariants) hold it shared for the duration of one descent and are
+// safe in any number of concurrent goroutines, including while a writer is
+// blocked waiting; writers (Insert, Delete, BulkLoad) hold it exclusively.
+// Iterators do not keep the latch (or any page pin) between calls: each
+// leaf hop re-takes the shared latch and copies the leaf into an
+// iterator-private buffer, so several iterators can live in one goroutine
+// (as self-joins require) without deadlocking against a queued writer.
+// Query paths attribute costs to the caller-supplied counter set and share
+// no mutable tree state; the SetCounters sink is consulted by write paths
+// only.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"xrtree/internal/bufferpool"
 	"xrtree/internal/metrics"
@@ -130,8 +137,12 @@ type Tree struct {
 
 	// lastInsertPage records where insertAt physically placed the most
 	// recent stab entry (after any page split); only meaningful right after
-	// the call. Tree mutation is single-threaded.
+	// the call. Tree mutation is single-threaded (under the write latch).
 	lastInsertPage pagefile.PageID
+
+	// latch is the tree's coarse reader/writer latch: writers hold it
+	// exclusively, readers take it shared per descent or per leaf hop.
+	latch sync.RWMutex
 
 	c *metrics.Counters
 }

@@ -1,0 +1,108 @@
+package join
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xrtree/internal/metrics"
+	"xrtree/internal/obs"
+	"xrtree/internal/xmldoc"
+)
+
+// synthTask emits `count` pairs tagged with the task's doc id and counts
+// one scan per pair; odd tasks sleep briefly so completion order scrambles.
+func synthTask(doc uint32, count int) Task {
+	return Task{DocID: doc, Run: func(emit EmitFunc, c *metrics.Counters) error {
+		if doc%2 == 1 {
+			time.Sleep(time.Duration(doc%5) * time.Millisecond)
+		}
+		for i := 0; i < count; i++ {
+			a := xmldoc.Element{DocID: doc, Start: uint32(i + 1), End: uint32(i + 100)}
+			d := xmldoc.Element{DocID: doc, Start: uint32(i + 2), End: uint32(i + 3)}
+			emit(a, d)
+			if c != nil {
+				c.ElementsScanned++
+				c.OutputPairs++
+			}
+		}
+		return nil
+	}}
+}
+
+func TestParallelPreservesTaskOrder(t *testing.T) {
+	const tasks, perTask = 12, 50
+	ts := make([]Task, tasks)
+	for i := range ts {
+		ts[i] = synthTask(uint32(i+1), perTask)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		var pairs []Pair
+		var c metrics.Counters
+		if err := Parallel(ts, Options{Workers: workers}, Collect(&pairs), &c); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(pairs) != tasks*perTask {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(pairs), tasks*perTask)
+		}
+		for i, p := range pairs {
+			wantDoc := uint32(i/perTask + 1)
+			wantStart := uint32(i%perTask + 1)
+			if p.A.DocID != wantDoc || p.A.Start != wantStart {
+				t.Fatalf("workers=%d: pair %d = doc %d start %d, want doc %d start %d",
+					workers, i, p.A.DocID, p.A.Start, wantDoc, wantStart)
+			}
+		}
+		if c.ElementsScanned != tasks*perTask || c.OutputPairs != tasks*perTask {
+			t.Fatalf("workers=%d: merged counters scanned=%d pairs=%d, want %d",
+				workers, c.ElementsScanned, c.OutputPairs, tasks*perTask)
+		}
+		if c.Elapsed <= 0 {
+			t.Fatalf("workers=%d: Elapsed not recorded", workers)
+		}
+	}
+}
+
+func TestParallelPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	ts := []Task{
+		synthTask(1, 5),
+		{DocID: 2, Run: func(emit EmitFunc, c *metrics.Counters) error { return boom }},
+		synthTask(3, 5),
+	}
+	if err := Parallel(ts, Options{Workers: 3}, nil, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if err := Parallel(ts, Options{Workers: 1}, nil, nil); !errors.Is(err, boom) {
+		t.Fatalf("sequential err = %v, want boom", err)
+	}
+}
+
+func TestParallelSharedTracer(t *testing.T) {
+	const tasks, perTask = 8, 30
+	ts := make([]Task, tasks)
+	for i := range ts {
+		doc := uint32(i + 1)
+		ts[i] = Task{DocID: doc, Run: func(emit EmitFunc, c *metrics.Counters) error {
+			for j := 0; j < perTask; j++ {
+				c.Emit(obs.EvOutput, 1)
+			}
+			return nil
+		}}
+	}
+	col := obs.NewCollector()
+	c := metrics.Counters{Tracer: col}
+	if err := Parallel(ts, Options{Workers: 4}, nil, &c); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Count(obs.EvOutput); got != tasks*perTask {
+		t.Fatalf("collector saw %d EvOutput events, want %d", got, tasks*perTask)
+	}
+}
+
+func TestParallelEmptyTasks(t *testing.T) {
+	var c metrics.Counters
+	if err := Parallel(nil, Options{Workers: 4}, nil, &c); err != nil {
+		t.Fatal(err)
+	}
+}

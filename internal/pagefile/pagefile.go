@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"xrtree/internal/metrics"
 	"xrtree/internal/obs"
@@ -104,9 +105,12 @@ func (m *memBackend) Truncate(size int64) error {
 func (m *memBackend) Sync() error  { return nil }
 func (m *memBackend) Close() error { return nil }
 
-// File is a paged file. Methods are safe for concurrent use.
+// File is a paged file. Methods are safe for concurrent use; ReadPage and
+// WritePage of distinct pages proceed in parallel (they take the mutex in
+// read mode — both backends support concurrent page-granular I/O), while
+// structural operations (Allocate, Free, Close) are exclusive.
 type File struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	b        backend
 	pageSize int
 	closed   bool
@@ -115,10 +119,14 @@ type File struct {
 	pageCount uint32 // pages allocated, including header page 0
 	freeHead  PageID // head of the free-page list
 
+	// stats fields are updated with atomic adds: page I/O runs under the
+	// read lock, so concurrent readers would otherwise race on the
+	// counters (the same non-atomic-sink pattern fixed in the buffer pool).
 	stats metrics.Counters
 
 	// tracer, when non-nil, receives one PageRead/PageWrite event per
 	// physical page transfer, mirroring the stats counters exactly.
+	// Implementations must be safe for concurrent use (obs.Collector is).
 	tracer obs.Tracer
 }
 
@@ -237,23 +245,23 @@ func (f *File) PageSize() int { return f.pageSize }
 // NumPages returns the number of pages in the file including the header and
 // any freed pages.
 func (f *File) NumPages() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return int(f.pageCount)
 }
 
 // Stats returns a snapshot of the physical I/O counters.
 func (f *File) Stats() metrics.Counters {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return metrics.Counters{
+		PhysicalReads:  atomic.LoadInt64(&f.stats.PhysicalReads),
+		PhysicalWrites: atomic.LoadInt64(&f.stats.PhysicalWrites),
+	}
 }
 
 // ResetStats zeroes the physical I/O counters.
 func (f *File) ResetStats() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.stats.Reset()
+	atomic.StoreInt64(&f.stats.PhysicalReads, 0)
+	atomic.StoreInt64(&f.stats.PhysicalWrites, 0)
 }
 
 // SetTracer attaches tr to the file: every physical page read and write
@@ -264,11 +272,26 @@ func (f *File) SetTracer(tr obs.Tracer) {
 	f.tracer = tr
 }
 
-// emit sends one event to the attached tracer; callers hold f.mu.
+// emit sends one event to the attached tracer; callers hold f.mu in at
+// least read mode (which excludes SetTracer's write lock).
 func (f *File) emit(kind obs.EventKind) {
 	if f.tracer != nil {
 		f.tracer.Event(kind, 1)
 	}
+}
+
+// countRead records one physical page read; callers hold f.mu in at least
+// read mode. Atomic because concurrent readers share the counter.
+func (f *File) countRead() {
+	atomic.AddInt64(&f.stats.PhysicalReads, 1)
+	f.emit(obs.EvPageRead)
+}
+
+// countWrite records one physical page write; callers hold f.mu in at
+// least read mode.
+func (f *File) countWrite() {
+	atomic.AddInt64(&f.stats.PhysicalWrites, 1)
+	f.emit(obs.EvPageWrite)
 }
 
 // Allocate returns a fresh page, reusing a freed page when available.
@@ -286,8 +309,7 @@ func (f *File) Allocate() (PageID, error) {
 		if _, err := f.b.ReadAt(buf, int64(id)*int64(f.pageSize)); err != nil {
 			return InvalidPage, fmt.Errorf("pagefile: read free list: %w", err)
 		}
-		f.stats.PhysicalReads++
-		f.emit(obs.EvPageRead)
+		f.countRead()
 		f.freeHead = PageID(getU32(buf))
 		return id, f.writeHeader()
 	}
@@ -299,8 +321,7 @@ func (f *File) Allocate() (PageID, error) {
 		f.pageCount--
 		return InvalidPage, fmt.Errorf("pagefile: extend: %w", err)
 	}
-	f.stats.PhysicalWrites++
-	f.emit(obs.EvPageWrite)
+	f.countWrite()
 	return id, f.writeHeader()
 }
 
@@ -320,19 +341,19 @@ func (f *File) Free(id PageID) error {
 	if _, err := f.b.WriteAt(buf, int64(id)*int64(f.pageSize)); err != nil {
 		return fmt.Errorf("pagefile: write free list: %w", err)
 	}
-	f.stats.PhysicalWrites++
-	f.emit(obs.EvPageWrite)
+	f.countWrite()
 	f.freeHead = id
 	return f.writeHeader()
 }
 
 // ReadPage reads page id into dst, which must be exactly PageSize bytes.
+// Reads of distinct pages run concurrently.
 func (f *File) ReadPage(id PageID, dst []byte) error {
 	if len(dst) != f.pageSize {
 		return fmt.Errorf("pagefile: ReadPage buffer is %d bytes, want %d", len(dst), f.pageSize)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if f.closed {
 		return ErrClosed
 	}
@@ -342,18 +363,19 @@ func (f *File) ReadPage(id PageID, dst []byte) error {
 	if _, err := f.b.ReadAt(dst, int64(id)*int64(f.pageSize)); err != nil {
 		return fmt.Errorf("pagefile: read page %d: %w", id, err)
 	}
-	f.stats.PhysicalReads++
-	f.emit(obs.EvPageRead)
+	f.countRead()
 	return nil
 }
 
-// WritePage writes src (exactly PageSize bytes) to page id.
+// WritePage writes src (exactly PageSize bytes) to page id. Writes of
+// distinct pages run concurrently; concurrent writes to the same page are
+// the caller's race, exactly as with a kernel pwrite.
 func (f *File) WritePage(id PageID, src []byte) error {
 	if len(src) != f.pageSize {
 		return fmt.Errorf("pagefile: WritePage buffer is %d bytes, want %d", len(src), f.pageSize)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if f.closed {
 		return ErrClosed
 	}
@@ -363,8 +385,7 @@ func (f *File) WritePage(id PageID, src []byte) error {
 	if _, err := f.b.WriteAt(src, int64(id)*int64(f.pageSize)); err != nil {
 		return fmt.Errorf("pagefile: write page %d: %w", id, err)
 	}
-	f.stats.PhysicalWrites++
-	f.emit(obs.EvPageWrite)
+	f.countWrite()
 	return nil
 }
 

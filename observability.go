@@ -114,3 +114,32 @@ func ObservedJoin(alg Algorithm, mode Mode, a, d *ElementSet, emit EmitFunc) (*J
 		SkipEffectiveness: SkippingEffectiveness(st.ElementsScanned, int64(a.Len()+d.Len())),
 	}, nil
 }
+
+// ObservedParallelJoin runs Collection.ParallelJoin with a fresh Collector
+// attached and returns one merged observation: the workers' counters fold
+// into a single Stats, and their trace events — emitted concurrently into
+// the lock-free Collector — yield one phase breakdown and histogram set
+// spanning the whole run. Stats.Elapsed is the driver's wall-clock time.
+func (c *Collection) ObservedParallelJoin(alg Algorithm, mode Mode, ancTag, descTag string, emit EmitFunc, opts ParallelJoinOptions) (*JoinReport, error) {
+	col := NewCollector()
+	st := Stats{Tracer: col}
+	c.store.AttachStats(&st)
+	err := c.ParallelJoin(alg, mode, ancTag, descTag, emit, &st, opts)
+	c.store.AttachStats(nil)
+	if err != nil {
+		return nil, err
+	}
+	st.PhysicalReads = col.Count(obs.EvPageRead)
+	st.PhysicalWrites = col.Count(obs.EvPageWrite)
+	var total int64
+	for _, idx := range c.docs {
+		total += int64(len(idx.doc.ElementsByTag(ancTag)) + len(idx.doc.ElementsByTag(descTag)))
+	}
+	return &JoinReport{
+		Alg:               alg,
+		Stats:             st,
+		Phases:            col.JoinPhases(),
+		Events:            col.Snapshot(),
+		SkipEffectiveness: SkippingEffectiveness(st.ElementsScanned, total),
+	}, nil
+}
