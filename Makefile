@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke examples experiments verify clean fmt-check lint ci
+.PHONY: all build test race bench bench-json bench-smoke serve-smoke examples experiments verify clean fmt-check lint ci
 
 all: build test
 
@@ -33,6 +33,12 @@ bench-smoke:
 	$(GO) run ./cmd/xrbench -json /tmp/xrtree_bench_smoke.json -scale 0.2
 	$(GO) run ./cmd/xrcheckbench -baseline BENCH_baseline.json /tmp/xrtree_bench_smoke.json
 
+# End-to-end smoke of the serving subsystem: boot xrserve on a temp
+# store, saturate it with xrblast (bounded admission, zero leaked pins),
+# fire short-deadline requests, then SIGTERM and assert a clean drain.
+serve-smoke:
+	GO="$(GO)" sh ./scripts/serve_smoke.sh
+
 # gofmt as a check: fail when any file needs reformatting.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -51,7 +57,7 @@ lint:
 	fi
 
 # Everything the CI pipeline runs, in the same order, runnable locally.
-ci: build fmt-check lint test race bench-smoke
+ci: build fmt-check lint test race bench-smoke serve-smoke
 	@echo "ci: all checks passed"
 
 examples:

@@ -32,6 +32,9 @@ type BenchReport struct {
 	// (added after schema 1 shipped; additive, so the schema id is
 	// unchanged — readers of the original shape ignore it).
 	Parallel *ParallelStudy `json:"parallel,omitempty"`
+	// Serving is the query-serving load study produced by cmd/xrblast
+	// (additive, like Parallel).
+	Serving *ServingStudy `json:"serving,omitempty"`
 }
 
 // BenchSweep is one experiment (ancestor / descendant / both selectivity)

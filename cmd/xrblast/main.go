@@ -1,0 +1,324 @@
+// Command xrblast is the load generator companion of xrserve: it drives
+// query traffic in closed loop (a fixed number of clients, each issuing
+// the next request as soon as the previous answers) or open loop (a fixed
+// arrival rate, independent of response times), and reports throughput
+// and latency percentiles from the internal/obs histogram code as text or
+// as the "serving" section of the bench JSON schema.
+//
+// Assertion flags turn a run into a scripted check (the serve-smoke CI
+// job): -wait-ready polls /healthz before driving, -min-ok/-min-rejected
+// bound the outcome counts, and -assert-no-pins verifies through
+// /api/v1/stats that the server's buffer pools hold no pinned pages after
+// the run — i.e. canceled and timed-out queries leaked nothing.
+//
+// Usage:
+//
+//	xrblast -url http://localhost:8080 -target '/api/v1/join?anc=employee&desc=name' \
+//	        -clients 64 -duration 5s
+//	xrblast -url http://localhost:8080 -rate 200 -duration 10s -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xrtree"
+	"xrtree/internal/obs"
+)
+
+// targetsFlag collects repeatable -target values; workers round-robin.
+type targetsFlag []string
+
+func (f *targetsFlag) String() string { return strings.Join(*f, " ") }
+func (f *targetsFlag) Set(v string) error {
+	if !strings.HasPrefix(v, "/") {
+		return fmt.Errorf("target must start with /, got %q", v)
+	}
+	*f = append(*f, v)
+	return nil
+}
+
+// results accumulates outcome counts and the latency histogram across
+// workers. Latency is recorded for every completed HTTP exchange (including
+// 429s — rejection latency is part of the served experience).
+type results struct {
+	requests atomic.Int64
+	ok       atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
+	errors   atomic.Int64
+	maxNS    atomic.Int64
+	col      *obs.Collector
+}
+
+func (r *results) record(code int, d time.Duration, err error) {
+	r.requests.Add(1)
+	switch {
+	case err != nil:
+		r.errors.Add(1)
+		return
+	case code == http.StatusOK:
+		r.ok.Add(1)
+	case code == http.StatusTooManyRequests:
+		r.rejected.Add(1)
+	case code == http.StatusServiceUnavailable:
+		r.timeouts.Add(1)
+	default:
+		r.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	r.col.Event(obs.EvServeSpan, ns)
+	for {
+		cur := r.maxNS.Load()
+		if ns <= cur || r.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+func (r *results) latency() xrtree.LatencySummary {
+	h := r.col.Histogram(obs.EvServeSpan)
+	if h == nil || h.Count() == 0 {
+		return xrtree.LatencySummary{}
+	}
+	const msPerNs = 1e-6
+	return xrtree.LatencySummary{
+		Count:  h.Count(),
+		MeanMS: h.Mean() * msPerNs,
+		P50MS:  float64(h.Quantile(0.50)) * msPerNs,
+		P90MS:  float64(h.Quantile(0.90)) * msPerNs,
+		P99MS:  float64(h.Quantile(0.99)) * msPerNs,
+		MaxMS:  float64(r.maxNS.Load()) * msPerNs,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xrblast: ")
+	var targets targetsFlag
+	var (
+		baseURL   = flag.String("url", "", "server base URL, e.g. http://127.0.0.1:8080 (required)")
+		label     = flag.String("label", "run", "row label in the report")
+		clients   = flag.Int("clients", 8, "closed-loop workers; in open loop, the outstanding-request bound")
+		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0: closed loop)")
+		duration  = flag.Duration("duration", 5*time.Second, "run length")
+		requests  = flag.Int64("requests", 0, "stop after this many requests (0: duration only)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		jsonOut   = flag.Bool("json", false, "emit the bench JSON serving section instead of text")
+		waitReady = flag.Duration("wait-ready", 0, "poll /healthz up to this long before driving")
+		minOK     = flag.Int64("min-ok", -1, "assert at least this many 2xx responses")
+		minRej    = flag.Int64("min-rejected", -1, "assert at least this many 429 rejections")
+		maxErr    = flag.Int64("max-errors", -1, "assert at most this many transport/other errors")
+		noPins    = flag.Bool("assert-no-pins", false, "assert /api/v1/stats reports zero pinned pages after the run")
+	)
+	flag.Var(&targets, "target", "request path+query, must start with / (repeatable; workers round-robin)")
+	flag.Parse()
+	if *baseURL == "" {
+		log.Fatal("-url is required")
+	}
+	if len(targets) == 0 {
+		targets = targetsFlag{"/api/v1/join?anc=employee&desc=name"}
+	}
+	if *clients < 1 {
+		*clients = 1
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if *waitReady > 0 {
+		if err := waitForReady(client, *baseURL, *waitReady); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res := &results{col: obs.NewCollector()}
+	var budget atomic.Int64
+	budget.Store(*requests) // 0 means unlimited
+	takeBudget := func() bool {
+		if *requests == 0 {
+			return true
+		}
+		return budget.Add(-1) >= 0
+	}
+
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	var seq atomic.Int64
+	shoot := func() {
+		i := seq.Add(1)
+		target := targets[int(i)%len(targets)]
+		t0 := time.Now()
+		code, err := get(client, *baseURL+target)
+		res.record(code, time.Since(t0), err)
+	}
+
+	if *rate <= 0 {
+		// Closed loop: each worker drives the next request as soon as the
+		// previous one completes — throughput adapts to server latency.
+		for w := 0; w < *clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) && takeBudget() {
+					shoot()
+				}
+			}()
+		}
+	} else {
+		// Open loop: arrivals at a fixed rate regardless of completions,
+		// bounded at -clients outstanding; arrivals past the bound are
+		// shed client-side and counted as errors.
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		sem := make(chan struct{}, *clients)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for time.Now().Before(deadline) && takeBudget() {
+			<-tick.C
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					shoot()
+				}()
+			default:
+				res.requests.Add(1)
+				res.errors.Add(1)
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	row := xrtree.ServingRow{
+		Label:       *label,
+		Target:      strings.Join(targets, " "),
+		Clients:     *clients,
+		RateRPS:     *rate,
+		DurationSec: elapsed.Seconds(),
+		Requests:    res.requests.Load(),
+		OK:          res.ok.Load(),
+		Rejected:    res.rejected.Load(),
+		Timeouts:    res.timeouts.Load(),
+		Errors:      res.errors.Load(),
+		Latency:     res.latency(),
+	}
+	if elapsed > 0 {
+		row.ThroughputRPS = float64(row.OK) / elapsed.Seconds()
+	}
+
+	if *jsonOut {
+		rep := &xrtree.BenchReport{
+			Schema:    xrtree.BenchSchema,
+			CreatedAt: time.Now().UTC(),
+			GoVersion: runtime.Version(),
+			Serving:   &xrtree.ServingStudy{BaseURL: *baseURL, Rows: []xrtree.ServingRow{row}},
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		lat := row.Latency
+		fmt.Printf("%-10s requests=%d ok=%d rejected=%d timeouts=%d errors=%d in %.2fs (%.1f ok/s)\n",
+			row.Label, row.Requests, row.OK, row.Rejected, row.Timeouts, row.Errors,
+			row.DurationSec, row.ThroughputRPS)
+		fmt.Printf("%-10s latency mean=%.2fms p50≤%.2fms p90≤%.2fms p99≤%.2fms max=%.2fms\n",
+			"", lat.MeanMS, lat.P50MS, lat.P90MS, lat.P99MS, lat.MaxMS)
+	}
+
+	failed := false
+	check := func(cond bool, format string, args ...any) {
+		if !cond {
+			failed = true
+			log.Printf("ASSERTION FAILED: "+format, args...)
+		}
+	}
+	if *minOK >= 0 {
+		check(row.OK >= *minOK, "ok=%d < min-ok=%d", row.OK, *minOK)
+	}
+	if *minRej >= 0 {
+		check(row.Rejected >= *minRej, "rejected=%d < min-rejected=%d", row.Rejected, *minRej)
+	}
+	if *maxErr >= 0 {
+		check(row.Errors <= *maxErr, "errors=%d > max-errors=%d", row.Errors, *maxErr)
+	}
+	if *noPins {
+		pins, err := pinnedPages(client, *baseURL)
+		if err != nil {
+			failed = true
+			log.Printf("ASSERTION FAILED: stats fetch: %v", err)
+		} else {
+			check(pins == 0, "server reports %d pinned pages after the run", pins)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func get(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, err
+}
+
+// waitForReady polls /healthz until the server answers 200.
+func waitForReady(client *http.Client, base string, bound time.Duration) error {
+	deadline := time.Now().Add(bound)
+	for {
+		code, err := get(client, base+"/healthz")
+		if err == nil && code == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v (last: code=%d err=%v)", base, bound, code, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// pinnedPages sums pinned_pages over every backend of /api/v1/stats.
+func pinnedPages(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/api/v1/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/api/v1/stats: status %d", resp.StatusCode)
+	}
+	var st struct {
+		Backends []struct {
+			Name string `json:"name"`
+			Pool struct {
+				PinnedPages int `json:"pinned_pages"`
+			} `json:"pool"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, b := range st.Backends {
+		total += b.Pool.PinnedPages
+	}
+	return total, nil
+}

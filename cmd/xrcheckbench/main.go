@@ -2,7 +2,8 @@
 // xrbench -json output) against a committed baseline — by SHAPE, not by
 // timing. CI runs a reduced-scale smoke report and checks that it still
 // has the schema version, sweep structure, algorithm coverage, phase
-// breakdowns, and parallel-study rows of the committed baseline: the kinds
+// breakdowns, parallel-study rows, and serving rows of the committed
+// baseline: the kinds
 // of regressions a refactor silently introduces (a sweep dropped, an
 // algorithm skipped, observation wired out) without any timing noise.
 //
@@ -51,6 +52,7 @@ func main() {
 		checkSweep(addf, cand.Sweeps[i], base.Sweeps[i])
 	}
 	checkParallel(addf, cand.Parallel, base.Parallel)
+	checkServing(addf, cand.Serving, base.Serving)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -131,6 +133,47 @@ func checkParallel(addf func(string, ...any), c, b *xrtree.ParallelStudy) {
 		if cr.Pairs != c.Rows[0].Pairs {
 			addf("parallel row %d (workers=%d): %d pairs, row 0 has %d — worker counts must not change results",
 				i, cr.Workers, cr.Pairs, c.Rows[0].Pairs)
+		}
+	}
+}
+
+// checkServing mirrors checkParallel for the xrblast serving section:
+// same row labels and targets, non-empty traffic, and outcome counts that
+// partition the request total — never the timings themselves.
+func checkServing(addf func(string, ...any), c, b *xrtree.ServingStudy) {
+	if b == nil {
+		return
+	}
+	if c == nil {
+		addf("serving study missing from candidate")
+		return
+	}
+	if len(c.Rows) != len(b.Rows) {
+		addf("serving study: %d rows, baseline %d", len(c.Rows), len(b.Rows))
+		return
+	}
+	for i, br := range b.Rows {
+		cr := c.Rows[i]
+		id := fmt.Sprintf("serving row %d (%s)", i, br.Label)
+		if cr.Label != br.Label {
+			addf("%s: candidate label %q", id, cr.Label)
+			continue
+		}
+		if cr.Target != br.Target {
+			addf("%s: target %q, baseline %q", id, cr.Target, br.Target)
+		}
+		if cr.Requests == 0 {
+			addf("%s: no traffic", id)
+			continue
+		}
+		if sum := cr.OK + cr.Rejected + cr.Timeouts + cr.Errors; sum != cr.Requests {
+			addf("%s: outcomes sum to %d but requests=%d", id, sum, cr.Requests)
+		}
+		if br.OK > 0 && cr.OK == 0 {
+			addf("%s: no successful responses (baseline had %d)", id, br.OK)
+		}
+		if cr.OK > 0 && cr.Latency.Count == 0 {
+			addf("%s: latency histogram empty despite %d completions", id, cr.OK)
 		}
 	}
 }

@@ -1,0 +1,175 @@
+// Command xrserve serves structural-join and path-expression queries over
+// HTTP/JSON from stores built by xrload (or from XML documents indexed at
+// startup), with admission control: bounded concurrency, a bounded
+// deadline-aware wait queue, per-request timeouts, and graceful drain on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	xrload -in dept.xml -store dept.db -tags department,employee,name
+//	xrserve -store dept=dept.db -addr :8080
+//	curl 'localhost:8080/api/v1/join?anc=employee&desc=name&alg=xr&stats=1'
+//
+//	xrserve -xml docs=a.xml,b.xml            # path queries + parallel joins
+//	curl 'localhost:8080/api/v1/query?path=departments//employee/name'
+//
+// Endpoints: /api/v1/join, /api/v1/query, /api/v1/stats, /api/v1/backends,
+// /debug/vars, /healthz. See DESIGN.md "Serving".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xrtree"
+	"xrtree/internal/server"
+)
+
+// backendFlag collects repeatable name=path[,path...] flag values.
+type backendFlag struct {
+	entries []backendSpec
+}
+
+type backendSpec struct {
+	name  string
+	paths []string
+}
+
+func (f *backendFlag) String() string {
+	var parts []string
+	for _, e := range f.entries {
+		parts = append(parts, e.name+"="+strings.Join(e.paths, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (f *backendFlag) Set(v string) error {
+	name, paths, ok := strings.Cut(v, "=")
+	if !ok || name == "" || paths == "" {
+		return fmt.Errorf("want name=path[,path...], got %q", v)
+	}
+	f.entries = append(f.entries, backendSpec{name: name, paths: strings.Split(paths, ",")})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xrserve: ")
+	var stores, xmls backendFlag
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
+		addrFile      = flag.String("addr-file", "", "write the bound address to this file (port discovery for scripts)")
+		maxConcurrent = flag.Int("max-concurrent", 8, "requests executing at once")
+		maxQueue      = flag.Int("max-queue", 0, "admission queue bound (0: 2×max-concurrent, negative: no queue)")
+		defTimeout    = flag.Duration("timeout", 10*time.Second, "default per-request timeout")
+		maxTimeout    = flag.Duration("max-timeout", 60*time.Second, "cap on requested timeouts")
+		workers       = flag.Int("workers", 1, "default parallel-join workers for document backends")
+		limit         = flag.Int("limit", 10, "default result-sample size")
+		buffers       = flag.Int("buffers", 100, "buffer pool pages per store")
+		drain         = flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown")
+	)
+	flag.Var(&stores, "store", "store backend, name=path (repeatable; path built by xrload)")
+	flag.Var(&xmls, "xml", "document backend, name=file.xml[,file2.xml...] (repeatable)")
+	flag.Parse()
+	if len(stores.entries)+len(xmls.entries) == 0 {
+		log.Fatal("at least one -store or -xml backend is required")
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Workers:        *workers,
+		DefaultLimit:   *limit,
+	})
+
+	var closers []func() error
+	defer func() {
+		for _, c := range closers {
+			if err := c(); err != nil {
+				log.Printf("close: %v", err)
+			}
+		}
+	}()
+
+	for _, e := range stores.entries {
+		if len(e.paths) != 1 {
+			log.Fatalf("-store %s: exactly one store file per backend", e.name)
+		}
+		st, err := xrtree.OpenStore(e.paths[0], xrtree.StoreOptions{BufferPages: *buffers})
+		if err != nil {
+			log.Fatalf("-store %s: %v", e.name, err)
+		}
+		closers = append(closers, st.Close)
+		if err := srv.AddStore(e.name, st); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, e := range xmls.entries {
+		st, err := xrtree.NewMemStore(xrtree.StoreOptions{BufferPages: *buffers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		closers = append(closers, st.Close)
+		var docs []*xrtree.Document
+		for i, path := range e.paths {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatalf("-xml %s: %v", e.name, err)
+			}
+			doc, err := xrtree.ParseXML(f, uint32(i+1))
+			f.Close()
+			if err != nil {
+				log.Fatalf("-xml %s: %s: %v", e.name, path, err)
+			}
+			docs = append(docs, doc)
+		}
+		if err := srv.AddDocuments(e.name, st, docs...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("serving on http://%s (max-concurrent=%d)", ln.Addr(), *maxConcurrent)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("draining (bound %v)...", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Print("drained cleanly")
+}

@@ -9,6 +9,7 @@ package xrtree
 // single-document machinery.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -121,18 +122,20 @@ func (c *Collection) ParallelJoin(alg Algorithm, mode Mode, ancTag, descTag stri
 	return join.Parallel(tasks, join.Options{Workers: opts.Workers}, emit, st)
 }
 
+// ParallelJoinContext is ParallelJoin with cancellation: a canceled or
+// timed-out context stops dispatching new per-document partitions, stops
+// each in-flight partition at its next poll point, and returns ctx's error.
+func (c *Collection) ParallelJoinContext(ctx context.Context, alg Algorithm, mode Mode, ancTag, descTag string, emit EmitFunc, st *Stats, opts ParallelJoinOptions) error {
+	return withCtx(ctx, st, func(st *Stats) error {
+		return c.ParallelJoin(alg, mode, ancTag, descTag, emit, st, opts)
+	})
+}
+
 // setFor builds (or reuses) the full three-path index for a tag within one
-// document. Collection joins need all access paths, unlike path queries.
+// document, serialized by the document's mutex so concurrent requests
+// against one collection never race on lazy index construction.
 func (c *Collection) setFor(idx *IndexedDocument, tag string, els []Element) (*ElementSet, error) {
-	if set, ok := idx.sets[tag]; ok && set != nil && set.list != nil && set.bt != nil {
-		return set, nil
-	}
-	set, err := c.store.IndexElements(els, IndexOptions{})
-	if err != nil {
-		return nil, err
-	}
-	idx.sets[tag] = set
-	return set, nil
+	return idx.fullSet(tag, els)
 }
 
 // Query evaluates a path expression over every document and returns the
@@ -153,4 +156,16 @@ func (c *Collection) Query(expr string, st *Stats) ([]Element, error) {
 		return out[i].Start < out[j].Start
 	})
 	return out, nil
+}
+
+// QueryContext is Query with cancellation, stopping between per-document
+// evaluations and at the pipeline's poll points within one.
+func (c *Collection) QueryContext(ctx context.Context, expr string, st *Stats) ([]Element, error) {
+	var out []Element
+	err := withCtx(ctx, st, func(st *Stats) error {
+		var err error
+		out, err = c.Query(expr, st)
+		return err
+	})
+	return out, err
 }

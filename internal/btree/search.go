@@ -96,6 +96,9 @@ type Iterator struct {
 // start ≥ key. This is the range-query primitive of the B+ join algorithm.
 // Safe for concurrent readers.
 func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
+	if err := c.Interrupted(); err != nil {
+		return nil, err
+	}
 	buf := getPageBuf(t.pool.File().PageSize())
 	t.latch.RLock()
 	err := t.descendToLeafCopy(key, c, buf)
@@ -153,6 +156,11 @@ func (it *Iterator) advancePage() bool {
 	next := leafNext(it.buf)
 	if next == pagefile.InvalidPage {
 		it.done = true
+		return false
+	}
+	// Page boundary: the natural cancellation point of a leaf-chain scan.
+	if err := it.c.Interrupted(); err != nil {
+		it.err = err
 		return false
 	}
 	t := it.t

@@ -34,6 +34,9 @@ func (t *Tree) FindAncestors(sd uint32, minStart uint32, c *metrics.Counters) ([
 // capacity), for callers that probe in a loop — the XR-stack join calls it
 // once per descendant group.
 func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32, c *metrics.Counters) ([]xmldoc.Element, error) {
+	if err := c.Interrupted(); err != nil {
+		return nil, err
+	}
 	t.latch.RLock()
 	defer t.latch.RUnlock()
 	out := dst
@@ -246,6 +249,9 @@ type Iterator struct {
 // start ≥ key. FindDescendants and the XR-stack skip operations are built
 // on it.
 func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
+	if err := c.Interrupted(); err != nil {
+		return nil, err
+	}
 	buf := getPageBuf(t.pool.File().PageSize())
 	t.latch.RLock()
 	defer t.latch.RUnlock()
@@ -315,6 +321,11 @@ func (it *Iterator) advancePage() bool {
 	next := leafNext(it.buf)
 	if next == pagefile.InvalidPage {
 		it.done = true
+		return false
+	}
+	// Page boundary: the natural cancellation point of a leaf-chain scan.
+	if err := it.c.Interrupted(); err != nil {
+		it.err = err
 		return false
 	}
 	t := it.t

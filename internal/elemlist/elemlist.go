@@ -206,6 +206,11 @@ func (it *Iterator) Next() (xmldoc.Element, bool) {
 			if it.pageID == pagefile.InvalidPage {
 				return xmldoc.Element{}, false
 			}
+			// Page boundary: the cancellation point of a list scan.
+			if err := it.c.Interrupted(); err != nil {
+				it.err = err
+				return xmldoc.Element{}, false
+			}
 			data, err := it.list.pool.Fetch(it.pageID)
 			if err != nil {
 				it.err = err
@@ -250,6 +255,11 @@ func (it *Iterator) Peek() (xmldoc.Element, bool) {
 	for {
 		if it.data == nil {
 			if it.pageID == pagefile.InvalidPage {
+				return xmldoc.Element{}, false
+			}
+			// Page boundary: the cancellation point of a list scan.
+			if err := it.c.Interrupted(); err != nil {
+				it.err = err
 				return xmldoc.Element{}, false
 			}
 			data, err := it.list.pool.Fetch(it.pageID)

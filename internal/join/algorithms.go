@@ -28,8 +28,12 @@ func StackTreeDesc(mode Mode, a, d Source, emit EmitFunc, c *metrics.Counters) e
 	ca := newCursor(ai)
 	cd := newCursor(di)
 	var stack ancStack
+	var pl poller
 
 	for cd.valid && (ca.valid || !stack.empty()) {
+		if err := pl.interrupted(c); err != nil {
+			return err
+		}
 		if ca.valid && ca.cur.Start < cd.cur.Start {
 			stack.popNonAncestors(ca.cur.Start)
 			stack.push(ca.cur)
@@ -63,7 +67,11 @@ func MPMGJN(mode Mode, a Source, d MarkableSource, emit EmitFunc, c *metrics.Cou
 
 	mark := di.Mark()
 	ca := newCursor(ai)
+	var pl poller
 	for ca.valid {
+		if err := pl.interrupted(c); err != nil {
+			return err
+		}
 		av := ca.cur
 		if err := di.Restore(mark); err != nil {
 			return err
@@ -122,8 +130,12 @@ func BPlus(mode Mode, a, d Seeker, emit EmitFunc, c *metrics.Counters) error {
 	cd := newCursor(di)
 	defer func() { ca.close(); cd.close() }()
 	var stack ancStack
+	var pl poller
 
 	for ca.valid && cd.valid {
+		if err := pl.interrupted(c); err != nil {
+			return err
+		}
 		stack.popNonAncestors(cd.cur.Start)
 		if ca.cur.Start < cd.cur.Start {
 			if cd.cur.Start < ca.cur.End {
@@ -196,8 +208,12 @@ func XRStack(mode Mode, a AncestorSeeker, d Seeker, emit EmitFunc, c *metrics.Co
 	defer func() { ca.close(); cd.close() }()
 	var stack ancStack
 	var scratch []xmldoc.Element // reused across FindAncestors probes
+	var pl poller
 
 	for ca.valid && cd.valid {
+		if err := pl.interrupted(c); err != nil {
+			return err
+		}
 		// Line 5-7: pop stacked elements that are not ancestors of CurD.
 		stack.popNonAncestors(cd.cur.Start)
 		if ca.cur.Start < cd.cur.Start {

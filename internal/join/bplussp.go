@@ -91,9 +91,13 @@ func BPlusSP(mode Mode, a SiblingListSource, d Seeker, emit EmitFunc, c *metrics
 	cd := newCursor(di)
 	defer func() { ca.close(); cd.close() }()
 	var stack ancStack
+	var pl poller
 	ordinal := 0 // ordinal of ca.cur within the ancestor list
 
 	for ca.valid && cd.valid {
+		if err := pl.interrupted(c); err != nil {
+			return err
+		}
 		stack.popNonAncestors(cd.cur.Start)
 		if ca.cur.Start < cd.cur.Start {
 			if cd.cur.Start < ca.cur.End {

@@ -176,6 +176,23 @@ func (c *cursor) close() error { return c.it.Close() }
 
 func (c *cursor) err() error { return c.it.Err() }
 
+// pollEvery is the cancellation-poll stride of the join loops. Indexed
+// sources already poll the attached context at page boundaries; the stride
+// poll bounds the cancellation latency of purely in-memory sources (the
+// path-expression pipeline's intermediate results) to a few thousand
+// elements without adding a context check to every iteration.
+const pollEvery = 1024
+
+// poller polls Counters.Interrupted once every pollEvery ticks.
+type poller struct{ n uint32 }
+
+func (p *poller) interrupted(c *metrics.Counters) error {
+	if p.n++; p.n&(pollEvery-1) != 0 {
+		return nil
+	}
+	return c.Interrupted()
+}
+
 // matches applies the mode's pair condition.
 func matches(mode Mode, a, d xmldoc.Element) bool {
 	if mode == ParentChild {

@@ -25,6 +25,7 @@ package join
 // well below sequential speed in profiles).
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -188,8 +189,10 @@ func Parallel(tasks []Task, opts Options, emit EmitFunc, c *metrics.Counters) er
 
 	start := time.Now()
 	var tracer obs.Tracer
+	var ctx context.Context
 	if c != nil {
 		tracer = c.Tracer
+		ctx = c.Ctx
 	}
 	s := &driverState{
 		emit:  emit,
@@ -212,7 +215,22 @@ func Parallel(tasks []Task, opts Options, emit EmitFunc, c *metrics.Counters) er
 				s.next++
 				s.mu.Unlock()
 
-				local := metrics.Counters{Tracer: tracer}
+				// A canceled run stops dispatching new partitions; the one
+				// in flight on each worker stops at its next poll point via
+				// the Ctx carried by the task-local counters.
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						s.mu.Lock()
+						if !s.failed {
+							s.failed = true
+							s.firstErr = err
+						}
+						s.mu.Unlock()
+						return
+					}
+				}
+
+				local := metrics.Counters{Tracer: tracer, Ctx: ctx}
 				e := &taskEmitter{s: s, i: i, chunk: getChunk()}
 				err := tasks[i].Run(e.emit, &local)
 				// The concurrent spans overlap; the driver's wall clock is

@@ -9,6 +9,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -55,6 +56,24 @@ type Counters struct {
 	// counter set so enabling a trace never changes a call signature; it
 	// is carried, not accumulated — Add ignores it and Reset preserves it.
 	Tracer obs.Tracer
+
+	// Ctx, when non-nil, makes the operation cancelable: index iterators
+	// poll it at page boundaries and the join loops poll it on a stride,
+	// so a canceled or timed-out query stops consuming buffer-pool and CPU
+	// resources without per-element overhead. Like Tracer it is carried,
+	// not accumulated — Add ignores it and Reset preserves it.
+	Ctx context.Context
+}
+
+// Interrupted returns the cancellation error of the attached context
+// (context.Canceled or context.DeadlineExceeded), or nil when no context
+// is attached or it is still live. Safe on a nil receiver — the disabled
+// fast path is two nil checks.
+func (c *Counters) Interrupted() error {
+	if c == nil || c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 // Emit sends one event to the attached tracer. Safe on a nil receiver and
@@ -102,11 +121,12 @@ func (c *Counters) Add(other *Counters) {
 	c.Elapsed += other.Elapsed
 }
 
-// Reset zeroes all counters, preserving the attached Tracer.
+// Reset zeroes all counters, preserving the attached Tracer and Ctx.
 func (c *Counters) Reset() {
-	tr := c.Tracer
+	tr, ctx := c.Tracer, c.Ctx
 	*c = Counters{}
 	c.Tracer = tr
+	c.Ctx = ctx
 }
 
 // PageAccesses returns the total logical page accesses (hits + misses).

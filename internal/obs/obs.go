@@ -65,23 +65,44 @@ const (
 	// EvJoinSpan closes one whole structural join (value: elapsed
 	// nanoseconds) — the operation-latency histogram.
 	EvJoinSpan
+	// EvServeSpan closes one served request in the query-serving layer
+	// (value: elapsed nanoseconds from admission to response) — the
+	// request-latency histogram.
+	EvServeSpan
+	// EvServeQueueWait is one admitted request's wait for an execution slot
+	// (value: nanoseconds queued; 0 when a slot was free).
+	EvServeQueueWait
+	// EvServeQueueDepth samples the admission queue depth at request
+	// arrival (value: requests already waiting).
+	EvServeQueueDepth
+	// EvServeReject is one request rejected at admission because the wait
+	// queue was full (value: 1) — the HTTP 429 path.
+	EvServeReject
+	// EvServeTimeout is one request that hit its deadline, either waiting
+	// for a slot or mid-query (value: 1).
+	EvServeTimeout
 
 	// NumEvents bounds the event space; kinds ≥ NumEvents are dropped.
 	NumEvents
 )
 
 var eventNames = [NumEvents]string{
-	EvIndexDescend: "IndexDescend",
-	EvStabScan:     "StabScan",
-	EvLeafScan:     "LeafScan",
-	EvSkipDesc:     "SkipDesc",
-	EvSkipAnc:      "SkipAnc",
-	EvAncProbe:     "AncProbe",
-	EvOutput:       "Output",
-	EvPageRead:     "PageRead",
-	EvPageWrite:    "PageWrite",
-	EvPageEvict:    "PageEvict",
-	EvJoinSpan:     "JoinSpan",
+	EvIndexDescend:    "IndexDescend",
+	EvStabScan:        "StabScan",
+	EvLeafScan:        "LeafScan",
+	EvSkipDesc:        "SkipDesc",
+	EvSkipAnc:         "SkipAnc",
+	EvAncProbe:        "AncProbe",
+	EvOutput:          "Output",
+	EvPageRead:        "PageRead",
+	EvPageWrite:       "PageWrite",
+	EvPageEvict:       "PageEvict",
+	EvJoinSpan:        "JoinSpan",
+	EvServeSpan:       "ServeSpan",
+	EvServeQueueWait:  "ServeQueueWait",
+	EvServeQueueDepth: "ServeQueueDepth",
+	EvServeReject:     "ServeReject",
+	EvServeTimeout:    "ServeTimeout",
 }
 
 // String returns the event's canonical name (also its JSON key).

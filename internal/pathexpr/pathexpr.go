@@ -260,6 +260,12 @@ func Evaluate(p Path, prov SetProvider, c *metrics.Counters) ([]xmldoc.Element, 
 	}
 
 	for _, step := range p.Steps[1:] {
+		// Step boundary: each step is one structural join, so a canceled
+		// pipeline stops before starting the next join (the joins themselves
+		// poll at page boundaries and on a stride).
+		if err := c.Interrupted(); err != nil {
+			return nil, err
+		}
 		if len(cur) == 0 {
 			return nil, nil
 		}
@@ -328,6 +334,9 @@ func filterByPredicate(cur []xmldoc.Element, pred Path, prov SetProvider, c *met
 		return nil, err
 	}
 	for i := n - 2; i >= 0; i-- {
+		if err := c.Interrupted(); err != nil {
+			return nil, err
+		}
 		if len(S) == 0 {
 			return nil, nil
 		}

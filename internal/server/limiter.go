@@ -1,0 +1,87 @@
+// Package server is the query-serving subsystem: an HTTP/JSON layer over
+// the xrtree engine that runs structural-join and path-expression queries
+// against pre-built stores under admission control.
+//
+// The admission policy (see DESIGN.md "Serving") is two bounds and a
+// deadline: at most MaxConcurrent requests execute at once, at most
+// MaxQueue more wait for a slot, and every request carries a
+// context deadline that is honored both while queued and mid-query — the
+// engine's poll points (page boundaries, element strides) stop a
+// timed-out join promptly and release every page pin on the way out.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Acquire when the wait queue is already at
+// capacity. The HTTP layer maps it to 429 Too Many Requests: the client
+// should back off, not wait.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// Limiter is the admission controller. It is a counting semaphore with a
+// bounded, deadline-aware wait queue: goroutines never block unboundedly
+// and a waiter whose context expires leaves the queue immediately.
+type Limiter struct {
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+}
+
+// NewLimiter creates a limiter with maxConcurrent execution slots
+// (clamped to ≥ 1) and room for maxQueue waiting requests (clamped to
+// ≥ 0; 0 means saturate → reject, no queuing).
+func NewLimiter(maxConcurrent, maxQueue int) *Limiter {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{slots: make(chan struct{}, maxConcurrent), maxQueue: int64(maxQueue)}
+}
+
+// Acquire claims an execution slot, waiting while all slots are busy.
+// It returns nil on success (pair with Release), ErrQueueFull when the
+// wait queue is at capacity, and ctx's error when the context is canceled
+// or its deadline passes while queued.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// All slots busy: join the wait queue if there is room. The counter
+	// is advisory-optimistic — increment first, back out if over bound —
+	// so two racing arrivals at the last queue seat never both wait.
+	if l.waiting.Add(1) > l.maxQueue {
+		l.waiting.Add(-1)
+		return ErrQueueFull
+	}
+	defer l.waiting.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns the slot claimed by a successful Acquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// InFlight returns the number of slots currently claimed.
+func (l *Limiter) InFlight() int { return len(l.slots) }
+
+// Waiting returns the current wait-queue depth.
+func (l *Limiter) Waiting() int { return int(l.waiting.Load()) }
+
+// Capacity returns the limiter's bounds (execution slots, queue seats).
+func (l *Limiter) Capacity() (maxConcurrent, maxQueue int) {
+	return cap(l.slots), int(l.maxQueue)
+}

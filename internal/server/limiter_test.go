@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterFastPathAndCapacity(t *testing.T) {
+	l := NewLimiter(2, 0)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	// Saturated with no queue seats: immediate rejection, no blocking.
+	if err := l.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated Acquire = %v, want ErrQueueFull", err)
+	}
+	l.Release()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	l.Release()
+	l.Release()
+	if mc, mq := l.Capacity(); mc != 2 || mq != 0 {
+		t.Fatalf("Capacity = (%d,%d), want (2,0)", mc, mq)
+	}
+}
+
+func TestLimiterQueueBound(t *testing.T) {
+	l := NewLimiter(1, 2)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two waiters fit in the queue; they block until the slot frees.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- l.Acquire(ctx)
+		}()
+	}
+	waitFor(t, func() bool { return l.Waiting() == 2 })
+
+	// A third arrival overflows the queue.
+	if err := l.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Acquire = %v, want ErrQueueFull", err)
+	}
+
+	// Draining the slot admits both waiters, one at a time.
+	l.Release()
+	if err := <-errs; err != nil {
+		t.Fatalf("first waiter: %v", err)
+	}
+	l.Release()
+	if err := <-errs; err != nil {
+		t.Fatalf("second waiter: %v", err)
+	}
+	wg.Wait()
+	l.Release()
+	if got := l.Waiting(); got != 0 {
+		t.Fatalf("Waiting = %d after drain, want 0", got)
+	}
+}
+
+func TestLimiterDeadlineWhileQueued(t *testing.T) {
+	l := NewLimiter(1, 4)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Acquire = %v, want DeadlineExceeded", err)
+	}
+	if got := l.Waiting(); got != 0 {
+		t.Fatalf("Waiting = %d after deadline, want 0", got)
+	}
+	l.Release()
+}
+
+func TestLimiterCanceledBeforeAcquire(t *testing.T) {
+	l := NewLimiter(4, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Acquire = %v, want Canceled", err)
+	}
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0 (no slot claimed)", got)
+	}
+}
+
+func TestLimiterClampsBounds(t *testing.T) {
+	l := NewLimiter(0, -3)
+	if mc, mq := l.Capacity(); mc != 1 || mq != 0 {
+		t.Fatalf("Capacity = (%d,%d), want clamped (1,0)", mc, mq)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline budget runs out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"xrtree"
+	"xrtree/internal/obs"
+)
+
+// Metrics aggregates the serving layer's request accounting: outcome
+// counters (atomic, one per terminal state) plus an obs.Collector holding
+// the latency, queue-wait and queue-depth distributions under the
+// EvServe* event kinds. All methods are safe for concurrent use.
+type Metrics struct {
+	col *obs.Collector
+
+	requests atomic.Int64 // arrivals, before admission
+	ok       atomic.Int64 // completed with a 2xx response
+	rejected atomic.Int64 // 429: queue full at admission
+	timeouts atomic.Int64 // deadline exceeded, queued or mid-query
+	canceled atomic.Int64 // client went away before completion
+	failed   atomic.Int64 // bad request or internal error
+}
+
+// NewMetrics creates an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{col: obs.NewCollector()}
+}
+
+// Collector exposes the underlying event collector (for expvar export).
+func (m *Metrics) Collector() *obs.Collector { return m.col }
+
+// Arrived records one request arrival and samples the queue depth it saw.
+func (m *Metrics) Arrived(queueDepth int) {
+	m.requests.Add(1)
+	m.col.Event(obs.EvServeQueueDepth, int64(queueDepth))
+}
+
+// Rejected records one 429 (queue full at admission).
+func (m *Metrics) Rejected() {
+	m.rejected.Add(1)
+	m.col.Event(obs.EvServeReject, 1)
+}
+
+// TimedOut records one request that hit its deadline, queued or mid-query.
+func (m *Metrics) TimedOut() {
+	m.timeouts.Add(1)
+	m.col.Event(obs.EvServeTimeout, 1)
+}
+
+// Canceled records one request whose client went away before completion.
+func (m *Metrics) Canceled() { m.canceled.Add(1) }
+
+// Failed records one request that ended in a 4xx/5xx other than
+// rejection or timeout.
+func (m *Metrics) Failed() { m.failed.Add(1) }
+
+// Done records one admitted request's completion: queue wait and total
+// admission-to-response latency. ok distinguishes 2xx from error
+// responses (errors are also counted by TimedOut/Failed — Done only owns
+// the distributions and the ok counter).
+func (m *Metrics) Done(ok bool, queueWait, total time.Duration) {
+	if ok {
+		m.ok.Add(1)
+	}
+	m.col.Event(obs.EvServeQueueWait, queueWait.Nanoseconds())
+	m.col.Event(obs.EvServeSpan, total.Nanoseconds())
+}
+
+// summarize digests one nanosecond-valued event kind into milliseconds
+// (quantiles are upper bounds from the power-of-two buckets — coarse but
+// cheap and lock-free).
+func (m *Metrics) summarize(kind obs.EventKind) xrtree.LatencySummary {
+	h := m.col.Histogram(kind)
+	if h == nil || h.Count() == 0 {
+		return xrtree.LatencySummary{}
+	}
+	const msPerNs = 1e-6
+	return xrtree.LatencySummary{
+		Count:  h.Count(),
+		MeanMS: h.Mean() * msPerNs,
+		P50MS:  float64(h.Quantile(0.50)) * msPerNs,
+		P90MS:  float64(h.Quantile(0.90)) * msPerNs,
+		P99MS:  float64(h.Quantile(0.99)) * msPerNs,
+		MaxMS:  float64(h.Quantile(1)) * msPerNs,
+	}
+}
+
+// MetricsSnapshot is the JSON shape of /api/v1/stats and the expvar
+// variable: outcome counts, live gauges, latency digests, and the raw
+// event snapshot for anything not pre-digested.
+type MetricsSnapshot struct {
+	Requests  int64                 `json:"requests"`
+	OK        int64                 `json:"ok"`
+	Rejected  int64                 `json:"rejected"`
+	Timeouts  int64                 `json:"timeouts"`
+	Canceled  int64                 `json:"canceled"`
+	Failed    int64                 `json:"failed"`
+	InFlight  int                   `json:"in_flight"`
+	Queued    int                   `json:"queued"`
+	Latency   xrtree.LatencySummary `json:"latency"`
+	QueueWait xrtree.LatencySummary `json:"queue_wait"`
+	Events    obs.Snapshot          `json:"events"`
+}
+
+// Snapshot exports the current state; inFlight and queued are sampled
+// from the limiter by the caller.
+func (m *Metrics) Snapshot(inFlight, queued int) MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:  m.requests.Load(),
+		OK:        m.ok.Load(),
+		Rejected:  m.rejected.Load(),
+		Timeouts:  m.timeouts.Load(),
+		Canceled:  m.canceled.Load(),
+		Failed:    m.failed.Load(),
+		InFlight:  inFlight,
+		Queued:    queued,
+		Latency:   m.summarize(obs.EvServeSpan),
+		QueueWait: m.summarize(obs.EvServeQueueWait),
+		Events:    m.col.Snapshot(),
+	}
+}

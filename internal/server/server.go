@@ -1,0 +1,654 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"xrtree"
+	"xrtree/internal/obs"
+)
+
+// Config tunes the serving layer. The zero value selects the defaults
+// noted on each field.
+type Config struct {
+	// MaxConcurrent is the number of requests that may execute at once
+	// (default 8).
+	MaxConcurrent int
+	// MaxQueue bounds the admission wait queue: 0 selects 2×MaxConcurrent,
+	// negative disables queuing entirely (saturation → immediate 429).
+	MaxQueue int
+	// DefaultTimeout applies to requests that name no ?timeout (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the ?timeout a request may ask for (default 60s).
+	MaxTimeout time.Duration
+	// Workers is the default parallel-join worker count for collection
+	// backends when the request names no ?workers (default 1).
+	Workers int
+	// DefaultLimit caps the result sample returned per request when the
+	// request names no ?limit (default 10).
+	DefaultLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.DefaultLimit <= 0 {
+		c.DefaultLimit = 10
+	}
+	return c
+}
+
+// backend is one named query target: either a catalogued store (two-step
+// joins over persisted sets) or a document collection (joins plus path
+// expressions, lazily indexed).
+type backend struct {
+	name  string
+	store *xrtree.Store
+	coll  *xrtree.Collection
+
+	mu    sync.Mutex
+	sets  map[string]*xrtree.ElementSet // store-backed handles, opened once
+	names []string                      // catalogued set names (store kind)
+	tags  []string                      // document tags (collection kind)
+}
+
+func (b *backend) kind() string {
+	if b.coll != nil {
+		return "documents"
+	}
+	return "store"
+}
+
+// set returns the catalogued element set for tag, opening and caching the
+// handle on first use. Concurrent joins over one cached set are safe: the
+// index structures are immutable and page access is latched in the pool.
+func (b *backend) set(tag string) (*xrtree.ElementSet, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if set, ok := b.sets[tag]; ok {
+		return set, nil
+	}
+	set, err := b.store.OpenSet(tag)
+	if err != nil {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("backend %q has no set %q", b.name, tag)}
+	}
+	b.sets[tag] = set
+	return set, nil
+}
+
+// Server is the HTTP query server: named backends, an admission-controlled
+// API, and serving metrics. Create with New, register backends, then
+// Serve; Shutdown drains in-flight requests.
+type Server struct {
+	cfg Config
+	lim *Limiter
+	met *Metrics
+	hs  *http.Server
+	mux *http.ServeMux
+
+	mu       sync.RWMutex
+	backends map[string]*backend
+	order    []string
+}
+
+// New creates a server with no backends.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		met:      NewMetrics(),
+		backends: make(map[string]*backend),
+	}
+	s.lim = NewLimiter(s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/v1/backends", s.handleBackends)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.Handle("GET /api/v1/join", s.admit(s.handleJoin))
+	s.mux.Handle("GET /api/v1/query", s.admit(s.handleQuery))
+	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// AddStore registers a catalogued store under name: its persisted sets
+// become join operands. Backends must be registered before Serve.
+func (s *Server) AddStore(name string, st *xrtree.Store) error {
+	names, err := st.SetNames()
+	if err != nil {
+		return fmt.Errorf("server: backend %q: %w", name, err)
+	}
+	sort.Strings(names)
+	return s.add(&backend{name: name, store: st, sets: make(map[string]*xrtree.ElementSet), names: names})
+}
+
+// AddDocuments registers a document collection under name: joins run per
+// document with the DocId condition, and path-expression queries are
+// available. Tag indexes build lazily on first use.
+func (s *Server) AddDocuments(name string, st *xrtree.Store, docs ...*xrtree.Document) error {
+	if len(docs) == 0 {
+		return fmt.Errorf("server: backend %q: no documents", name)
+	}
+	coll := st.NewCollection()
+	tagSet := make(map[string]struct{})
+	for _, d := range docs {
+		if err := coll.Add(d); err != nil {
+			return fmt.Errorf("server: backend %q: %w", name, err)
+		}
+		for _, t := range d.Tags() {
+			tagSet[t] = struct{}{}
+		}
+	}
+	tags := make([]string, 0, len(tagSet))
+	for t := range tagSet {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return s.add(&backend{name: name, store: st, coll: coll, tags: tags})
+}
+
+func (s *Server) add(b *backend) error {
+	if b.name == "" {
+		return errors.New("server: backend name must be non-empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.backends[b.name]; dup {
+		return fmt.Errorf("server: duplicate backend %q", b.name)
+	}
+	s.backends[b.name] = b
+	s.order = append(s.order, b.name)
+	return nil
+}
+
+// backend resolves the ?backend parameter; an empty name selects the sole
+// backend when exactly one is registered.
+func (s *Server) backend(name string) (*backend, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.order) == 1 {
+			return s.backends[s.order[0]], nil
+		}
+		return nil, badRequest("backend parameter required (%d backends registered)", len(s.order))
+	}
+	b, ok := s.backends[name]
+	if !ok {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown backend %q", name)}
+	}
+	return b, nil
+}
+
+// Metrics exposes the serving metrics (for expvar publication or tests).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Handler returns the server's HTTP handler, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like http.Server.Serve.
+func (s *Server) Serve(ln net.Listener) error { return s.hs.Serve(ln) }
+
+// Shutdown gracefully drains the server: the listener closes immediately,
+// in-flight requests run to completion (engine deadlines still apply),
+// and new arrivals are refused at the socket. ctx bounds the drain.
+func (s *Server) Shutdown(ctx context.Context) error { return s.hs.Shutdown(ctx) }
+
+// httpError carries a status code through the handler error path.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // header already sent; a broken client connection is not actionable
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg, Status: code})
+}
+
+// apiFunc is an admitted handler: it returns nil after writing a 2xx
+// response, or an error that admit maps to an HTTP status (httpError →
+// its code, context errors → 503, anything else → 500).
+type apiFunc func(w http.ResponseWriter, r *http.Request) error
+
+// admit wraps an apiFunc with the admission policy: parse and apply the
+// request deadline, acquire an execution slot (bounded queue, 429 on
+// overflow, 503 on deadline-in-queue), record queue wait and latency, and
+// translate handler errors. This is the single chokepoint every query
+// request passes through.
+func (s *Server) admit(fn apiFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		arrive := time.Now()
+		timeout, err := parseTimeout(r.URL.Query().Get("timeout"), s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+		if err != nil {
+			s.met.Failed()
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		s.met.Arrived(s.lim.Waiting())
+		if err := s.lim.Acquire(ctx); err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				s.met.Rejected()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "admission queue full")
+			case errors.Is(err, context.DeadlineExceeded):
+				s.met.TimedOut()
+				writeError(w, http.StatusServiceUnavailable, "deadline exceeded while queued")
+			default: // client went away while queued; nothing to write
+				s.met.Canceled()
+			}
+			return
+		}
+		defer s.lim.Release()
+		wait := time.Since(arrive)
+
+		err = fn(w, r.WithContext(ctx))
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.TimedOut()
+			writeError(w, http.StatusServiceUnavailable, "deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			s.met.Canceled()
+		default:
+			s.met.Failed()
+			var he *httpError
+			if errors.As(err, &he) {
+				writeError(w, he.code, he.msg)
+			} else {
+				writeError(w, http.StatusInternalServerError, err.Error())
+			}
+		}
+		s.met.Done(err == nil, wait, time.Since(arrive))
+	})
+}
+
+// parseTimeout resolves the ?timeout parameter (a Go duration such as
+// "500ms") against the configured default and cap.
+func parseTimeout(raw string, def, max time.Duration) (time.Duration, error) {
+	if raw == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad timeout %q: %v", raw, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("timeout must be positive, got %q", raw)
+	}
+	if d > max {
+		d = max
+	}
+	return d, nil
+}
+
+func parseAlg(raw string) (xrtree.Algorithm, error) {
+	switch raw {
+	case "", "xr", "xrstack":
+		return xrtree.AlgXRStack, nil
+	case "noindex":
+		return xrtree.AlgNoIndex, nil
+	case "mpmgjn":
+		return xrtree.AlgMPMGJN, nil
+	case "bplus", "b+":
+		return xrtree.AlgBPlus, nil
+	case "bplussp", "b+sp":
+		return xrtree.AlgBPlusSP, nil
+	default:
+		return 0, badRequest("unknown algorithm %q", raw)
+	}
+}
+
+func parseMode(raw string) (xrtree.Mode, error) {
+	switch raw {
+	case "", "//", "desc", "descendant", "ad":
+		return xrtree.AncestorDescendant, nil
+	case "/", "child", "pc":
+		return xrtree.ParentChild, nil
+	default:
+		return 0, badRequest("unknown axis %q (want // or /)", raw)
+	}
+}
+
+func parseIntParam(raw string, def int, name string) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, badRequest("bad %s %q: want a non-negative integer", name, raw)
+	}
+	return n, nil
+}
+
+// pairJSON is one sampled result pair.
+type pairJSON struct {
+	Anc  xrtree.Element `json:"anc"`
+	Desc xrtree.Element `json:"desc"`
+}
+
+// requestStats is the per-request cost digest, mirroring the fields of
+// xrquery -stats-json that are attributable to one request. Buffer-pool
+// hit/miss counters are store-global under concurrency and reported per
+// backend by /api/v1/stats instead.
+type requestStats struct {
+	ElementsScanned int64   `json:"elements_scanned"`
+	IndexNodeReads  int64   `json:"index_node_reads"`
+	LeafReads       int64   `json:"leaf_reads"`
+	StabPageReads   int64   `json:"stab_page_reads"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+// joinResponse is the body of a successful /api/v1/join.
+type joinResponse struct {
+	Backend   string                `json:"backend"`
+	Query     string                `json:"query"`
+	Alg       string                `json:"alg"`
+	Workers   int                   `json:"workers,omitempty"`
+	Pairs     int64                 `json:"pairs"`
+	Sample    []pairJSON            `json:"sample,omitempty"`
+	Truncated bool                  `json:"truncated,omitempty"`
+	Stats     requestStats          `json:"stats"`
+	Phases    *xrtree.JoinPhases    `json:"phases,omitempty"`
+	Events    *xrtree.TraceSnapshot `json:"events,omitempty"`
+}
+
+// handleJoin runs one structural join: GET /api/v1/join?backend=&anc=&
+// desc=&axis=&alg=&workers=&limit=&timeout=&stats=1.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	b, err := s.backend(q.Get("backend"))
+	if err != nil {
+		return err
+	}
+	anc, desc := q.Get("anc"), q.Get("desc")
+	if anc == "" || desc == "" {
+		return badRequest("anc and desc parameters are required")
+	}
+	mode, err := parseMode(q.Get("axis"))
+	if err != nil {
+		return err
+	}
+	alg, err := parseAlg(q.Get("alg"))
+	if err != nil {
+		return err
+	}
+	workers, err := parseIntParam(q.Get("workers"), s.cfg.Workers, "workers")
+	if err != nil {
+		return err
+	}
+	limit, err := parseIntParam(q.Get("limit"), s.cfg.DefaultLimit, "limit")
+	if err != nil {
+		return err
+	}
+	withStats := q.Get("stats") == "1" || q.Get("stats") == "true"
+
+	var col *obs.Collector
+	var st xrtree.Stats
+	if withStats {
+		col = obs.NewCollector()
+		st.Tracer = col
+	}
+	var (
+		pairs     int64
+		sample    []pairJSON
+		truncated bool
+	)
+	emit := func(a, d xrtree.Element) {
+		pairs++
+		if len(sample) < limit {
+			sample = append(sample, pairJSON{Anc: a, Desc: d})
+		} else {
+			truncated = true
+		}
+	}
+
+	start := time.Now()
+	ctx := r.Context()
+	if b.coll != nil {
+		err = b.coll.ParallelJoinContext(ctx, alg, mode, anc, desc, emit, &st,
+			xrtree.ParallelJoinOptions{Workers: workers})
+	} else {
+		var a, d *xrtree.ElementSet
+		if a, err = b.set(anc); err != nil {
+			return err
+		}
+		if d, err = b.set(desc); err != nil {
+			return err
+		}
+		err = xrtree.JoinContext(ctx, alg, mode, a, d, emit, &st)
+	}
+	if err != nil {
+		return err
+	}
+
+	axis := "//"
+	if mode == xrtree.ParentChild {
+		axis = "/"
+	}
+	resp := joinResponse{
+		Backend:   b.name,
+		Query:     anc + axis + desc,
+		Alg:       alg.String(),
+		Pairs:     pairs,
+		Sample:    sample,
+		Truncated: truncated,
+		Stats: requestStats{
+			ElementsScanned: st.ElementsScanned,
+			IndexNodeReads:  st.IndexNodeReads,
+			LeafReads:       st.LeafReads,
+			StabPageReads:   st.StabPageReads,
+			ElapsedMS:       float64(time.Since(start).Microseconds()) / 1000,
+		},
+	}
+	if b.coll != nil {
+		resp.Workers = workers
+	}
+	if col != nil {
+		ph := col.JoinPhases()
+		ev := col.Snapshot()
+		resp.Phases = &ph
+		resp.Events = &ev
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// queryResponse is the body of a successful /api/v1/query.
+type queryResponse struct {
+	Backend   string           `json:"backend"`
+	Path      string           `json:"path"`
+	Matches   int              `json:"matches"`
+	Sample    []xrtree.Element `json:"sample,omitempty"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Stats     requestStats     `json:"stats"`
+}
+
+// handleQuery evaluates a path expression over a document backend:
+// GET /api/v1/query?backend=&path=&limit=&timeout=.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	b, err := s.backend(q.Get("backend"))
+	if err != nil {
+		return err
+	}
+	if b.coll == nil {
+		return badRequest("backend %q serves catalogued sets; path queries need a document backend", b.name)
+	}
+	path := q.Get("path")
+	if path == "" {
+		return badRequest("path parameter is required")
+	}
+	limit, err := parseIntParam(q.Get("limit"), s.cfg.DefaultLimit, "limit")
+	if err != nil {
+		return err
+	}
+
+	var st xrtree.Stats
+	start := time.Now()
+	els, err := b.coll.QueryContext(r.Context(), path, &st)
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return err
+		}
+		return badRequest("path %q: %v", path, err)
+	}
+	sample := els
+	truncated := false
+	if len(sample) > limit {
+		sample, truncated = sample[:limit], true
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Backend:   b.name,
+		Path:      path,
+		Matches:   len(els),
+		Sample:    sample,
+		Truncated: truncated,
+		Stats: requestStats{
+			ElementsScanned: st.ElementsScanned,
+			IndexNodeReads:  st.IndexNodeReads,
+			LeafReads:       st.LeafReads,
+			StabPageReads:   st.StabPageReads,
+			ElapsedMS:       float64(time.Since(start).Microseconds()) / 1000,
+		},
+	})
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// backendInfo is one entry of /api/v1/backends.
+type backendInfo struct {
+	Name      string   `json:"name"`
+	Kind      string   `json:"kind"` // "store" or "documents"
+	Sets      []string `json:"sets,omitempty"`
+	Tags      []string `json:"tags,omitempty"`
+	Documents int      `json:"documents,omitempty"`
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	infos := make([]backendInfo, 0, len(s.order))
+	for _, name := range s.order {
+		b := s.backends[name]
+		info := backendInfo{Name: b.name, Kind: b.kind(), Sets: b.names, Tags: b.tags}
+		if b.coll != nil {
+			info.Documents = b.coll.Len()
+		}
+		infos = append(infos, info)
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, struct {
+		Backends []backendInfo `json:"backends"`
+	}{infos})
+}
+
+// poolJSON is the store-global buffer-pool digest of one backend.
+type poolJSON struct {
+	BufferHits     int64 `json:"buffer_hits"`
+	BufferMisses   int64 `json:"buffer_misses"`
+	PhysicalReads  int64 `json:"physical_reads"`
+	PhysicalWrites int64 `json:"physical_writes"`
+	PageEvictions  int64 `json:"page_evictions"`
+	PinnedPages    int   `json:"pinned_pages"`
+}
+
+// backendStats is one backend's entry in /api/v1/stats. PinnedPages is
+// the live pin count — 0 on a quiesced server; the smoke test asserts
+// that canceled queries leave it there.
+type backendStats struct {
+	Name string   `json:"name"`
+	Kind string   `json:"kind"`
+	Pool poolJSON `json:"pool"`
+}
+
+// statsResponse is the body of /api/v1/stats.
+type statsResponse struct {
+	Server   MetricsSnapshot `json:"server"`
+	Backends []backendStats  `json:"backends"`
+}
+
+func (s *Server) statsSnapshot() statsResponse {
+	s.mu.RLock()
+	backends := make([]backendStats, 0, len(s.order))
+	for _, name := range s.order {
+		b := s.backends[name]
+		ps := b.store.PoolStats()
+		backends = append(backends, backendStats{
+			Name: b.name,
+			Kind: b.kind(),
+			Pool: poolJSON{
+				BufferHits:     ps.BufferHits,
+				BufferMisses:   ps.BufferMisses,
+				PhysicalReads:  ps.PhysicalReads,
+				PhysicalWrites: ps.PhysicalWrites,
+				PageEvictions:  ps.PageEvictions,
+				PinnedPages:    b.store.PinnedPages(),
+			},
+		})
+	}
+	s.mu.RUnlock()
+	return statsResponse{
+		Server:   s.met.Snapshot(s.lim.InFlight(), s.lim.Waiting()),
+		Backends: backends,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// handleVars serves the metrics in expvar's JSON-map shape (one top-level
+// key per variable) without registering in the process-global expvar
+// namespace, so multiple servers coexist in one process (tests).
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"xrtree_serve": s.statsSnapshot()})
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Node is one element node of a parsed document tree.
@@ -25,6 +26,9 @@ type Document struct {
 	Root  *Node
 	// nodes is the node list in document order; index = Element.Ref.
 	nodes []*Node
+	// tagMu guards byTag: concurrent queries (the serving layer) extract
+	// tag sets from one shared document.
+	tagMu sync.RWMutex
 	// byTag caches tag → elements extraction results.
 	byTag map[string][]Element
 	// maxPos is the largest position assigned.
@@ -195,10 +199,17 @@ func (d *Document) Node(ref uint32) (*Node, bool) {
 // the input lists a structural join consumes. The slice is cached and must
 // not be modified by callers.
 func (d *Document) ElementsByTag(tag string) []Element {
+	d.tagMu.RLock()
+	es, ok := d.byTag[tag]
+	d.tagMu.RUnlock()
+	if ok {
+		return es
+	}
+	d.tagMu.Lock()
+	defer d.tagMu.Unlock()
 	if es, ok := d.byTag[tag]; ok {
 		return es
 	}
-	var es []Element
 	for _, n := range d.nodes {
 		if n.Tag == tag {
 			es = append(es, n.Element)

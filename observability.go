@@ -8,6 +8,8 @@ package xrtree
 // BenchmarkJoinTracerOverhead).
 
 import (
+	"context"
+
 	"xrtree/internal/obs"
 )
 
@@ -87,8 +89,15 @@ type JoinReport struct {
 // histograms, and skipping effectiveness. Buffer-pool and physical-I/O
 // costs of the sets' store(s) are attributed to the run.
 func ObservedJoin(alg Algorithm, mode Mode, a, d *ElementSet, emit EmitFunc) (*JoinReport, error) {
+	return ObservedJoinContext(context.Background(), alg, mode, a, d, emit)
+}
+
+// ObservedJoinContext is ObservedJoin with cancellation: a canceled or
+// timed-out ctx stops the join at its next poll point (see JoinContext)
+// and returns ctx's error.
+func ObservedJoinContext(ctx context.Context, alg Algorithm, mode Mode, a, d *ElementSet, emit EmitFunc) (*JoinReport, error) {
 	col := NewCollector()
-	st := Stats{Tracer: col}
+	st := Stats{Tracer: col, Ctx: ctx}
 	a.store.AttachStats(&st)
 	if d.store != a.store {
 		d.store.AttachStats(&st)
@@ -121,8 +130,15 @@ func ObservedJoin(alg Algorithm, mode Mode, a, d *ElementSet, emit EmitFunc) (*J
 // the lock-free Collector — yield one phase breakdown and histogram set
 // spanning the whole run. Stats.Elapsed is the driver's wall-clock time.
 func (c *Collection) ObservedParallelJoin(alg Algorithm, mode Mode, ancTag, descTag string, emit EmitFunc, opts ParallelJoinOptions) (*JoinReport, error) {
+	return c.ObservedParallelJoinContext(context.Background(), alg, mode, ancTag, descTag, emit, opts)
+}
+
+// ObservedParallelJoinContext is ObservedParallelJoin with cancellation:
+// a canceled or timed-out ctx stops dispatching partitions and stops each
+// in-flight worker at its next poll point.
+func (c *Collection) ObservedParallelJoinContext(ctx context.Context, alg Algorithm, mode Mode, ancTag, descTag string, emit EmitFunc, opts ParallelJoinOptions) (*JoinReport, error) {
 	col := NewCollector()
-	st := Stats{Tracer: col}
+	st := Stats{Tracer: col, Ctx: ctx}
 	c.store.AttachStats(&st)
 	err := c.ParallelJoin(alg, mode, ancTag, descTag, emit, &st, opts)
 	c.store.AttachStats(nil)

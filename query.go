@@ -5,6 +5,9 @@ package xrtree
 // internal/pathexpr).
 
 import (
+	"context"
+	"sync"
+
 	"xrtree/internal/core"
 	"xrtree/internal/pathexpr"
 	"xrtree/internal/xmldoc"
@@ -12,11 +15,18 @@ import (
 
 // IndexedDocument couples a parsed document with a store, indexing each
 // tag's element set lazily on first use so path queries can run step by
-// step over XR-trees.
+// step over XR-trees. Safe for concurrent queries: the lazy per-tag index
+// construction is serialized by a mutex, so two racing queries for one tag
+// build its indexes exactly once.
 type IndexedDocument struct {
 	store *Store
 	doc   *Document
-	sets  map[string]*ElementSet
+
+	// mu guards sets. Index building happens under the lock: builds write
+	// through the shared buffer pool, and racing builders for one tag would
+	// otherwise both index it (and racing map writes are fatal).
+	mu   sync.Mutex
+	sets map[string]*ElementSet
 }
 
 // IndexDocument prepares doc for path queries against s. Indexes are built
@@ -32,6 +42,8 @@ func (d *IndexedDocument) Document() *Document { return d.doc }
 // The pseudo-tag "*" indexes every element. Tags with no elements return
 // (nil, nil).
 func (d *IndexedDocument) Set(tag string) (*ElementSet, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if set, ok := d.sets[tag]; ok {
 		return set, nil
 	}
@@ -46,6 +58,23 @@ func (d *IndexedDocument) Set(tag string) (*ElementSet, error) {
 		return nil, nil
 	}
 	set, err := d.store.IndexElements(els, IndexOptions{SkipList: true, SkipBTree: true})
+	if err != nil {
+		return nil, err
+	}
+	d.sets[tag] = set
+	return set, nil
+}
+
+// fullSet returns (building if needed) the all-access-paths indexed set for
+// tag over els — what collection joins need, unlike path queries which only
+// build XR-trees. A cached XR-only set from a prior path query is upgraded.
+func (d *IndexedDocument) fullSet(tag string, els []Element) (*ElementSet, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if set, ok := d.sets[tag]; ok && set != nil && set.list != nil && set.bt != nil {
+		return set, nil
+	}
+	set, err := d.store.IndexElements(els, IndexOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -75,6 +104,19 @@ func (d *IndexedDocument) Query(expr string, st *Stats) ([]Element, error) {
 		return nil, err
 	}
 	return pathexpr.Evaluate(p, d, st)
+}
+
+// QueryContext is Query with cancellation: a canceled or timed-out context
+// stops the pipeline at its next poll point (a step boundary, a page
+// boundary, or an element stride) and returns ctx's error.
+func (d *IndexedDocument) QueryContext(ctx context.Context, expr string, st *Stats) ([]Element, error) {
+	var out []Element
+	err := withCtx(ctx, st, func(st *Stats) error {
+		var err error
+		out, err = d.Query(expr, st)
+		return err
+	})
+	return out, err
 }
 
 // QueryNodes is Query with results resolved back to document nodes (tag,

@@ -1,0 +1,84 @@
+package xrtree_test
+
+import (
+	"sync"
+	"testing"
+
+	"xrtree"
+)
+
+// TestConcurrentSetBuildsOnce hammers IndexedDocument.Set from many
+// goroutines: lazy index construction must be serialized (no racing map
+// writes, no double builds through the shared buffer pool) and every
+// caller for one tag must get the same *ElementSet. Run under -race this
+// also covers the lazy ElementsByTag cache inside Document, which the
+// builders hit concurrently.
+func TestConcurrentSetBuildsOnce(t *testing.T) {
+	idx := indexedDoc(t, queryXML)
+	tags := append(idx.Document().Tags(), "*", "nosuch")
+
+	const callers = 8
+	got := make([][]*xrtree.ElementSet, len(tags))
+	for i := range got {
+		got[i] = make([]*xrtree.ElementSet, callers)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(tags)*callers)
+	for ti, tag := range tags {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(ti, c int, tag string) {
+				defer wg.Done()
+				set, err := idx.Set(tag)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got[ti][c] = set
+			}(ti, c, tag)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for ti, tag := range tags {
+		for c := 1; c < callers; c++ {
+			if got[ti][c] != got[ti][0] {
+				t.Fatalf("Set(%q): caller %d got a different set than caller 0 — built more than once", tag, c)
+			}
+		}
+		if tag == "nosuch" && got[ti][0] != nil {
+			t.Fatalf("Set(%q) = %v, want nil for an absent tag", tag, got[ti][0])
+		}
+	}
+}
+
+// TestConcurrentQueries runs full path queries from many goroutines over
+// one IndexedDocument; results must match the single-threaded answer and
+// the run must be race-clean.
+func TestConcurrentQueries(t *testing.T) {
+	idx := indexedDoc(t, queryXML)
+	want, err := idx.Query("department//name", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := idx.Query("department//name", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(got) != len(want) {
+				t.Errorf("got %d matches, want %d", len(got), len(want))
+			}
+		}()
+	}
+	wg.Wait()
+}

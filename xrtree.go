@@ -19,6 +19,7 @@
 package xrtree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -189,6 +190,11 @@ func (s *Store) AttachStats(st *Stats) {
 
 // PoolStats returns the buffer pool's cumulative counters.
 func (s *Store) PoolStats() Stats { return s.pool.Stats() }
+
+// PinnedPages returns the number of buffer-pool frames currently pinned.
+// A quiesced store reports 0; the serving layer exposes this so load tests
+// can assert that canceled queries leak no pins.
+func (s *Store) PinnedPages() int { return s.pool.PinnedCount() }
 
 // FileStats returns the paged file's physical I/O counters.
 func (s *Store) FileStats() Stats { return s.file.Stats() }
@@ -412,6 +418,30 @@ func Join(alg Algorithm, mode Mode, a, d *ElementSet, emit EmitFunc, st *Stats) 
 	default:
 		return fmt.Errorf("xrtree: unknown algorithm %d", alg)
 	}
+}
+
+// withCtx attaches ctx to st for the duration of fn, restoring the prior
+// context afterward; a nil st gets a local scratch counter set. The context
+// rides inside the counters (like the Tracer) so cancellation reaches every
+// layer without changing the internal call signatures.
+func withCtx(ctx context.Context, st *Stats, fn func(st *Stats) error) error {
+	var local Stats
+	if st == nil {
+		st = &local
+	}
+	prev := st.Ctx
+	st.Ctx = ctx
+	defer func() { st.Ctx = prev }()
+	return fn(st)
+}
+
+// JoinContext is Join with cancellation: when ctx is canceled or its
+// deadline passes, the join stops at its next poll point — a page boundary
+// of an index or list scan, or a fixed element stride — releasing every
+// page pin on the way out, and returns ctx's error (context.Canceled or
+// context.DeadlineExceeded).
+func JoinContext(ctx context.Context, alg Algorithm, mode Mode, a, d *ElementSet, emit EmitFunc, st *Stats) error {
+	return withCtx(ctx, st, func(st *Stats) error { return Join(alg, mode, a, d, emit, st) })
 }
 
 // JoinPairs is Join materialized into a slice, for small inputs and tests.
