@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke serve-smoke examples experiments verify clean fmt-check lint ci
+.PHONY: all build test race bench bench-json bench-smoke serve-smoke examples experiments verify clean fmt-check lint vet test-debug fuzz-smoke ci
 
 all: build test
 
@@ -39,6 +39,23 @@ bench-smoke:
 serve-smoke:
 	GO="$(GO)" sh ./scripts/serve_smoke.sh
 
+# Project-specific invariant checkers (cmd/xrvet): pin-leak, latch-order,
+# cancellation-poll, and Counters-threading analysis over the whole module.
+vet:
+	$(GO) run ./cmd/xrvet ./...
+
+# The whole test suite with the xrtreedebug runtime assertions compiled
+# in: resting-page checksums, the net-pin ledger, per-operation pin
+# balance, and sampled whole-tree invariant checks after every mutation.
+test-debug:
+	$(GO) test -tags xrtreedebug ./...
+
+# Short coverage-guided runs of both fuzz targets (parser robustness and
+# path-expression round-tripping); CI runs the same budget.
+fuzz-smoke:
+	$(GO) test -run FuzzParseDocument -fuzz FuzzParseDocument -fuzztime 10s ./internal/xmldoc
+	$(GO) test -run FuzzPathExpr -fuzz FuzzPathExpr -fuzztime 10s ./internal/pathexpr
+
 # gofmt as a check: fail when any file needs reformatting.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -57,7 +74,7 @@ lint:
 	fi
 
 # Everything the CI pipeline runs, in the same order, runnable locally.
-ci: build fmt-check lint test race bench-smoke serve-smoke
+ci: build fmt-check lint vet test race test-debug bench-smoke serve-smoke
 	@echo "ci: all checks passed"
 
 examples:

@@ -1,0 +1,88 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library so the repo's custom vet checks (cmd/xrvet) carry no module
+// dependencies. It provides the same core vocabulary — Analyzer, Pass,
+// Diagnostic — plus a package loader (loader.go) and a want-comment test
+// harness (analysistest.go).
+//
+// The subset is deliberately small: no facts, no cross-analyzer requires,
+// no suggested fixes. Each analyzer gets one fully type-checked package at
+// a time and reports diagnostics through Pass.Reportf. Cross-package
+// knowledge (for example, that bufferpool.Pool.Fetch pins a page) is
+// encoded in the analyzers by name-matching on types and methods, which
+// also lets the testdata packages model those APIs with local stand-in
+// types.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report. The returned value is unused by this framework (kept for
+	// signature compatibility with go/analysis).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver and the test harness
+	// install their own sinks.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run applies each analyzer to pkg and returns the collected diagnostics
+// in source order. Analyzer errors (not findings) are returned as-is.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	// Insertion sort: diagnostic counts are tiny and this avoids pulling in
+	// sort just for a stable position ordering.
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && diags[j].Pos < diags[j-1].Pos; j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's stdlib-only
+// analysis framework.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xrtree/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, for passing to Run.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads dir/src/<pkg> (dir is normally TestData()), applies the
+// analyzer, and verifies that the diagnostics and the package's want
+// comments agree: every diagnostic must be expected by a want comment on
+// its line, and every want comment must be matched by a diagnostic. A
+// line may carry several expectations: // want "first" "second".
+// Patterns are regexps and may be double- or back-quoted.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loader.LoadDir(filepath.Join(dir, "src", pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(p, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, p)
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		key := lineKey{file: pos.Filename, line: pos.Line}
+		if matchWant(wants[key], d.Message) {
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// matchWant consumes the first unmatched expectation matching msg.
+func matchWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\")|(`[^`]*`)")
+
+// collectWants extracts the want expectations of every file in p, keyed
+// by (file, line) of the comment.
+func collectWants(t *testing.T, p *analysis.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, f := range p.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				for _, m := range wantRe.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(m)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, m, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,12 @@
+package countersthread_test
+
+import (
+	"testing"
+
+	"xrtree/internal/analysis/analysistest"
+	"xrtree/internal/analysis/countersthread"
+)
+
+func TestCountersThread(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), countersthread.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"xrtree/internal/analysis/analysistest"
+	"xrtree/internal/analysis/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxpoll.Analyzer, "btree")
+}

@@ -1,0 +1,131 @@
+// Package btree (a testdata stand-in reusing a checked package name)
+// exercises the ctxpoll analyzer: loops that fetch pages or advance
+// cursors inside Counters-carrying functions must poll for cancellation.
+package btree
+
+import "context"
+
+type Counters struct {
+	Ctx context.Context
+}
+
+func (c *Counters) Interrupted() error {
+	if c == nil || c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
+type Pool struct{}
+
+func (p *Pool) Fetch(id uint32) ([]byte, error)       { return nil, nil }
+func (p *Pool) FetchCopy(id uint32, dst []byte) error { return nil }
+func (p *Pool) Unpin(id uint32, dirty bool) error     { return nil }
+
+type cursor struct{ valid bool }
+
+func (cu *cursor) advance() {}
+
+type poller struct{ n int }
+
+func (pl *poller) interrupted(c *Counters) error { return c.Interrupted() }
+
+// ---- negative cases ----
+
+func goodPolledFetch(p *Pool, c *Counters, ids []uint32) error {
+	for _, id := range ids {
+		if err := c.Interrupted(); err != nil {
+			return err
+		}
+		data, err := p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		_ = data
+		if err := p.Unpin(id, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func goodStridedPoller(cu *cursor, c *Counters) error {
+	var pl poller
+	for cu.valid {
+		if err := pl.interrupted(c); err != nil {
+			return err
+		}
+		cu.advance()
+	}
+	return nil
+}
+
+func goodBounded(p *Pool, c *Counters, h int) error {
+	buf := make([]byte, 16)
+	//xrvet:bounded root-to-leaf descent, at most h iterations
+	for i := 0; i < h; i++ {
+		if err := p.FetchCopy(uint32(i), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePath has no Counters parameter: mutation paths must not be
+// cancelled midway, so they are out of scope by design.
+func writePath(p *Pool, ids []uint32) error {
+	for _, id := range ids {
+		if _, err := p.Fetch(id); err != nil {
+			return err
+		}
+		if err := p.Unpin(id, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goodNoPageAccess loops over memory only; nothing to poll for.
+func goodNoPageAccess(c *Counters, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// ---- positive cases ----
+
+func badUnpolledFetch(p *Pool, c *Counters, ids []uint32) error {
+	for _, id := range ids { // want `loop fetches pages or advances a cursor but never polls Counters.Interrupted`
+		data, err := p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		_ = data
+		if err := p.Unpin(id, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func badCursorLoop(cu *cursor, c *Counters) {
+	for cu.valid { // want `loop fetches pages or advances a cursor but never polls Counters.Interrupted`
+		cu.advance()
+	}
+}
+
+func badChainWalk(p *Pool, c *Counters, id uint32) error {
+	for id != 0 { // want `loop fetches pages or advances a cursor but never polls Counters.Interrupted`
+		data, err := p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		id = uint32(data[0])
+		if err := p.Unpin(id, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

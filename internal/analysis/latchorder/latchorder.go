@@ -1,0 +1,396 @@
+// Package latchorder enforces the repo's lock-acquisition order. The
+// concurrency design (PR 2) layers three lock classes:
+//
+//	level 1: Tree.latch      — btree/core tree latch (RWMutex)
+//	level 2: shard.mu        — buffer-pool shard mutexes
+//	level 3: Pool.seriesMu   — buffer-pool series/stats mutex
+//
+// A goroutine may only acquire locks in strictly increasing level order:
+// tree latch before pool shard before series. Acquiring a lock at a level
+// at or below one already held — including a second lock of the same
+// class, which the sharded pool never nests — risks deadlock with a
+// writer queued on the RWMutex or with another goroutine locking in the
+// documented order.
+//
+// The check is lexical and branch-aware within one function: it tracks
+// locks acquired via x.Lock()/x.RLock() on classified fields (releases
+// via Unlock/RUnlock and defers understood) and flags both direct
+// acquisitions and calls to methods that are known to acquire a level
+// (Pool.Fetch acquires a shard, Tree.Insert acquires the latch, and so
+// on). Same-package helpers inherit summaries from the locks their
+// bodies acquire, propagated to a fixpoint through same-package calls.
+// `//xrvet:latchorder-ignore` on a function declaration suppresses the
+// check for that function.
+package latchorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xrtree/internal/analysis"
+)
+
+// Analyzer is the latchorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "latchorder",
+	Doc:  "enforce btree-latch → pool-shard → pool-series lock acquisition order",
+	Run:  run,
+}
+
+// lockClasses maps (receiver type name, field name) of a mutex field to
+// its level.
+var lockClasses = map[[2]string]int{
+	{"Tree", "latch"}:    1,
+	{"shard", "mu"}:      2,
+	{"Pool", "seriesMu"}: 3,
+}
+
+// methodLevels summarizes exported entry points of other packages: the
+// lowest lock level the method acquires internally. Matching is by
+// receiver type name, so btree.Tree and core.Tree share the Tree rows.
+var methodLevels = map[[2]string]int{
+	{"Tree", "Insert"}: 1, {"Tree", "Delete"}: 1, {"Tree", "BulkLoad"}: 1,
+	{"Tree", "Lookup"}: 1, {"Tree", "SeekGE"}: 1, {"Tree", "Scan"}: 1,
+	{"Tree", "Range"}: 1, {"Tree", "FindAncestors"}: 1,
+	{"Tree", "AppendAncestors"}: 1, {"Tree", "FindDescendants"}: 1,
+	{"Tree", "FindChildren"}: 1, {"Tree", "FindParent"}: 1,
+	{"Tree", "CheckInvariants"}: 1,
+	{"Pool", "Fetch"}:           2, {"Pool", "FetchCopy"}: 2, {"Pool", "FetchNew"}: 2,
+	{"Pool", "Unpin"}: 2, {"Pool", "Discard"}: 2, {"Pool", "FlushAll"}: 2,
+	{"Pool", "DropClean"}: 2, {"Pool", "PinnedCount"}: 2,
+	{"Pool", "EnableHitRateSeries"}: 3, {"Pool", "HitRateSeries"}: 3,
+}
+
+const orderDoc = "required order: tree latch (1) → pool shard (2) → pool series (3)"
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:      pass,
+		summaries: map[types.Object]int{},
+		ignore:    analysis.CommentLines(pass.Fset, pass.Files, "//xrvet:latchorder-ignore"),
+	}
+	// Fixpoint: derive a lock-level summary for every same-package
+	// function from the locks its body acquires and the summaries of the
+	// functions it calls.
+	for {
+		changed := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				lvl := c.bodyMinLevel(fn.Body)
+				obj := pass.TypesInfo.Defs[fn.Name]
+				if obj == nil || lvl == 0 {
+					continue
+				}
+				if old, ok := c.summaries[obj]; !ok || lvl < old {
+					c.summaries[obj] = lvl
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || analysis.Annotated(pass.Fset, c.ignore, fn.Pos()) {
+				continue
+			}
+			// The function that *implements* a lock acquisition is where
+			// the classified Lock call lives; it is checked like any
+			// other, which also validates the pool's own internals.
+			c.walk(fn.Body.List, nil)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	summaries map[types.Object]int
+	ignore    map[analysis.LineKey]string
+}
+
+// held is one lock currently held at this program point.
+type held struct {
+	level int
+	key   string // source text of the lock expression, e.g. "t.latch"
+}
+
+// bodyMinLevel returns the lowest level fn's body acquires directly or
+// through already-summarized same-package calls (0 = none).
+func (c *checker) bodyMinLevel(body *ast.BlockStmt) int {
+	min := 0
+	record := func(lvl int) {
+		if lvl != 0 && (min == 0 || lvl < min) {
+			min = lvl
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lock, _ := c.lockCall(call); lock != nil {
+			record(lock.level)
+		}
+		record(c.callLevel(call))
+		return true
+	})
+	return min
+}
+
+// lockCall classifies call as Lock/RLock (acquire=true) or
+// Unlock/RUnlock (acquire=false) on a classified mutex field.
+func (c *checker) lockCall(call *ast.CallExpr) (*held, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return nil, false
+	}
+	fieldSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	recv := analysis.NamedType(c.pass.TypesInfo.TypeOf(fieldSel.X))
+	if recv == nil {
+		return nil, false
+	}
+	lvl, ok := lockClasses[[2]string{recv.Obj().Name(), fieldSel.Sel.Name}]
+	if !ok {
+		return nil, false
+	}
+	return &held{level: lvl, key: types.ExprString(sel.X)}, acquire
+}
+
+// callLevel returns the summarized lock level call acquires (0 = none).
+func (c *checker) callLevel(call *ast.CallExpr) int {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if recv := analysis.NamedType(c.pass.TypesInfo.TypeOf(sel.X)); recv != nil {
+			if lvl, ok := methodLevels[[2]string{recv.Obj().Name(), sel.Sel.Name}]; ok {
+				return lvl
+			}
+		}
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	}
+	if lvl, ok := c.summaries[obj]; ok {
+		return lvl
+	}
+	return 0
+}
+
+// walk processes a statement list with the current held set, recursing
+// into branches with copies. The returned set is the held set at normal
+// fall-through, taking the intersection across branch exits.
+func (c *checker) walk(stmts []ast.Stmt, hs []held) []held {
+	for _, s := range stmts {
+		hs = c.stmt(s, hs)
+	}
+	return hs
+}
+
+func (c *checker) stmt(s ast.Stmt, hs []held) []held {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return c.expr(s.X, hs)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			hs = c.expr(e, hs)
+		}
+		return hs
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			hs = c.expr(e, hs)
+		}
+		return hs
+	case *ast.DeferStmt:
+		// A deferred unlock runs at exit: the lock stays held for the
+		// remainder of the body, which is exactly what hs models, so a
+		// deferred release changes nothing. Deferred acquisitions or
+		// level-acquiring calls are checked against the current set.
+		if lock, acquire := c.lockCall(s.Call); lock != nil && !acquire {
+			return hs
+		}
+		return c.expr(s.Call, hs)
+	case *ast.GoStmt:
+		// The goroutine starts with an empty held set; only the argument
+		// expressions are evaluated at the go statement itself.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walk(lit.Body.List, nil)
+		}
+		for _, a := range s.Call.Args {
+			hs = c.expr(a, hs)
+		}
+		return hs
+	case *ast.IfStmt:
+		if s.Init != nil {
+			hs = c.stmt(s.Init, hs)
+		}
+		hs = c.expr(s.Cond, hs)
+		thenOut := c.walk(s.Body.List, clone(hs))
+		elseOut := clone(hs)
+		if s.Else != nil {
+			elseOut = c.stmt(s.Else, elseOut)
+		}
+		return intersect(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			hs = c.stmt(s.Init, hs)
+		}
+		hs = c.expr(s.Cond, hs)
+		c.walk(s.Body.List, clone(hs))
+		return hs
+	case *ast.RangeStmt:
+		hs = c.expr(s.X, hs)
+		c.walk(s.Body.List, clone(hs))
+		return hs
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			hs = c.stmt(s.Init, hs)
+		}
+		hs = c.expr(s.Tag, hs)
+		c.walkClauses(s.Body, hs)
+		return hs
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			hs = c.stmt(s.Init, hs)
+		}
+		c.walkClauses(s.Body, hs)
+		return hs
+	case *ast.SelectStmt:
+		c.walkClauses(s.Body, hs)
+		return hs
+	case *ast.BlockStmt:
+		return c.walk(s.List, hs)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, hs)
+	case *ast.SendStmt:
+		hs = c.expr(s.Chan, hs)
+		return c.expr(s.Value, hs)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						hs = c.expr(v, hs)
+					}
+				}
+			}
+		}
+		return hs
+	}
+	return hs
+}
+
+func (c *checker) walkClauses(body *ast.BlockStmt, hs []held) {
+	for _, s := range body.List {
+		switch cl := s.(type) {
+		case *ast.CaseClause:
+			c.walk(cl.Body, clone(hs))
+		case *ast.CommClause:
+			sub := clone(hs)
+			if cl.Comm != nil {
+				sub = c.stmt(cl.Comm, sub)
+			}
+			c.walk(cl.Body, sub)
+		}
+	}
+}
+
+// expr scans one expression for lock operations and level-acquiring
+// calls, in evaluation order (good enough lexically), skipping function
+// literals — those are separate goroutine/deferred bodies checked on
+// their own with an empty held set.
+func (c *checker) expr(e ast.Expr, hs []held) []held {
+	if e == nil {
+		return hs
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.walk(lit.Body.List, nil)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lock, acquire := c.lockCall(call); lock != nil {
+			if acquire {
+				c.checkAcquire(call, *lock, hs)
+				hs = append(clone(hs), *lock)
+			} else {
+				hs = release(hs, lock.key)
+			}
+			return true
+		}
+		if lvl := c.callLevel(call); lvl != 0 {
+			for _, h := range hs {
+				if h.level >= lvl {
+					c.pass.Reportf(call.Pos(),
+						"latch order violation: calling %s (acquires level %d) while holding %s (level %d); %s",
+						types.ExprString(call.Fun), lvl, h.key, h.level, orderDoc)
+				}
+			}
+		}
+		return true
+	})
+	return hs
+}
+
+func (c *checker) checkAcquire(call *ast.CallExpr, lock held, hs []held) {
+	for _, h := range hs {
+		if h.level >= lock.level {
+			c.pass.Reportf(call.Pos(),
+				"latch order violation: acquiring %s (level %d) while holding %s (level %d); %s",
+				lock.key, lock.level, h.key, h.level, orderDoc)
+		}
+	}
+}
+
+func clone(hs []held) []held {
+	out := make([]held, len(hs))
+	copy(out, hs)
+	return out
+}
+
+func release(hs []held, key string) []held {
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].key == key {
+			out := clone(hs)
+			return append(out[:i], out[i+1:]...)
+		}
+	}
+	return hs
+}
+
+func intersect(a, b []held) []held {
+	var out []held
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}

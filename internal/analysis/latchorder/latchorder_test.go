@@ -1,0 +1,12 @@
+package latchorder_test
+
+import (
+	"testing"
+
+	"xrtree/internal/analysis/analysistest"
+	"xrtree/internal/analysis/latchorder"
+)
+
+func TestLatchOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), latchorder.Analyzer, "a")
+}

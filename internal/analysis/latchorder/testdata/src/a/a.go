@@ -1,0 +1,134 @@
+// Package a models the repo's three lock classes for the latchorder
+// analyzer tests: Tree.latch (level 1), shard.mu (level 2), and
+// Pool.seriesMu (level 3), with methods matching the summarized names.
+package a
+
+import "sync"
+
+type Pool struct {
+	seriesMu sync.Mutex
+}
+
+func (p *Pool) Fetch(id uint32) ([]byte, error)   { return nil, nil }
+func (p *Pool) Unpin(id uint32, dirty bool) error { return nil }
+
+type shard struct {
+	mu sync.Mutex
+}
+
+type Tree struct {
+	latch sync.RWMutex
+	pool  *Pool
+	s     *shard
+}
+
+func (t *Tree) Insert(k int) {}
+
+// ---- negative cases: acquisitions in increasing level order ----
+
+func goodOrder(t *Tree) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	t.pool.Fetch(1) // latch (1) then pool shard (2): ok
+}
+
+func goodSeriesLast(t *Tree) {
+	t.latch.RLock()
+	t.s.mu.Lock()
+	t.pool.seriesMu.Lock()
+	t.pool.seriesMu.Unlock()
+	t.s.mu.Unlock()
+	t.latch.RUnlock()
+}
+
+func goodSequential(t *Tree) {
+	t.latch.RLock()
+	t.latch.RUnlock()
+	t.latch.Lock() // first latch released: not nested
+	t.latch.Unlock()
+}
+
+func goodBranchRelease(t *Tree, cond bool) {
+	t.latch.Lock()
+	if cond {
+		t.latch.Unlock()
+		return
+	}
+	t.pool.Fetch(1)
+	t.latch.Unlock()
+}
+
+func goodGoroutine(t *Tree) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	go func() {
+		t.latch.RLock() // fresh goroutine: empty held set
+		t.latch.RUnlock()
+	}()
+}
+
+//xrvet:latchorder-ignore deliberate inversion exercised under test
+func ignoredInversion(t *Tree) {
+	t.s.mu.Lock()
+	t.latch.RLock()
+	t.latch.RUnlock()
+	t.s.mu.Unlock()
+}
+
+// ---- positive cases: order violations ----
+
+func badPoolUnderShard(t *Tree) {
+	t.s.mu.Lock()
+	t.pool.Fetch(1) // want `latch order violation: calling t.pool.Fetch \(acquires level 2\) while holding t.s.mu \(level 2\)`
+	t.s.mu.Unlock()
+}
+
+func badLatchUnderShard(t *Tree) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.s.mu \(level 2\)`
+	t.latch.RUnlock()
+}
+
+func badRecursiveLatch(t *Tree) {
+	t.latch.RLock()
+	t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.latch \(level 1\)`
+	t.latch.RUnlock()
+	t.latch.RUnlock()
+}
+
+func badSeriesFirst(t *Tree) {
+	t.pool.seriesMu.Lock()
+	t.s.mu.Lock() // want `latch order violation: acquiring t.s.mu \(level 2\) while holding t.pool.seriesMu \(level 3\)`
+	t.s.mu.Unlock()
+	t.pool.seriesMu.Unlock()
+}
+
+// badNestedTreeOp re-enters a latching entry point while latched — the
+// self-deadlock shape CheckInvariants-under-write-latch would have.
+func badNestedTreeOp(t, u *Tree) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	u.Insert(1) // want `latch order violation: calling u.Insert \(acquires level 1\) while holding t.latch \(level 1\)`
+}
+
+// lockHelper gives the fixpoint a same-package summary to propagate.
+func lockHelper(t *Tree) {
+	t.latch.Lock()
+	t.latch.Unlock()
+}
+
+func badCallsHelperUnderShard(t *Tree) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	lockHelper(t) // want `latch order violation: calling lockHelper \(acquires level 1\) while holding t.s.mu \(level 2\)`
+}
+
+func badGoroutineBody(t *Tree) {
+	go func() {
+		t.s.mu.Lock()
+		t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.s.mu \(level 2\)`
+		t.latch.RUnlock()
+		t.s.mu.Unlock()
+	}()
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses packages from source and resolves their imports from the
+// gc export data of the enclosing module's build. `go list -export -deps`
+// hands back the export files the toolchain already produced (compiling
+// on demand), so imports — standard library and module-internal alike —
+// type-check without golang.org/x/tools and without re-checking whole
+// dependency source trees. Only the package under analysis is parsed; its
+// imports are opaque type information, which is all the analyzers need.
+type Loader struct {
+	Fset    *token.FileSet
+	ModDir  string // module root (directory containing go.mod)
+	ModPath string // module path from go.mod
+
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+	pkgs    map[string]*Package // memoized by directory
+}
+
+// NewLoader builds a loader for the module enclosing dir.
+func NewLoader(dir string) (*Loader, error) {
+	modDir, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		ModDir:  modDir,
+		ModPath: modPath,
+		exports: map[string]string{},
+		pkgs:    map[string]*Package{},
+	}
+	out, err := goList(modDir, "-export", "-deps", "-f", "{{.ImportPath}}={{.Export}}", "./...")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: listing export data: %w", err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '='); i > 0 && i+1 < len(line) {
+			l.exports[line[:i]] = line[i+1:]
+		}
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (package outside the module's dependency closure)", path)
+		}
+		return os.Open(file)
+	})
+	return l, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (modDir, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+	}
+}
+
+func goList(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return string(out), nil
+}
+
+// Packages expands go package patterns (for example "./...") relative to
+// the module root and loads each matched package.
+func (l *Loader) Packages(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	out, err := goList(l.ModDir, append([]string{"-f", "{{.Dir}}"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range strings.Split(strings.TrimSpace(out), "\n") {
+		if dir == "" {
+			continue
+		}
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the (non-test) package in dir. File
+// selection honors build constraints under the default build context, so
+// tag-gated files (//go:build xrtreedebug) resolve exactly as a normal
+// build would. Directories outside the module — analysistest testdata
+// packages — load the same way; their imports must stay within the
+// module's dependency closure.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[dir]; ok {
+		return pkg, nil
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	pkgPath := l.pkgPathFor(dir, bp.Name)
+	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	pkg := &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Syntax:  files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.pkgs[dir] = pkg
+	return pkg, nil
+}
+
+// pkgPathFor derives an import path for dir: module-relative when inside
+// the module, otherwise the bare package name (testdata packages).
+func (l *Loader) pkgPathFor(dir, name string) string {
+	if rel, err := filepath.Rel(l.ModDir, dir); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		if rel == "." {
+			return l.ModPath
+		}
+		return l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return name
+}
+
+// Import implements types.Importer by delegating to the module's gc
+// export data ("unsafe" is resolved specially, as required).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.imp.Import(path)
+}

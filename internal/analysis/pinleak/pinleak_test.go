@@ -1,0 +1,12 @@
+package pinleak_test
+
+import (
+	"testing"
+
+	"xrtree/internal/analysis/analysistest"
+	"xrtree/internal/analysis/pinleak"
+)
+
+func TestPinleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), pinleak.Analyzer, "a")
+}

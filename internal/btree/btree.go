@@ -109,6 +109,7 @@ func New(pool *bufferpool.Pool, docID uint32) (*Tree, error) {
 	}
 	initLeaf(rootData)
 	if err := pool.Unpin(rootID, true); err != nil {
+		pool.Unpin(metaID, true) // best-effort: the first error propagates
 		return nil, err
 	}
 	t.root = rootID

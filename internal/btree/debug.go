@@ -1,0 +1,19 @@
+package btree
+
+import "xrtree/internal/invariant"
+
+// debugPinBalance snapshots the pool's pinned-frame count at operation
+// entry; the returned func asserts it is unchanged at exit (xrtreedebug
+// builds only — the hook compiles away otherwise). Registered after the
+// latch defer so it runs while the tree is still write-latched.
+func (t *Tree) debugPinBalance() func() {
+	if !invariant.Enabled {
+		return func() {}
+	}
+	before := t.pool.PinnedCount()
+	return func() {
+		after := t.pool.PinnedCount()
+		invariant.Assertf(after == before,
+			"pin balance: %d frames pinned at operation entry, %d at exit", before, after)
+	}
+}

@@ -12,6 +12,7 @@ import (
 func (t *Tree) Delete(key uint32) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
+	defer t.debugPinBalance()()
 	if _, err := t.deleteFrom(t.root, t.h, key); err != nil {
 		return err
 	}

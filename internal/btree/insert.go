@@ -16,6 +16,7 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 	}
 	t.latch.Lock()
 	defer t.latch.Unlock()
+	defer t.debugPinBalance()()
 	promoKey, promoChild, err := t.insertInto(t.root, t.h, e)
 	if err != nil {
 		return err
@@ -221,6 +222,7 @@ func insertIntEntry(data []byte, ci, m int, key uint32, child pagefile.PageID) {
 func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
+	defer t.debugPinBalance()()
 	if t.count != 0 {
 		return fmt.Errorf("btree: BulkLoad into non-empty tree (%d elements)", t.count)
 	}

@@ -56,6 +56,7 @@ func (t *Tree) Lookup(key uint32, c *metrics.Counters) (xmldoc.Element, error) {
 // least read mode.
 func (t *Tree) descendToLeafCopy(key uint32, c *metrics.Counters, buf []byte) error {
 	id := t.root
+	//xrvet:bounded root-to-leaf descent, at most t.h iterations
 	for level := t.h; ; level-- {
 		if err := t.pool.FetchCopy(id, buf); err != nil {
 			return err

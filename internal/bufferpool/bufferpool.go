@@ -66,6 +66,10 @@ type frame struct {
 	// membership.
 	prev, next *frame
 	onLRU      bool
+	// sum is the resting-page checksum oracle (debug builds only; see
+	// debug.go). hasSum marks it valid.
+	sum    uint64
+	hasSum bool
 }
 
 // shard is one lock-striped partition of the pool: its own mutex, frame
@@ -106,6 +110,9 @@ type Pool struct {
 	seriesMu sync.Mutex
 	seriesOn atomic.Bool
 	series   hitRateSeries
+
+	// debugPins is the xrtreedebug net-pin ledger (see debug.go).
+	debugPins atomic.Int64
 }
 
 // hitRateSeries accumulates a bounded hit-rate time series. When the point
@@ -316,6 +323,7 @@ func (p *Pool) Fetch(id pagefile.PageID) ([]byte, error) {
 		return nil, err
 	}
 	s.pinLocked(f)
+	p.debugPinned(1)
 	return f.data, nil
 }
 
@@ -349,6 +357,7 @@ func (p *Pool) FetchCopy(id pagefile.PageID, dst []byte) error {
 func (p *Pool) fetchLocked(s *shard, id pagefile.PageID) (*frame, error) {
 	if f, ok := s.frames[id]; ok {
 		p.countAccess(true)
+		f.verifySum()
 		return f, nil
 	}
 	p.countAccess(false)
@@ -361,6 +370,7 @@ func (p *Pool) fetchLocked(s *shard, id pagefile.PageID) (*frame, error) {
 		delete(s.frames, id)
 		return nil, err
 	}
+	f.restSum()
 	return f, nil
 }
 
@@ -382,6 +392,7 @@ func (p *Pool) FetchNew() (pagefile.PageID, []byte, error) {
 	clear(f.data)
 	f.dirty = true
 	s.pinLocked(f)
+	p.debugPinned(1)
 	return id, f.data, nil
 }
 
@@ -402,7 +413,9 @@ func (p *Pool) Unpin(id pagefile.PageID, dirty bool) error {
 		f.dirty = true
 	}
 	f.pins--
+	p.debugPinned(-1)
 	if f.pins == 0 {
+		f.restSum()
 		s.lruPushFront(f)
 	}
 	return nil
@@ -423,6 +436,7 @@ func (p *Pool) Discard(id pagefile.PageID) error {
 		return fmt.Errorf("bufferpool: discard of page %d with %d pins", id, f.pins)
 	}
 	delete(s.frames, id)
+	p.debugPinned(-1)
 	s.mu.Unlock()
 	return p.file.Free(id)
 }
@@ -482,6 +496,7 @@ func (s *shard) pinLocked(f *frame) {
 	if f.pins == 0 && f.onLRU {
 		s.lruRemove(f)
 	}
+	f.dropSum()
 	f.pins++
 }
 
@@ -506,6 +521,7 @@ func (p *Pool) admitLocked(s *shard, id pagefile.PageID) (*frame, error) {
 		delete(s.frames, victim.id)
 		victim.id = id
 		victim.dirty = false
+		victim.dropSum()
 		s.frames[id] = victim
 		return victim, nil
 	}
@@ -515,6 +531,7 @@ func (p *Pool) admitLocked(s *shard, id pagefile.PageID) (*frame, error) {
 }
 
 func (p *Pool) flushLocked(f *frame) error {
+	f.verifySum()
 	if !f.dirty {
 		return nil
 	}

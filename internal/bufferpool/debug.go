@@ -1,0 +1,55 @@
+package bufferpool
+
+import (
+	"xrtree/internal/invariant"
+)
+
+// Debug-build (xrtreedebug) oracles for the pinning protocol. Every hook
+// is gated on the invariant.Enabled constant, so release builds compile
+// them away entirely.
+//
+//   - Resting-page checksums: when a frame's pin count returns to zero
+//     (or it is admitted without being pinned), an FNV-1a checksum of its
+//     bytes is recorded; the next fetch or flush of the still-resting
+//     frame re-verifies it. A mismatch means someone wrote through a page
+//     slice after Unpin — the use-after-unpin bug class the pin
+//     discipline (and the pinleak analyzer) exists to prevent.
+//
+//   - Net pin ledger: a pool-wide atomic count of outstanding pins that
+//     must never go negative; it gives operation-exit balance checks
+//     (core's write paths compare PinnedCount before and after) a cheap
+//     always-on cross-check under the debug tag.
+
+// restSum records the checksum of a frame that has come to rest
+// (unpinned, bytes final until the next pin).
+func (f *frame) restSum() {
+	if invariant.Enabled {
+		f.sum = invariant.Checksum(f.data)
+		f.hasSum = true
+	}
+}
+
+// dropSum invalidates the resting checksum when the frame is pinned (its
+// bytes may now change legitimately) or its identity changes.
+func (f *frame) dropSum() {
+	if invariant.Enabled {
+		f.hasSum = false
+	}
+}
+
+// verifySum checks a resting frame's bytes against the recorded checksum.
+func (f *frame) verifySum() {
+	if invariant.Enabled && f.pins == 0 && f.hasSum {
+		invariant.Assertf(invariant.Checksum(f.data) == f.sum,
+			"page %d: bytes of an unpinned frame changed (write through a stale slice after Unpin?)", f.id)
+	}
+}
+
+// debugPinned tracks the pool-wide net pin count.
+func (p *Pool) debugPinned(d int64) {
+	if !invariant.Enabled {
+		return
+	}
+	v := p.debugPins.Add(d)
+	invariant.Assertf(v >= 0, "net pin count went negative (%d)", v)
+}

@@ -1,0 +1,56 @@
+//go:build xrtreedebug
+
+package bufferpool
+
+import (
+	"testing"
+)
+
+// TestChecksumCatchesUseAfterUnpin proves the debug-build oracle is live:
+// writing through a page slice kept across Unpin must panic on the next
+// fetch of the resting frame.
+func TestChecksumCatchesUseAfterUnpin(t *testing.T) {
+	p, _ := newPool(t, 4)
+	id, data, err := p.FetchNew()
+	if err != nil {
+		t.Fatalf("FetchNew: %v", err)
+	}
+	data[0] = 1
+	if err := p.Unpin(id, true); err != nil {
+		t.Fatalf("Unpin: %v", err)
+	}
+	data[0] = 2 // use-after-unpin: the frame is resting
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fetch of a corrupted resting frame did not panic")
+		}
+	}()
+	p.Fetch(id) // panics before pinning; nothing to unpin
+}
+
+// TestPinLedgerBalanced exercises the net-pin ledger through a
+// fetch/unpin/discard cycle; any imbalance panics inside the calls.
+func TestPinLedgerBalanced(t *testing.T) {
+	p, _ := newPool(t, 4)
+	id, _, err := p.FetchNew()
+	if err != nil {
+		t.Fatalf("FetchNew: %v", err)
+	}
+	if err := p.Unpin(id, true); err != nil {
+		t.Fatalf("Unpin: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Fetch(id); err != nil {
+			t.Fatalf("Fetch: %v", err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Unpin(id, false); err != nil {
+			t.Fatalf("Unpin: %v", err)
+		}
+	}
+	if got := p.debugPins.Load(); got != 0 {
+		t.Fatalf("net pins after balanced cycle = %d, want 0", got)
+	}
+}

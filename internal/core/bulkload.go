@@ -18,6 +18,7 @@ import (
 func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
+	defer t.debugPinBalance()()
 	if t.count != 0 {
 		return fmt.Errorf("xrtree: BulkLoad into non-empty tree (%d elements)", t.count)
 	}
@@ -139,7 +140,10 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 			return err
 		}
 	}
-	return t.syncMeta()
+	if err := t.syncMeta(); err != nil {
+		return err
+	}
+	return t.debugPostMutation()
 }
 
 // homeElement inserts e into the stab list of the highest stabbing node on

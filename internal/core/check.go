@@ -25,6 +25,13 @@ import (
 func (t *Tree) CheckInvariants() error {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
+	return t.checkInvariantsLocked()
+}
+
+// checkInvariantsLocked is CheckInvariants for callers that already hold
+// the latch (in either mode) — taking RLock here would self-deadlock the
+// debug build's post-mutation sampling, which runs under the write latch.
+func (t *Tree) checkInvariantsLocked() error {
 	ck := &checker{t: t}
 	if _, _, _, err := ck.walk(t.root, t.h, 0, ^uint32(0), nil); err != nil {
 		return err

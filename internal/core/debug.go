@@ -1,0 +1,51 @@
+package core
+
+import "xrtree/internal/invariant"
+
+// Debug-build (xrtreedebug) oracles for the XR-tree's structural
+// invariants. Both hooks are gated on the invariant.Enabled constant and
+// compile away in release builds.
+
+// Beyond debugFullCheckBelow elements, only every debugCheckStride-th
+// mutation runs the full checker — it walks the whole tree, so checking
+// every operation would make the randomized soak tests quadratic.
+const (
+	debugFullCheckBelow = 512
+	debugCheckStride    = 64
+)
+
+// debugPostMutation runs after a successful mutation with the write latch
+// still held: on a sampled schedule it re-validates the entire tree —
+// stab-chain ordering and disjointness, per-key (ps,pe) and head
+// directories, strict PSL nesting, leaf-flag placement. It always returns
+// nil; a violation panics through invariant.Assertf.
+func (t *Tree) debugPostMutation() error {
+	if !invariant.Enabled {
+		return nil
+	}
+	t.debugOps++
+	if t.count > debugFullCheckBelow && t.debugOps%debugCheckStride != 0 {
+		return nil
+	}
+	err := t.checkInvariantsLocked()
+	invariant.Assertf(err == nil, "post-mutation tree check: %v", err)
+	return nil
+}
+
+// debugPinBalance snapshots the pool's pinned-frame count at operation
+// entry; the returned func asserts it is unchanged at exit. Registered
+// after the latch defer, it runs while the tree is still write-latched,
+// so no same-tree operation can be mid-flight; operations on other trees
+// sharing the pool must be quiescent too, which holds for every build and
+// mutation phase in the test suites.
+func (t *Tree) debugPinBalance() func() {
+	if !invariant.Enabled {
+		return func() {}
+	}
+	before := t.pool.PinnedCount()
+	return func() {
+		after := t.pool.PinnedCount()
+		invariant.Assertf(after == before,
+			"pin balance: %d frames pinned at operation entry, %d at exit", before, after)
+	}
+}

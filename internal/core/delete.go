@@ -23,6 +23,7 @@ import (
 func (t *Tree) Delete(start uint32) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
+	defer t.debugPinBalance()()
 	// Resolve the full region first so the destructive descent cannot fail
 	// halfway (the stab entry is keyed by the region, not just the start).
 	e, err := t.lookupLocked(start, t.c)
@@ -62,7 +63,10 @@ func (t *Tree) Delete(start uint32) error {
 			return err
 		}
 	}
-	return t.syncMeta()
+	if err := t.syncMeta(); err != nil {
+		return err
+	}
+	return t.debugPostMutation()
 }
 
 // Lookup returns the indexed element whose start equals start, attributing
@@ -77,6 +81,7 @@ func (t *Tree) Lookup(start uint32, c *metrics.Counters) (xmldoc.Element, error)
 // mode (Delete calls it under the write latch).
 func (t *Tree) lookupLocked(start uint32, c *metrics.Counters) (xmldoc.Element, error) {
 	id := t.root
+	//xrvet:bounded root-to-leaf descent, at most t.h iterations
 	for level := t.h; level > 1; level-- {
 		data, err := t.pool.Fetch(id)
 		if err != nil {

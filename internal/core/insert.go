@@ -62,6 +62,7 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 	}
 	t.latch.Lock()
 	defer t.latch.Unlock()
+	defer t.debugPinBalance()()
 	t.c.Emit(obs.EvIndexDescend, int64(t.h))
 	res, err := t.insertInto(t.root, t.h, e, false)
 	if err != nil {
@@ -93,7 +94,10 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 		t.h++
 	}
 	t.count++
-	return t.syncMeta()
+	if err := t.syncMeta(); err != nil {
+		return err
+	}
+	return t.debugPostMutation()
 }
 
 // insertInto inserts e under page id at the given height (1 = leaf). homed

@@ -41,6 +41,7 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 	defer t.latch.RUnlock()
 	out := dst
 	id := t.root
+	//xrvet:bounded root-to-leaf descent, at most t.h iterations
 	for level := t.h; level > 1; level-- {
 		data, err := t.pool.Fetch(id)
 		if err != nil {
@@ -150,6 +151,12 @@ func (t *Tree) scanPSL(node []byte, ki int, sd uint32, minStart uint32, c *metri
 	kv := intKey(node, ki)
 	p := keyPSLPage(node, ki)
 	for p != pagefile.InvalidPage {
+		// A PSL chain grows with the document (deep nesting under one
+		// key), so the walk polls for cancellation at page granularity
+		// like every other unbounded read path.
+		if err := c.Interrupted(); err != nil {
+			return err
+		}
 		data, err := t.fetchStab(p)
 		if err != nil {
 			return err
@@ -256,6 +263,7 @@ func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
 	id := t.root
+	//xrvet:bounded root-to-leaf descent, at most t.h iterations
 	for level := t.h; level > 1; level-- {
 		if err := t.pool.FetchCopy(id, buf); err != nil {
 			putPageBuf(buf)

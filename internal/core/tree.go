@@ -144,6 +144,10 @@ type Tree struct {
 	// exclusively, readers take it shared per descent or per leaf hop.
 	latch sync.RWMutex
 
+	// debugOps counts mutations for the xrtreedebug sampled invariant
+	// check (see debug.go). Guarded by the write latch.
+	debugOps int
+
 	c *metrics.Counters
 }
 
@@ -163,6 +167,7 @@ func New(pool *bufferpool.Pool, docID uint32, opts Options) (*Tree, error) {
 	}
 	initLeaf(rootData)
 	if err := pool.Unpin(rootID, true); err != nil {
+		pool.Unpin(metaID, true) // best-effort: the first error propagates
 		return nil, err
 	}
 	t.root = rootID

@@ -86,6 +86,7 @@ func Build(pool *bufferpool.Pool, es []xmldoc.Element) (*List, error) {
 		if prevData != nil {
 			putU32(prevData[offNext:], uint32(id))
 			if err := pool.Unpin(prevID, true); err != nil {
+				pool.Unpin(id, false) // abandon the page fetched this iteration
 				return nil, err
 			}
 		} else {

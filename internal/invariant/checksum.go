@@ -1,0 +1,18 @@
+package invariant
+
+// Checksum returns the FNV-1a hash of b. The buffer pool records one per
+// resting page under xrtreedebug and re-verifies it on the next fetch,
+// catching writes to unpinned frames (use-after-unpin) and torn
+// evict/readmit cycles.
+func Checksum(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,11 @@
+//go:build !xrtreedebug
+
+// Package invariant provides build-tagged runtime assertions; see
+// enabled.go. This is the release variant: assertions are no-ops.
+package invariant
+
+// Enabled reports whether debug assertions are compiled in.
+const Enabled = false
+
+// Assertf is a no-op in release builds.
+func Assertf(cond bool, format string, args ...any) {}

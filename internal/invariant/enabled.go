@@ -1,0 +1,23 @@
+//go:build xrtreedebug
+
+// Package invariant provides build-tagged runtime assertions. Under the
+// xrtreedebug tag (make test-debug) Enabled is true and Assertf panics on
+// violation; in release builds both compile to nothing, so the storage
+// layers can assert structural invariants (pin balance, key-region
+// ordering, page checksums, stab-list disjointness) without release-path
+// cost.
+package invariant
+
+import "fmt"
+
+// Enabled reports whether debug assertions are compiled in. It is a
+// constant, so `if invariant.Enabled { ... }` blocks are eliminated
+// entirely from release builds.
+const Enabled = true
+
+// Assertf panics with a formatted message when cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,36 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"xrtree/internal/invariant"
+)
+
+func TestAssertf(t *testing.T) {
+	invariant.Assertf(true, "true must never fire")
+	if invariant.Enabled {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Assertf(false) did not panic in a debug build")
+			}
+		}()
+		invariant.Assertf(false, "boom %d", 1)
+		t.Fatal("unreachable: Assertf(false) returned in a debug build")
+	} else {
+		invariant.Assertf(false, "must be a no-op in release builds")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	a := []byte("xr-tree page image")
+	b := []byte("xr-tree page imagf")
+	if invariant.Checksum(a) == invariant.Checksum(b) {
+		t.Fatal("checksums of different buffers collide")
+	}
+	if invariant.Checksum(a) != invariant.Checksum([]byte("xr-tree page image")) {
+		t.Fatal("checksum is not deterministic")
+	}
+	if invariant.Checksum(nil) != 14695981039346656037 {
+		t.Fatal("checksum of empty input must be the FNV-1a offset basis")
+	}
+}

@@ -176,7 +176,9 @@ func BPlus(mode Mode, a, d Seeker, emit EmitFunc, c *metrics.Counters) error {
 			}
 		}
 	}
-	drainStack(mode, cd, &stack, emit, c)
+	if err := drainStack(mode, cd, &stack, emit, c); err != nil {
+		return err
+	}
 	return firstErr(ca.err(), cd.err())
 }
 
@@ -271,21 +273,30 @@ func XRStack(mode Mode, a AncestorSeeker, d Seeker, emit EmitFunc, c *metrics.Co
 			}
 		}
 	}
-	drainStack(mode, cd, &stack, emit, c)
+	if err := drainStack(mode, cd, &stack, emit, c); err != nil {
+		return err
+	}
 	return firstErr(ca.err(), cd.err())
 }
 
 // drainStack finishes a join after the ancestor input is exhausted:
-// remaining descendants can only match already-stacked ancestors.
-func drainStack(mode Mode, cd *cursor, stack *ancStack, emit EmitFunc, c *metrics.Counters) {
+// remaining descendants can only match already-stacked ancestors. The
+// drain can still walk the whole remaining descendant list, so it keeps
+// polling for cancellation on the same stride as the main loops.
+func drainStack(mode Mode, cd *cursor, stack *ancStack, emit EmitFunc, c *metrics.Counters) error {
+	var pl poller
 	for cd.valid && !stack.empty() {
+		if err := pl.interrupted(c); err != nil {
+			return err
+		}
 		stack.popNonAncestors(cd.cur.Start)
 		if stack.empty() {
-			return
+			return nil
 		}
 		stack.emitAll(mode, cd.cur, emit, c)
 		cd.advance()
 	}
+	return nil
 }
 
 func firstErr(errs ...error) error {

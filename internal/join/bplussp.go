@@ -137,6 +137,8 @@ func BPlusSP(mode Mode, a SiblingListSource, d Seeker, emit EmitFunc, c *metrics
 			}
 		}
 	}
-	drainStack(mode, cd, &stack, emit, c)
+	if err := drainStack(mode, cd, &stack, emit, c); err != nil {
+		return err
+	}
 	return firstErr(ca.err(), cd.err())
 }

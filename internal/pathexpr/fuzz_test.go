@@ -1,0 +1,33 @@
+package pathexpr
+
+import "testing"
+
+// FuzzPathExpr checks that Parse never panics and that every accepted
+// expression round-trips: rendering the parsed path and parsing it again
+// must reproduce the same rendering (String is the canonical form).
+func FuzzPathExpr(f *testing.F) {
+	f.Add("//a//b")
+	f.Add("/a/b/c")
+	f.Add("department[name]//employee[email][//employee]/name")
+	f.Add("a[b[c]]")
+	f.Add("//a[/b]")
+	f.Add("a[")
+	f.Add("]")
+	f.Add("a//")
+	f.Add("  //a  ")
+	f.Add("a[b][c][d]")
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("round-trip parse of %q (from %q) failed: %v", s, expr, err)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("canonical form not stable: %q -> %q -> %q", expr, s, s2)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package xmldoc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseDocument feeds arbitrary bytes through Parse under both the
+// minimal and the fully materialized option sets and checks the region
+// encoding invariants on every accepted document: strict (Start, End)
+// regions, strict containment of children, and level bookkeeping —
+// exactly the properties the structural joins rely on.
+func FuzzParseDocument(f *testing.F) {
+	f.Add([]byte("<a><b/></a>"))
+	f.Add([]byte("<dept><name>X</name><employee id=\"1\"><email>e</email></employee></dept>"))
+	f.Add([]byte("<a>text<b>more</b>tail</a>"))
+	f.Add([]byte("<a><b><c><d/></c></b></a>"))
+	f.Add([]byte("<a><!-- comment --><?pi data?><b/></a>"))
+	f.Add([]byte("<a xmlns:x=\"u\"><x:b/></a>"))
+	f.Add([]byte("<a><b></a></b>"))
+	f.Add([]byte("</a>"))
+	f.Add([]byte(""))
+	f.Add([]byte("<a>&lt;&#65;</a>"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, opts := range []ParseOptions{
+			{DocID: 1},
+			{DocID: 2, PositionGap: 100, KeepText: true, IncludeAttributes: true, IncludeText: true},
+		} {
+			doc, err := Parse(bytes.NewReader(data), opts)
+			if err != nil {
+				continue
+			}
+			if doc.Root == nil {
+				t.Fatalf("opts %+v: nil root without error", opts)
+			}
+			checkRegions(t, doc.Root, nil)
+			if got, want := len(doc.AllElements()), doc.NumElements(); got != want {
+				t.Fatalf("opts %+v: AllElements returned %d elements, NumElements says %d", opts, got, want)
+			}
+		}
+	})
+}
+
+// checkRegions walks the node tree verifying the §2.1 region encoding.
+func checkRegions(t *testing.T, n *Node, parent *Node) {
+	t.Helper()
+	if n.Element.Start >= n.Element.End {
+		t.Fatalf("node %q: degenerate region (%d,%d)", n.Tag, n.Element.Start, n.Element.End)
+	}
+	if parent != nil {
+		if n.Parent != parent {
+			t.Fatalf("node %q: wrong parent link", n.Tag)
+		}
+		if n.Element.Start <= parent.Element.Start || n.Element.End >= parent.Element.End {
+			t.Fatalf("node %q (%d,%d) not strictly inside parent %q (%d,%d)",
+				n.Tag, n.Element.Start, n.Element.End, parent.Tag, parent.Element.Start, parent.Element.End)
+		}
+		if n.Element.Level != parent.Element.Level+1 {
+			t.Fatalf("node %q: level %d under parent level %d", n.Tag, n.Element.Level, parent.Element.Level)
+		}
+	}
+	last := n.Element.Start
+	for _, c := range n.Children {
+		if c.Element.Start <= last {
+			t.Fatalf("node %q: children out of document order", n.Tag)
+		}
+		last = c.Element.End
+		checkRegions(t, c, n)
+	}
+}
