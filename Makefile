@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke serve-smoke examples experiments verify clean fmt-check lint vet test-debug fuzz-smoke ci
+.PHONY: all build test race bench bench-json bench-smoke microbench serve-smoke examples experiments verify clean fmt-check lint vet test-debug fuzz-smoke ci
 
 all: build test
 
@@ -27,11 +27,23 @@ bench-json:
 	$(GO) run ./cmd/xrbench -json BENCH_xrbench.json
 
 # Bench-regression gate: a reduced-scale report diffed against the
-# committed baseline by shape (schema, sweeps, phase breakdowns, parallel
-# rows) — never by timing, so it is safe on loaded CI machines.
+# committed baseline by shape (schema, sweeps, phase breakdowns, parallel,
+# serving, and storage rows) — never by timing, so it is safe on loaded CI
+# machines. Runs once under each buffer-replacement policy so both the LRU
+# default and the 2Q+readahead configuration stay green.
 bench-smoke:
 	$(GO) run ./cmd/xrbench -json /tmp/xrtree_bench_smoke.json -scale 0.2
 	$(GO) run ./cmd/xrcheckbench -baseline BENCH_baseline.json /tmp/xrtree_bench_smoke.json
+	$(GO) run ./cmd/xrbench -json /tmp/xrtree_bench_smoke_2q.json -scale 0.2 -pool-policy 2q -prefetch
+	$(GO) run ./cmd/xrcheckbench -baseline BENCH_baseline.json /tmp/xrtree_bench_smoke_2q.json
+
+# Storage-stack microbenchmarks (allocation counts are the regression
+# signal, hence -benchmem; -count=5 for a spread benchstat can consume):
+# the pool pin/unpin fast path, a full leaf-chain scan, and an XR-stack
+# join end to end.
+microbench:
+	$(GO) test -run XXX -bench 'BenchmarkPoolFetch|BenchmarkLeafChainScan|BenchmarkXRStackJoin' \
+		-benchmem -count=5 ./internal/bufferpool ./internal/elemlist ./internal/join
 
 # End-to-end smoke of the serving subsystem: boot xrserve on a temp
 # store, saturate it with xrblast (bounded admission, zero leaked pins),

@@ -35,6 +35,13 @@ type BenchReport struct {
 	// Serving is the query-serving load study produced by cmd/xrblast
 	// (additive, like Parallel).
 	Serving *ServingStudy `json:"serving,omitempty"`
+	// Storage is the storage-stack study: the mixed probe/scan/join
+	// workload under LRU vs 2Q+readahead (additive, like Parallel).
+	Storage *StorageStudy `json:"storage,omitempty"`
+	// PoolPolicy and Prefetch record the pool configuration the sweeps ran
+	// under (additive; empty/false means the LRU default).
+	PoolPolicy string `json:"pool_policy,omitempty"`
+	Prefetch   bool   `json:"prefetch,omitempty"`
 }
 
 // BenchSweep is one experiment (ancestor / descendant / both selectivity)
@@ -132,6 +139,8 @@ func BuildBenchReport(cfg ExperimentConfig) (*BenchReport, error) {
 		PageSize:    cfg.PageSize,
 		BufferPages: cfg.BufferPages,
 		CostModel:   cfg.Model,
+		PoolPolicy:  string(cfg.PoolPolicy),
+		Prefetch:    cfg.Prefetch,
 	}
 	for _, exp := range []struct {
 		name string
@@ -156,6 +165,18 @@ func BuildBenchReport(cfg ExperimentConfig) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.Parallel = ps
+	// The storage study deliberately keeps its own corpus floor (see
+	// StorageStudyConfig.Elements) instead of cfg.Scale, so its LRU-vs-2Q
+	// comparison stays meaningful in scaled-down smoke runs.
+	ss, err := RunStorageStudy(StorageStudyConfig{
+		Seed:        cfg.Seed,
+		PageSize:    cfg.PageSize,
+		BufferPages: cfg.BufferPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Storage = ss
 	return rep, nil
 }
 

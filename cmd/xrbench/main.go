@@ -12,6 +12,8 @@
 //	ablation — §3.2 separator key-choice ablation
 //	pc       — §5.3 extension: the ancestor sweep under parent-child joins
 //	parallel — workers-speedup sweep of the parallel join driver
+//	storage  — storage-stack study: LRU vs 2Q+readahead on the mixed
+//	           probe/scan/join workload
 //	all      — everything above
 //
 // Usage:
@@ -45,10 +47,19 @@ func main() {
 		workers = flag.Int("workers", 4, "maximum worker count for the parallel experiment")
 		csvDir  = flag.String("csv", "", "also write each sweep as CSV files into this directory")
 		jsonOut = flag.String("json", "", "write the machine-readable benchmark report (schema xrtree-bench/1) to this file and exit")
+		policy  = flag.String("pool-policy", "lru", "buffer replacement policy for every measured store: lru or 2q")
+		prefet  = flag.Bool("prefetch", false, "enable asynchronous readahead in every measured store")
 	)
 	flag.Parse()
 
-	cfg := xrtree.ExperimentConfig{Seed: *seed, Scale: *scale, BufferPages: *buffers}
+	pol, err := xrtree.ParsePoolPolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := xrtree.ExperimentConfig{
+		Seed: *seed, Scale: *scale, BufferPages: *buffers,
+		PoolPolicy: pol, Prefetch: *prefet,
+	}
 
 	if *jsonOut != "" {
 		// Open the output before the (long) sweep run so a bad path fails
@@ -124,6 +135,12 @@ func main() {
 			}))
 			fmt.Println("\nParallel driver — workers speedup, multi-document employee//name join")
 			check(xrtree.FormatParallelStudy(os.Stdout, s))
+		case "storage":
+			s := must(xrtree.RunStorageStudy(xrtree.StorageStudyConfig{
+				Seed: *seed, BufferPages: *buffers,
+			}))
+			fmt.Println("\nStorage stack — LRU baseline vs 2Q+readahead, mixed probe/scan/join workload")
+			check(xrtree.FormatStorageStudy(os.Stdout, s))
 		case "stablist":
 			rows := must(xrtree.RunStabListStudy(xrtree.StabStudyConfig{
 				Seed: *seed, Elements: int(20000 * *scale),
@@ -156,7 +173,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table2", "fig8ab", "table3", "fig8cd", "fig8ef", "stablist", "updates", "ops", "ablation", "pc", "parallel"} {
+		for _, id := range []string{"table2", "fig8ab", "table3", "fig8cd", "fig8ef", "stablist", "updates", "ops", "ablation", "pc", "parallel", "storage"} {
 			fmt.Printf("\n==== %s ====\n", strings.ToUpper(id))
 			run(id)
 		}

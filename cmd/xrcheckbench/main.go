@@ -2,8 +2,8 @@
 // xrbench -json output) against a committed baseline — by SHAPE, not by
 // timing. CI runs a reduced-scale smoke report and checks that it still
 // has the schema version, sweep structure, algorithm coverage, phase
-// breakdowns, parallel-study rows, and serving rows of the committed
-// baseline: the kinds
+// breakdowns, parallel-study rows, serving rows, and storage-study rows of
+// the committed baseline: the kinds
 // of regressions a refactor silently introduces (a sweep dropped, an
 // algorithm skipped, observation wired out) without any timing noise.
 //
@@ -53,6 +53,7 @@ func main() {
 	}
 	checkParallel(addf, cand.Parallel, base.Parallel)
 	checkServing(addf, cand.Serving, base.Serving)
+	checkStorage(addf, cand.Storage, base.Storage)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -175,6 +176,77 @@ func checkServing(addf func(string, ...any), c, b *xrtree.ServingStudy) {
 		if cr.OK > 0 && cr.Latency.Count == 0 {
 			addf("%s: latency histogram empty despite %d completions", id, cr.OK)
 		}
+	}
+}
+
+// checkStorage guards the storage-stack performance claims: the study must
+// carry both policy rows, and the 2Q+readahead row must beat the LRU
+// baseline on the counters the tentpole optimizations target — strictly
+// fewer physical reads, a strictly higher hit rate, and a coalesced-read
+// ratio above one (vectored I/O actually merging adjacent pages). These are
+// count comparisons on a deterministic workload, not timings, so they are
+// safe to gate CI on.
+func checkStorage(addf func(string, ...any), c, b *xrtree.StorageStudy) {
+	if b == nil {
+		return
+	}
+	if c == nil {
+		addf("storage study missing from candidate")
+		return
+	}
+	if len(c.Rows) != len(b.Rows) {
+		addf("storage study: %d rows, baseline %d", len(c.Rows), len(b.Rows))
+		return
+	}
+	var lru, twoQ *xrtree.StorageRow
+	for i := range c.Rows {
+		r := &c.Rows[i]
+		switch {
+		case r.Policy == "lru" && !r.Prefetch:
+			lru = r
+		case r.Policy == "2q" && r.Prefetch:
+			twoQ = r
+		}
+	}
+	if lru == nil || twoQ == nil {
+		addf("storage study: need an lru/no-prefetch row and a 2q/prefetch row")
+		return
+	}
+	for _, r := range []*xrtree.StorageRow{lru, twoQ} {
+		id := fmt.Sprintf("storage row %s", r.Policy)
+		if r.OutputPairs == 0 {
+			addf("%s: joins produced no pairs", id)
+		}
+		if r.BufferHits == 0 || r.BufferMisses == 0 || r.PhysicalReads == 0 {
+			addf("%s: empty measurement", id)
+		}
+	}
+	if lru.PrefetchIssued != 0 || lru.PrefetchReads != 0 {
+		addf("storage row lru: prefetch activity (%d issued, %d reads) on the no-prefetch baseline",
+			lru.PrefetchIssued, lru.PrefetchReads)
+	}
+	if lru.ReadCalls != lru.PhysicalReads {
+		addf("storage row lru: %d read calls for %d physical reads — demand misses must not coalesce",
+			lru.ReadCalls, lru.PhysicalReads)
+	}
+	if twoQ.PhysicalReads >= lru.PhysicalReads {
+		addf("storage: 2q+readahead physical_reads=%d, lru=%d — want strictly fewer",
+			twoQ.PhysicalReads, lru.PhysicalReads)
+	}
+	if twoQ.HitRate <= lru.HitRate {
+		addf("storage: 2q+readahead hit_rate=%.4f, lru=%.4f — want strictly higher",
+			twoQ.HitRate, lru.HitRate)
+	}
+	if twoQ.CoalescedRatio <= 1 {
+		addf("storage: 2q+readahead coalesced_ratio=%.3f — want > 1 (vectored reads not merging)",
+			twoQ.CoalescedRatio)
+	}
+	if twoQ.ScanEvictions == 0 || twoQ.ProtectedHits == 0 {
+		addf("storage row 2q: scan_evictions=%d protected_hits=%d — 2Q accounting wired out",
+			twoQ.ScanEvictions, twoQ.ProtectedHits)
+	}
+	if twoQ.PrefetchReads == 0 {
+		addf("storage row 2q: prefetch issued %d hints but read no pages", twoQ.PrefetchIssued)
 	}
 }
 

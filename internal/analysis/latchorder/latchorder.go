@@ -54,10 +54,16 @@ var methodLevels = map[[2]string]int{
 	{"Tree", "Range"}: 1, {"Tree", "FindAncestors"}: 1,
 	{"Tree", "AppendAncestors"}: 1, {"Tree", "FindDescendants"}: 1,
 	{"Tree", "FindChildren"}: 1, {"Tree", "FindParent"}: 1,
-	{"Tree", "CheckInvariants"}: 1,
-	{"Pool", "Fetch"}:           2, {"Pool", "FetchCopy"}: 2, {"Pool", "FetchNew"}: 2,
+	{"Tree", "CheckInvariants"}: 1, {"Tree", "PrefetchGE"}: 1,
+	{"Pool", "Fetch"}: 2, {"Pool", "FetchCopy"}: 2, {"Pool", "FetchNew"}: 2,
 	{"Pool", "Unpin"}: 2, {"Pool", "Discard"}: 2, {"Pool", "FlushAll"}: 2,
 	{"Pool", "DropClean"}: 2, {"Pool", "PinnedCount"}: 2,
+	// TryFetchCopy locks the target shard like any fetch. Prefetch only
+	// enqueues, but its hints are consumed by workers that lock shards, and
+	// Close joins those workers — treating both as level 2 forbids hinting
+	// or shutting down the prefetcher while a shard mutex is held (Close
+	// would deadlock outright against a worker blocked on that shard).
+	{"Pool", "TryFetchCopy"}: 2, {"Pool", "Prefetch"}: 2, {"Pool", "Close"}: 2,
 	{"Pool", "EnableHitRateSeries"}: 3, {"Pool", "HitRateSeries"}: 3,
 }
 

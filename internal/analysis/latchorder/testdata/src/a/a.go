@@ -9,8 +9,11 @@ type Pool struct {
 	seriesMu sync.Mutex
 }
 
-func (p *Pool) Fetch(id uint32) ([]byte, error)   { return nil, nil }
-func (p *Pool) Unpin(id uint32, dirty bool) error { return nil }
+func (p *Pool) Fetch(id uint32) ([]byte, error)         { return nil, nil }
+func (p *Pool) Unpin(id uint32, dirty bool) error       { return nil }
+func (p *Pool) Prefetch(ids ...uint32)                  {}
+func (p *Pool) TryFetchCopy(id uint32, dst []byte) bool { return false }
+func (p *Pool) Close()                                  {}
 
 type shard struct {
 	mu sync.Mutex
@@ -22,7 +25,8 @@ type Tree struct {
 	s     *shard
 }
 
-func (t *Tree) Insert(k int) {}
+func (t *Tree) Insert(k int)        {}
+func (t *Tree) PrefetchGE(k uint32) {}
 
 // ---- negative cases: acquisitions in increasing level order ----
 
@@ -65,6 +69,16 @@ func goodGoroutine(t *Tree) {
 		t.latch.RLock() // fresh goroutine: empty held set
 		t.latch.RUnlock()
 	}()
+}
+
+// goodPrefetchUnderLatch mirrors core.Tree.PrefetchGE: an advisory
+// readahead descent holds the tree latch (1) while probing residency and
+// publishing hints (2) — increasing order, allowed.
+func goodPrefetchUnderLatch(t *Tree, buf []byte) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	t.pool.TryFetchCopy(1, buf)
+	t.pool.Prefetch(2)
 }
 
 //xrvet:latchorder-ignore deliberate inversion exercised under test
@@ -110,6 +124,31 @@ func badNestedTreeOp(t, u *Tree) {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
 	u.Insert(1) // want `latch order violation: calling u.Insert \(acquires level 1\) while holding t.latch \(level 1\)`
+}
+
+// badPrefetchUnderShard publishes a readahead hint while holding a shard
+// mutex: the hint's consumer locks shards, so the order check treats
+// Prefetch as a shard-level acquisition.
+func badPrefetchUnderShard(t *Tree) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.pool.Prefetch(1) // want `latch order violation: calling t.pool.Prefetch \(acquires level 2\) while holding t.s.mu \(level 2\)`
+}
+
+// badCloseUnderShard joins the prefetch workers while holding a shard
+// mutex — a worker blocked on that same shard would never exit.
+func badCloseUnderShard(t *Tree) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.pool.Close() // want `latch order violation: calling t.pool.Close \(acquires level 2\) while holding t.s.mu \(level 2\)`
+}
+
+// badPrefetchGEUnderLatch re-enters the latching advisory descent while
+// already latched — the same self-deadlock shape as badNestedTreeOp.
+func badPrefetchGEUnderLatch(t, u *Tree) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	u.PrefetchGE(7) // want `latch order violation: calling u.PrefetchGE \(acquires level 1\) while holding t.latch \(level 1\)`
 }
 
 // lockHelper gives the fixpoint a same-package summary to propagate.

@@ -47,6 +47,7 @@ var Analyzer = &analysis.Analyzer{
 // implement pinning, they don't consume it).
 var poolMethods = map[string]bool{
 	"Fetch": true, "FetchCopy": true, "FetchNew": true,
+	"TryFetchCopy": true, "Prefetch": true,
 	"Unpin": true, "Discard": true,
 }
 
@@ -726,8 +727,8 @@ func (w *walker) scanExprs(st state, exprs ...ast.Expr) state {
 				return true
 			}
 			// Fetch-like calls don't consume an existing pin on the same
-			// page (pin counts nest).
-			if w.isAcquire(call) || analysis.IsMethodCall(w.c.pass.TypesInfo, call, "Pool", "FetchCopy") {
+			// page (pin counts nest), and advisory calls never take one.
+			if w.isAcquire(call) || w.isAdvisory(call) {
 				return true
 			}
 			for _, arg := range call.Args {
@@ -789,6 +790,17 @@ func (w *walker) release(st state, arg ast.Expr) state {
 		}
 	}
 	return st
+}
+
+// isAdvisory matches Pool methods that read page ids without assuming any
+// pin obligation: pinless copies and readahead hints neither release nor
+// take over a pin, so passing a pinned id to them is not an ownership
+// transfer (a hint must never be mistaken for an Unpin).
+func (w *walker) isAdvisory(call *ast.CallExpr) bool {
+	info := w.c.pass.TypesInfo
+	return analysis.IsMethodCall(info, call, "Pool", "FetchCopy") ||
+		analysis.IsMethodCall(info, call, "Pool", "TryFetchCopy") ||
+		analysis.IsMethodCall(info, call, "Pool", "Prefetch")
 }
 
 func (w *walker) isRelease(call *ast.CallExpr) bool {

@@ -108,7 +108,18 @@ func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
 		putPageBuf(buf)
 		return nil, err
 	}
+	t.hintNextLeaf(c, buf)
 	return &Iterator{t: t, c: c, buf: buf, idx: leafSearch(buf, key)}, nil
+}
+
+// hintNextLeaf publishes the chained next leaf to the pool's prefetcher,
+// so a leaf-chain scan's I/O overlaps the scan of the current leaf.
+func (t *Tree) hintNextLeaf(c *metrics.Counters, buf []byte) {
+	if t.pool.PrefetchEnabled() {
+		if next := leafNext(buf); next != pagefile.InvalidPage {
+			t.pool.Prefetch(c, next)
+		}
+	}
 }
 
 // Scan returns an iterator over the whole tree from the smallest start.
@@ -177,6 +188,7 @@ func (it *Iterator) advancePage() bool {
 		it.err = fmt.Errorf("%w: leaf chain broken at page %d by a concurrent structural change", ErrCorrupt, next)
 		return false
 	}
+	t.hintNextLeaf(it.c, it.buf)
 	it.idx = 0
 	if it.c != nil {
 		it.c.LeafReads++

@@ -1,0 +1,69 @@
+package bufferpool
+
+import (
+	"testing"
+
+	"xrtree/internal/pagefile"
+)
+
+// benchPool builds a pool of the given capacity over a fresh memory file
+// and pre-allocates pages through it, returning their ids unpinned.
+func benchPool(b *testing.B, frames, pages int) (*Pool, []pagefile.PageID) {
+	b.Helper()
+	f := pagefile.NewMem(pagefile.Options{PageSize: pagefile.DefaultPageSize})
+	b.Cleanup(func() { f.Close() })
+	p, err := New(f, frames)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]pagefile.PageID, pages)
+	for i := range ids {
+		id, _, err := p.FetchNew()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Unpin(id, true); err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return p, ids
+}
+
+// BenchmarkPoolFetch measures the pin/unpin fast path: all-hit (working
+// set resident) and all-miss (working set far larger than the pool, every
+// fetch evicts and reads).
+func BenchmarkPoolFetch(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		p, ids := benchPool(b, 128, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := ids[i%len(ids)]
+			data, err := p.Fetch(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = data[0]
+			if err := p.Unpin(id, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		p, ids := benchPool(b, 16, 512)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := ids[i%len(ids)]
+			data, err := p.Fetch(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = data[0]
+			if err := p.Unpin(id, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

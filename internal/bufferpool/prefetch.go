@@ -1,0 +1,247 @@
+package bufferpool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"xrtree/internal/metrics"
+	"xrtree/internal/pagefile"
+)
+
+// Asynchronous readahead. Iterators that know which pages they will touch
+// next (leaf chains, elemlist scans, XR-stack skip landing pages) publish
+// hints via Pool.Prefetch; a bounded set of workers (one per pool shard)
+// pulls the hinted pages into the probationary queue without pinning them,
+// coalescing physically adjacent pages into vectored ReadPages calls.
+//
+// The protocol is strictly best-effort and never blocks the hinting query:
+// hints are dropped when the queue is full, when the hinted page is already
+// resident, when every candidate victim frame is pinned, or when the hint's
+// counter set reports cancellation (workers poll Counters.Interrupted both
+// before reading and before admitting, so a canceled query's readahead
+// stops promptly). Prefetched frames are admitted unpinned, so they never
+// touch the debug-build net-pin ledger.
+//
+// Staleness: a prefetched copy is read without any latch, so a writer
+// modifying the page between the physical read and admission could be
+// shadowed. Every index here is write-once (bulk load) then read-many, and
+// hints are only produced by queries over built indexes, so the window is
+// unreachable; the residency re-check at admission covers the read-read
+// race (demand fetch wins, the prefetched copy is dropped).
+
+// prefetchBatch is the maximum pages one hint carries.
+const prefetchBatch = 8
+
+// prefetchRunPages is the maximum pages one worker serves per wakeup; it
+// bounds the per-worker read buffer at prefetchRunPages×pageSize bytes.
+// Workers opportunistically drain queued hints up to this budget, so a
+// stream of single-page next-leaf hints from a sequential scan merges into
+// vectored ReadPages calls (bulk-loaded leaf chains are physically
+// adjacent, so the merged batch coalesces into long runs).
+const prefetchRunPages = 16
+
+// hint is one readahead request. A fixed-size id array keeps the channel
+// send allocation-free, and the hint carries only the query's context —
+// not the *Counters — so a stack-allocated Counters never escapes just
+// because its query published hints (the leaf-scan hot path allocates
+// nothing).
+type hint struct {
+	ids [prefetchBatch]pagefile.PageID
+	n   int
+	ctx context.Context // cancellation carrier; may be nil
+}
+
+// canceled reports whether a hint's carried context has been canceled.
+func canceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+type prefetcher struct {
+	p    *Pool
+	ch   chan hint
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+func newPrefetcher(p *Pool, workers int) *prefetcher {
+	pf := &prefetcher{
+		p:    p,
+		ch:   make(chan hint, workers*4),
+		done: make(chan struct{}),
+	}
+	pf.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go pf.run()
+	}
+	return pf
+}
+
+// stop shuts the workers down and waits for them; idempotent.
+func (pf *prefetcher) stop() {
+	pf.once.Do(func() { close(pf.done) })
+	pf.wg.Wait()
+}
+
+// Prefetch asks the readahead workers to pull the given pages into the
+// probationary queue without pinning them. Non-blocking and best-effort:
+// hints are dropped when prefetch is disabled, the queue is full, or c is
+// already interrupted. Safe for concurrent use.
+func (p *Pool) Prefetch(c *metrics.Counters, ids ...pagefile.PageID) {
+	if p.pf == nil || len(ids) == 0 {
+		return
+	}
+	if c.Interrupted() != nil {
+		return
+	}
+	var h hint
+	if c != nil {
+		h.ctx = c.Ctx
+	}
+	for _, id := range ids {
+		if id == pagefile.InvalidPage {
+			continue
+		}
+		if h.n < len(h.ids) {
+			h.ids[h.n] = id
+			h.n++
+		}
+	}
+	if h.n == 0 {
+		return
+	}
+	select {
+	case p.pf.ch <- h:
+		p.stats.PrefetchIssued.Add(int64(h.n))
+		if sink := p.sink.Load(); sink != nil {
+			atomic.AddInt64(&sink.PrefetchIssued, int64(h.n))
+		}
+	default:
+		// Queue full: the pool is already I/O-bound; drop the hint.
+	}
+}
+
+// PrefetchEnabled reports whether the pool runs readahead workers.
+func (p *Pool) PrefetchEnabled() bool { return p.pf != nil }
+
+func (pf *prefetcher) run() {
+	defer pf.wg.Done()
+	// Per-worker scratch, reused across wakeups: the hint batch, the
+	// vectored-read id/buffer vectors, and one backing array sliced into
+	// page buffers.
+	ps := pf.p.file.PageSize()
+	hs := make([]hint, 0, prefetchRunPages)
+	ids := make([]pagefile.PageID, 0, prefetchRunPages)
+	dsts := make([][]byte, 0, prefetchRunPages)
+	backing := make([]byte, prefetchRunPages*ps)
+	for {
+		select {
+		case <-pf.done:
+			return
+		case h := <-pf.ch:
+			hs = append(hs[:0], h)
+			// Drain whatever else queued up while this worker slept: merged
+			// hints share one vectored read, which is where the coalescing
+			// win of sequential scans comes from.
+			for len(hs) < cap(hs) {
+				select {
+				case h2 := <-pf.ch:
+					hs = append(hs, h2)
+				default:
+					goto drained
+				}
+			}
+		drained:
+			pf.serve(hs, ids, dsts, backing)
+		}
+	}
+}
+
+// serve reads a hint batch's non-resident pages and admits them unpinned.
+func (pf *prefetcher) serve(hs []hint, ids []pagefile.PageID, dsts [][]byte, backing []byte) {
+	p := pf.p
+	ps := p.file.PageSize()
+	ids, dsts = ids[:0], dsts[:0]
+collect:
+	for _, h := range hs {
+		if canceled(h.ctx) {
+			continue
+		}
+		for i := 0; i < h.n; i++ {
+			id := h.ids[i]
+			dup := false
+			for _, e := range ids {
+				if e == id {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			s := p.shardFor(id)
+			s.mu.Lock()
+			_, resident := s.frames[id]
+			s.mu.Unlock()
+			if resident {
+				continue
+			}
+			k := len(ids)
+			ids = append(ids, id)
+			dsts = append(dsts, backing[k*ps:(k+1)*ps])
+			if len(ids) == prefetchRunPages {
+				break collect
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	// ReadPages sorts ids and dsts in tandem, so ids[i]↔dsts[i] holds after
+	// the call. Errors (e.g. a hint for a page freed meanwhile) drop the
+	// whole hint — readahead must never fail the hinting query.
+	if err := p.file.ReadPages(ids, dsts); err != nil {
+		return
+	}
+	// Re-poll after the read: if every hinting query has been canceled
+	// meanwhile, drop the batch instead of admitting dead pages.
+	live := false
+	for _, h := range hs {
+		if !canceled(h.ctx) {
+			live = true
+			break
+		}
+	}
+	if !live {
+		return
+	}
+	for i, id := range ids {
+		s := p.shardFor(id)
+		s.mu.Lock()
+		if _, ok := s.frames[id]; ok {
+			// A demand fetch raced the page in; its copy is authoritative.
+			s.mu.Unlock()
+			continue
+		}
+		f, err := p.admitLocked(s, id)
+		if err != nil {
+			// Every victim candidate is pinned; skip rather than wait.
+			s.mu.Unlock()
+			continue
+		}
+		copy(f.data, dsts[i])
+		f.restSum()
+		// Prefetched pages always enter cold (probation head), even when the
+		// id is remembered by the 2Q ghost list: nothing has demanded the
+		// page yet, so it has no claim on the protected segment. ra buys the
+		// frame one eviction reprieve until the demand arrives.
+		f.prot, f.ra = false, true
+		s.releaseLocked(f)
+		s.mu.Unlock()
+		p.stats.PrefetchReads.Add(1)
+		if sink := p.sink.Load(); sink != nil {
+			atomic.AddInt64(&sink.PrefetchReads, 1)
+		}
+	}
+}

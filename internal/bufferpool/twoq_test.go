@@ -1,0 +1,430 @@
+package bufferpool
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"xrtree/internal/metrics"
+	"xrtree/internal/pagefile"
+)
+
+// new2QPool builds a single-shard 2Q pool (single shard makes eviction
+// order exact) over a fresh memory file and pre-allocates pages.
+func new2QPool(t *testing.T, frames, pages int, prefetch bool) (*Pool, []pagefile.PageID) {
+	t.Helper()
+	f := pagefile.NewMem(pagefile.Options{PageSize: 256})
+	t.Cleanup(func() { f.Close() })
+	p, err := NewWithConfig(f, Config{Capacity: frames, Shards: 1, Policy: Policy2Q, Prefetch: prefetch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	ids := make([]pagefile.PageID, pages)
+	for i := range ids {
+		id, data, err := p.FetchNew()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = byte(id)
+		if err := p.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropClean(); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	return p, ids
+}
+
+func touch(t *testing.T, p *Pool, id pagefile.PageID) {
+	t.Helper()
+	data, err := p.Fetch(id)
+	if err != nil {
+		t.Fatalf("Fetch %d: %v", id, err)
+	}
+	if data[0] != byte(id) {
+		t.Fatalf("page %d carries byte %d, want %d", id, data[0], byte(id))
+	}
+	if err := p.Unpin(id, false); err != nil {
+		t.Fatalf("Unpin %d: %v", id, err)
+	}
+}
+
+func resident(p *Pool, id pagefile.PageID) bool {
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.frames[id]
+	return ok
+}
+
+// TestTwoQEvictionOrder is the promotion/demotion oracle: a re-referenced
+// page moves to the protected segment and survives evictions that recycle
+// never-re-referenced probationary frames in FIFO order.
+func TestTwoQEvictionOrder(t *testing.T) {
+	p, ids := new2QPool(t, 4, 8, false)
+	// Fill the pool: ids[0..3] land in probation in touch order.
+	for _, id := range ids[:4] {
+		touch(t, p, id)
+	}
+	// Re-reference ids[1]: promoted to protected immediately.
+	touch(t, p, ids[1])
+	// Admit two new pages. Probation holds {3,2,0}, quota is 1 (cap/4), so
+	// the probation tail goes first each time: ids[0], then ids[2].
+	touch(t, p, ids[4])
+	if resident(p, ids[1]) == false {
+		t.Fatal("protected page evicted while probation was non-empty")
+	}
+	if resident(p, ids[0]) {
+		t.Fatal("probation tail ids[0] should have been the first victim")
+	}
+	touch(t, p, ids[5])
+	if resident(p, ids[2]) {
+		t.Fatal("probation tail ids[2] should have been the second victim")
+	}
+	if !resident(p, ids[1]) {
+		t.Fatal("protected page lost during probation churn")
+	}
+	st := p.Stats()
+	if st.ScanEvictions != 2 {
+		t.Fatalf("ScanEvictions = %d, want 2", st.ScanEvictions)
+	}
+	if st.PageEvictions != 2 {
+		t.Fatalf("PageEvictions = %d, want 2", st.PageEvictions)
+	}
+}
+
+// TestTwoQProtectedHits: the first re-reference promotes (not yet a
+// protected hit); later hits on the promoted frame count.
+func TestTwoQProtectedHits(t *testing.T) {
+	p, ids := new2QPool(t, 4, 1, false)
+	touch(t, p, ids[0]) // miss, admitted to probation
+	touch(t, p, ids[0]) // hit, promotes
+	if st := p.Stats(); st.ProtectedHits != 0 {
+		t.Fatalf("ProtectedHits after promotion = %d, want 0", st.ProtectedHits)
+	}
+	touch(t, p, ids[0]) // hit on protected frame
+	touch(t, p, ids[0])
+	if st := p.Stats(); st.ProtectedHits != 2 {
+		t.Fatalf("ProtectedHits = %d, want 2", st.ProtectedHits)
+	}
+}
+
+// TestTwoQFetchCopyPromotes: FetchCopy re-references count like Fetch ones.
+func TestTwoQFetchCopyPromotes(t *testing.T) {
+	p, ids := new2QPool(t, 4, 6, false)
+	buf := make([]byte, 256)
+	for _, id := range ids[:4] {
+		if err := p.FetchCopy(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-reference ids[0] via FetchCopy: immediate promotion (the frame is
+	// unpinned on the probation list).
+	if err := p.FetchCopy(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	// Churn probation with two admissions; the protected frame survives.
+	touch(t, p, ids[4])
+	touch(t, p, ids[5])
+	if !resident(p, ids[0]) {
+		t.Fatal("FetchCopy re-reference did not protect the page")
+	}
+}
+
+// TestTwoQScanResistance is the regression oracle for the tentpole claim:
+// after a hot set is promoted, a sequential scan of many cold pages must
+// not evict it. Under LRU the same access pattern evicts the entire hot
+// set (asserted as a contrast check).
+func TestTwoQScanResistance(t *testing.T) {
+	const frames = 16
+	const hot = 3
+	const cold = 200
+	run := func(t *testing.T, policy Policy) (hotMissesAfterScan int64) {
+		f := pagefile.NewMem(pagefile.Options{PageSize: 256})
+		t.Cleanup(func() { f.Close() })
+		p, err := NewWithConfig(f, Config{Capacity: frames, Shards: 1, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]pagefile.PageID, hot+cold)
+		for i := range ids {
+			id, data, err := p.FetchNew()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[0] = byte(id)
+			if err := p.Unpin(id, true); err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = id
+		}
+		if err := p.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.DropClean(); err != nil {
+			t.Fatal(err)
+		}
+		// Promote the hot set: touch twice.
+		for round := 0; round < 2; round++ {
+			for _, id := range ids[:hot] {
+				touch(t, p, id)
+			}
+		}
+		// One long sequential scan over the cold pages.
+		for _, id := range ids[hot:] {
+			touch(t, p, id)
+		}
+		before := p.Stats().BufferMisses
+		for _, id := range ids[:hot] {
+			touch(t, p, id)
+		}
+		return p.Stats().BufferMisses - before
+	}
+	if m := run(t, Policy2Q); m != 0 {
+		t.Fatalf("2Q: %d hot-set misses after scan, want 0 (scan evicted the working set)", m)
+	}
+	if m := run(t, PolicyLRU); m != hot {
+		t.Fatalf("LRU contrast check: %d hot-set misses after scan, want %d", m, hot)
+	}
+}
+
+// TestTwoQGhostAdmitsToProtected: a page whose first touch was washed out
+// of probation is remembered by the A1out ghost list, so its second touch
+// (a miss) admits straight to the protected segment and survives further
+// probation churn.
+func TestTwoQGhostAdmitsToProtected(t *testing.T) {
+	p, ids := new2QPool(t, 4, 8, false)
+	for _, id := range ids[:4] {
+		touch(t, p, id) // probation, FIFO order 0..3
+	}
+	touch(t, p, ids[4]) // evicts ids[0] from probation → ghost remembers it
+	touch(t, p, ids[5]) // evicts ids[1]
+	if resident(p, ids[0]) || resident(p, ids[1]) {
+		t.Fatal("probation tail pages not evicted")
+	}
+	// Second touch of ids[0]: a miss, but a ghost hit — admitted protected.
+	touch(t, p, ids[0])
+	touch(t, p, ids[6])
+	touch(t, p, ids[7])
+	if !resident(p, ids[0]) {
+		t.Fatal("ghost-hit page was evicted by probation churn, want protected")
+	}
+	before := p.Stats().ProtectedHits
+	touch(t, p, ids[0])
+	if d := p.Stats().ProtectedHits - before; d != 1 {
+		t.Fatalf("ProtectedHits delta = %d after hit on ghost-admitted page, want 1", d)
+	}
+}
+
+// TestReadaheadReprieve: a prefetched-but-not-yet-demanded frame survives
+// one eviction wave (the reprieve), and the frame that lost the reprieve
+// race is evicted in its place.
+func TestReadaheadReprieve(t *testing.T) {
+	p, ids := new2QPool(t, 4, 8, true)
+	p.Prefetch(nil, ids[0])
+	waitCounter(t, func() int64 { return p.ObsStats().PrefetchReads.Load() }, 1, "PrefetchReads")
+	for _, id := range ids[1:4] {
+		touch(t, p, id) // fill to capacity; probation = [3,2,1,0(ra)]
+	}
+	// First eviction wave: the tail carries ra, so it is recycled to the
+	// probation head and ids[1] is the victim instead.
+	touch(t, p, ids[4])
+	if !resident(p, ids[0]) {
+		t.Fatal("prefetched frame evicted despite reprieve")
+	}
+	if resident(p, ids[1]) {
+		t.Fatal("reprieve did not shift eviction to the next tail frame")
+	}
+	// The reprieve is one-shot: the next wave may take it normally.
+	touch(t, p, ids[5]) // evicts ids[2] (ids[0] now at probation head)
+	touch(t, p, ids[6]) // evicts ids[3]
+	touch(t, p, ids[7]) // evicts ids[4]
+	touch(t, p, ids[8-1])
+	if st := p.Stats(); st.PrefetchReads != 1 {
+		t.Fatalf("PrefetchReads = %d, want 1", st.PrefetchReads)
+	}
+}
+
+// TestReadaheadFirstHitIsFirstTouch: the first demand hit on a prefetched
+// frame counts as a first touch, not a promoting re-reference — sequential
+// scan pages must stay probationary even when readahead beat the demand.
+func TestReadaheadFirstHitIsFirstTouch(t *testing.T) {
+	p, ids := new2QPool(t, 4, 8, true)
+	p.Prefetch(nil, ids[0])
+	waitCounter(t, func() int64 { return p.ObsStats().PrefetchReads.Load() }, 1, "PrefetchReads")
+	before := p.Stats().BufferMisses
+	touch(t, p, ids[0]) // demand arrives: a hit, and the frame's first touch
+	if d := p.Stats().BufferMisses - before; d != 0 {
+		t.Fatalf("%d misses on prefetched page, want 0", d)
+	}
+	for _, id := range ids[1:4] {
+		touch(t, p, id)
+	}
+	// ids[0] is the probation tail with no reprieve left and no promotion:
+	// one admission must evict it. A wrongly promoted frame would survive.
+	touch(t, p, ids[4])
+	if resident(p, ids[0]) {
+		t.Fatal("first demand hit promoted a prefetched page to protected")
+	}
+}
+
+// TestTwoQConcurrentScans runs concurrent scanners and a hot-set prober
+// against one 2Q pool; -race checks the locking, the byte pattern checks
+// frame identity, and the pin ledger must drain to zero.
+func TestTwoQConcurrentScans(t *testing.T) {
+	p, ids := new2QPool(t, 32, 256, false)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i := g * 64; i < (g+1)*64; i++ {
+					id := ids[i]
+					data, err := p.Fetch(id)
+					if err != nil {
+						t.Errorf("Fetch %d: %v", id, err)
+						return
+					}
+					if data[0] != byte(id) {
+						t.Errorf("page %d carries byte %d", id, data[0])
+					}
+					if err := p.Unpin(id, false); err != nil {
+						t.Errorf("Unpin %d: %v", id, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 256)
+		for i := 0; i < 200; i++ {
+			if err := p.FetchCopy(ids[i%4], buf); err != nil {
+				t.Errorf("FetchCopy: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if n := p.PinnedCount(); n != 0 {
+		t.Fatalf("%d pages still pinned after concurrent scans", n)
+	}
+}
+
+// waitCounter polls an atomic counter until it reaches want or the
+// deadline passes.
+func waitCounter(t *testing.T, load func() int64, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if load() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("%s = %d, want ≥ %d after 5s", what, load(), want)
+}
+
+// TestPrefetchBringsPagesIn: hinted pages become resident without pins,
+// and the subsequent demand fetches are hits.
+func TestPrefetchBringsPagesIn(t *testing.T) {
+	p, ids := new2QPool(t, 16, 8, true)
+	p.Prefetch(nil, ids[:8]...)
+	waitCounter(t, func() int64 { return p.ObsStats().PrefetchReads.Load() }, 8, "PrefetchReads")
+	if n := p.PinnedCount(); n != 0 {
+		t.Fatalf("%d pages pinned by prefetch, want 0", n)
+	}
+	st := p.Stats()
+	if st.PrefetchIssued != 8 {
+		t.Fatalf("PrefetchIssued = %d, want 8", st.PrefetchIssued)
+	}
+	before := p.Stats().BufferMisses
+	for _, id := range ids[:8] {
+		touch(t, p, id)
+	}
+	if d := p.Stats().BufferMisses - before; d != 0 {
+		t.Fatalf("%d misses on prefetched pages, want 0", d)
+	}
+}
+
+// TestPrefetchCoalesces: sequentially allocated pages arrive in fewer
+// read calls than pages (the vectored-read path).
+func TestPrefetchCoalesces(t *testing.T) {
+	p, ids := new2QPool(t, 16, 8, true)
+	p.File().ResetStats()
+	p.Prefetch(nil, ids[:8]...)
+	waitCounter(t, func() int64 { return p.ObsStats().PrefetchReads.Load() }, 8, "PrefetchReads")
+	st := p.File().Stats()
+	if st.PhysicalReads != 8 {
+		t.Fatalf("PhysicalReads = %d, want 8", st.PhysicalReads)
+	}
+	if st.ReadCalls >= st.PhysicalReads {
+		t.Fatalf("ReadCalls = %d for %d pages: prefetch did not coalesce", st.ReadCalls, st.PhysicalReads)
+	}
+}
+
+// TestPrefetchCanceled: a hint carrying an interrupted counter set is
+// dropped before any I/O, and nothing stays pinned.
+func TestPrefetchCanceled(t *testing.T) {
+	p, ids := new2QPool(t, 16, 8, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &metrics.Counters{Ctx: ctx}
+	p.Prefetch(c, ids[:8]...)
+	if got := p.ObsStats().PrefetchIssued.Load(); got != 0 {
+		t.Fatalf("PrefetchIssued = %d for canceled hint, want 0", got)
+	}
+	// A live hint is accepted, then the worker re-checks cancellation.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	c2 := &metrics.Counters{Ctx: ctx2}
+	cancel2()
+	p.Prefetch(c2, ids[:8]...)
+	p.Close() // drains workers; canceled hints must not leave pins behind
+	if n := p.PinnedCount(); n != 0 {
+		t.Fatalf("%d pages pinned after canceled prefetch, want 0", n)
+	}
+}
+
+// TestPrefetchDisabledIsNoop: Prefetch on a pool without workers is a
+// cheap no-op (the xrbench default path).
+func TestPrefetchDisabledIsNoop(t *testing.T) {
+	p, ids := new2QPool(t, 16, 4, false)
+	p.Prefetch(nil, ids...)
+	if got := p.ObsStats().PrefetchIssued.Load(); got != 0 {
+		t.Fatalf("PrefetchIssued = %d on disabled pool, want 0", got)
+	}
+}
+
+// TestPoolCloseIdempotent: Close is safe to call repeatedly, with and
+// without prefetch workers.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p, _ := new2QPool(t, 8, 1, true)
+	p.Close()
+	p.Close()
+	p2, _ := new2QPool(t, 8, 1, false)
+	p2.Close()
+}
+
+// TestParsePolicy covers the flag-parsing helper.
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{"": PolicyLRU, "lru": PolicyLRU, "2q": Policy2Q} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("arc"); err == nil {
+		t.Fatal("ParsePolicy accepted unknown policy")
+	}
+}

@@ -282,7 +282,45 @@ func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
 	}
 	addLeaf(c)
 	c.Emit(obs.EvIndexDescend, int64(t.h))
+	t.hintNextLeaf(c, buf)
 	return &Iterator{t: t, c: c, buf: buf, idx: leafSearch(buf, key)}, nil
+}
+
+// hintNextLeaf publishes the chained next leaf to the pool's prefetcher,
+// so a leaf-chain scan's I/O overlaps the scan of the current leaf.
+func (t *Tree) hintNextLeaf(c *metrics.Counters, buf []byte) {
+	if t.pool.PrefetchEnabled() {
+		if next := leafNext(buf); next != pagefile.InvalidPage {
+			t.pool.Prefetch(c, next)
+		}
+	}
+}
+
+// PrefetchGE publishes a readahead hint for the landing page of a future
+// SeekGE(key) or AppendAncestors(key) — the XR-stack join calls it for a
+// skip target before starting the stab-list work that precedes the skip,
+// so the landing page's I/O overlaps the in-flight probe. The descent
+// walks resident pages only (no I/O, no pins held across pages, no
+// hit/miss accounting) and hints the first non-resident page on the path.
+func (t *Tree) PrefetchGE(key uint32, c *metrics.Counters) {
+	if !t.pool.PrefetchEnabled() {
+		return
+	}
+	buf := getPageBuf(t.pool.File().PageSize())
+	defer putPageBuf(buf)
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	id := t.root
+	//xrvet:bounded advisory root-to-leaf descent, at most t.h iterations
+	for level := t.h; level > 1; level-- {
+		ok, err := t.pool.TryFetchCopy(id, buf)
+		if err != nil || !ok || isLeaf(buf) {
+			break
+		}
+		id = intChild(buf, intSearch(buf, key))
+	}
+	// id is the first page the future probe will miss on (or its leaf).
+	t.pool.Prefetch(c, id)
 }
 
 // Scan returns an iterator over the whole indexed set.
@@ -349,6 +387,7 @@ func (it *Iterator) advancePage() bool {
 		it.err = fmt.Errorf("%w: leaf chain broken at page %d by a concurrent structural change", ErrCorrupt, next)
 		return false
 	}
+	t.hintNextLeaf(it.c, it.buf)
 	it.idx = 0
 	if it.c != nil {
 		it.c.LeafReads++

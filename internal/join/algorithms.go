@@ -211,6 +211,10 @@ func XRStack(mode Mode, a AncestorSeeker, d Seeker, emit EmitFunc, c *metrics.Co
 	var stack ancStack
 	var scratch []xmldoc.Element // reused across FindAncestors probes
 	var pl poller
+	// Skip targets are known before the work that precedes the skip runs,
+	// so indexes that support readahead get hinted early (see below).
+	pa, _ := a.(PrefetchSeeker)
+	pd, _ := d.(PrefetchSeeker)
 
 	for ca.valid && cd.valid {
 		if err := pl.interrupted(c); err != nil {
@@ -229,6 +233,11 @@ func XRStack(mode Mode, a AncestorSeeker, d Seeker, emit EmitFunc, c *metrics.Co
 			minStart := stack.topStart()
 			if ca.cur.Start-1 > minStart {
 				minStart = ca.cur.Start - 1
+			}
+			if pa != nil {
+				// Line 12's SeekGE target is already known; hint its landing
+				// page now so the read overlaps the stab-list probe below.
+				pa.PrefetchGE(cd.cur.Start, c)
 			}
 			anc, err := a.AppendAncestors(scratch[:0], cd.cur.Start, minStart, c)
 			if err != nil {
@@ -263,6 +272,11 @@ func XRStack(mode Mode, a AncestorSeeker, d Seeker, emit EmitFunc, c *metrics.Co
 				// accounting as the B+ algorithm's descendant skip).
 				countScan(c, 1)
 				c.Emit(obs.EvSkipDesc, int64(ca.cur.Start+1)-int64(cd.cur.Start))
+				if pd != nil {
+					// Hint the skip landing page; its read overlaps the
+					// seek's root-to-leaf descent.
+					pd.PrefetchGE(ca.cur.Start+1, c)
+				}
 				it, err := d.SeekGE(ca.cur.Start+1, c)
 				if err != nil {
 					return err

@@ -1,0 +1,52 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"xrtree/internal/bufferpool"
+	"xrtree/internal/core"
+	"xrtree/internal/metrics"
+	"xrtree/internal/pagefile"
+	"xrtree/internal/xmldoc"
+)
+
+// BenchmarkXRStackJoin measures a full XR-stack ancestor/descendant join
+// over two XR-trees through a small pool, so index descents, stab-list
+// probes, and leaf-chain scans all pay real buffer replacement.
+func BenchmarkXRStackJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	as, ds := genDoc(rng, 2000, 10000, 8)
+
+	f := pagefile.NewMem(pagefile.Options{PageSize: pagefile.DefaultPageSize})
+	b.Cleanup(func() { f.Close() })
+	pool, err := bufferpool.New(f, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buildXR := func(es []xmldoc.Element) *core.Tree {
+		t, err := core.New(pool, es[0].DocID, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.BulkLoad(es, 1.0); err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}
+	xa := XRTreeSource{T: buildXR(as)}
+	xd := XRTreeSource{T: buildXR(ds)}
+
+	emit := func(a, d xmldoc.Element) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c metrics.Counters
+		if err := XRStack(AncestorDescendant, xa, xd, emit, &c); err != nil {
+			b.Fatal(err)
+		}
+		if c.OutputPairs == 0 {
+			b.Fatal("join produced no pairs")
+		}
+	}
+}

@@ -86,6 +86,15 @@ type AncestorSeeker interface {
 	AppendAncestors(dst []xmldoc.Element, sd, minStart uint32, c *metrics.Counters) ([]xmldoc.Element, error)
 }
 
+// PrefetchSeeker is an optional extension of Seeker: an index that can
+// publish an asynchronous readahead hint for the landing page of a future
+// SeekGE/AppendAncestors probe (core.Tree.PrefetchGE). Join algorithms
+// type-assert for it and hint skip targets before the work that precedes
+// the skip, so the landing page's I/O overlaps in-flight computation.
+type PrefetchSeeker interface {
+	PrefetchGE(key uint32, c *metrics.Counters)
+}
+
 // MarkableSource is a Source whose iterators can rewind (MPMGJN needs it).
 type MarkableSource interface {
 	ScanMarkable(c *metrics.Counters) (*elemlist.Iterator, error)
@@ -137,6 +146,9 @@ func (s XRTreeSource) SeekGE(key uint32, c *metrics.Counters) (Iterator, error) 
 func (s XRTreeSource) AppendAncestors(dst []xmldoc.Element, sd, minStart uint32, c *metrics.Counters) ([]xmldoc.Element, error) {
 	return s.T.AppendAncestors(dst, sd, minStart, c)
 }
+
+// PrefetchGE publishes a readahead hint for a future probe's landing page.
+func (s XRTreeSource) PrefetchGE(key uint32, c *metrics.Counters) { s.T.PrefetchGE(key, c) }
 
 // Len returns the number of elements.
 func (s XRTreeSource) Len() int { return s.T.Len() }

@@ -48,6 +48,22 @@ type Counters struct {
 	// PageEvictions counts buffer-pool frames evicted to admit new pages.
 	PageEvictions int64
 
+	// ReadCalls counts read syscalls issued by the storage manager; with
+	// coalesced vectored reads one call can cover several adjacent pages,
+	// so PhysicalReads/ReadCalls is the coalescing ratio.
+	ReadCalls int64
+
+	// ScanEvictions and ProtectedHits describe the 2Q replacement policy:
+	// frames evicted from probation without re-reference, and hits on the
+	// protected (re-referenced) segment. Zero under plain LRU.
+	ScanEvictions int64
+	ProtectedHits int64
+
+	// PrefetchIssued and PrefetchReads count readahead hints accepted by
+	// the pool's prefetcher and the pages it actually pulled in.
+	PrefetchIssued int64
+	PrefetchReads  int64
+
 	// Elapsed is wall-clock time, set by Timer or by the caller.
 	Elapsed time.Duration
 
@@ -100,6 +116,11 @@ func FromSnapshot(s obs.CountersSnapshot) Counters {
 		PhysicalReads:   s.PhysicalReads,
 		PhysicalWrites:  s.PhysicalWrites,
 		PageEvictions:   s.PageEvictions,
+		ReadCalls:       s.ReadCalls,
+		ScanEvictions:   s.ScanEvictions,
+		ProtectedHits:   s.ProtectedHits,
+		PrefetchIssued:  s.PrefetchIssued,
+		PrefetchReads:   s.PrefetchReads,
 	}
 }
 
@@ -118,6 +139,11 @@ func (c *Counters) Add(other *Counters) {
 	c.PhysicalReads += other.PhysicalReads
 	c.PhysicalWrites += other.PhysicalWrites
 	c.PageEvictions += other.PageEvictions
+	c.ReadCalls += other.ReadCalls
+	c.ScanEvictions += other.ScanEvictions
+	c.ProtectedHits += other.ProtectedHits
+	c.PrefetchIssued += other.PrefetchIssued
+	c.PrefetchReads += other.PrefetchReads
 	c.Elapsed += other.Elapsed
 }
 

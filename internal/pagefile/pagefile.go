@@ -128,7 +128,25 @@ type File struct {
 	// physical page transfer, mirroring the stats counters exactly.
 	// Implementations must be safe for concurrent use (obs.Collector is).
 	tracer obs.Tracer
+
+	// Scratch buffers reused across calls that hold f.mu exclusively
+	// (writeHeader, Allocate, Free), so the structural paths stop
+	// allocating per call. hdr carries the header page image (bytes past
+	// headerSize stay zero); zeroPage stays all-zero and extends the file;
+	// u32 carries free-list links.
+	hdr      []byte
+	zeroPage []byte
+	u32      [4]byte
+
+	// readBufs pools coalesced-run buffers for ReadPages; runs execute
+	// under the read lock so concurrent readers need separate buffers.
+	readBufs sync.Pool
 }
+
+// maxCoalesce bounds how many physically adjacent pages one ReadPages run
+// merges into a single backend ReadAt, which also bounds the pooled run
+// buffers at maxCoalesce×pageSize bytes.
+const maxCoalesce = 16
 
 // Options configures Create/Open.
 type Options struct {
@@ -195,7 +213,10 @@ func NewMem(opts Options) *File {
 }
 
 func (f *File) writeHeader() error {
-	buf := make([]byte, f.pageSize)
+	if f.hdr == nil {
+		f.hdr = make([]byte, f.pageSize)
+	}
+	buf := f.hdr
 	putU32(buf[0:], headerMagic)
 	putU32(buf[4:], headerVersion)
 	putU32(buf[8:], uint32(f.pageSize))
@@ -208,7 +229,8 @@ func (f *File) writeHeader() error {
 }
 
 func (f *File) readHeader() error {
-	buf := make([]byte, headerSize)
+	var hdr [headerSize]byte
+	buf := hdr[:]
 	if _, err := io.ReadFull(readerAt{f.b, 0}, buf); err != nil {
 		return fmt.Errorf("pagefile: read header: %w", err)
 	}
@@ -255,6 +277,7 @@ func (f *File) Stats() metrics.Counters {
 	return metrics.Counters{
 		PhysicalReads:  atomic.LoadInt64(&f.stats.PhysicalReads),
 		PhysicalWrites: atomic.LoadInt64(&f.stats.PhysicalWrites),
+		ReadCalls:      atomic.LoadInt64(&f.stats.ReadCalls),
 	}
 }
 
@@ -262,6 +285,7 @@ func (f *File) Stats() metrics.Counters {
 func (f *File) ResetStats() {
 	atomic.StoreInt64(&f.stats.PhysicalReads, 0)
 	atomic.StoreInt64(&f.stats.PhysicalWrites, 0)
+	atomic.StoreInt64(&f.stats.ReadCalls, 0)
 }
 
 // SetTracer attaches tr to the file: every physical page read and write
@@ -284,7 +308,18 @@ func (f *File) emit(kind obs.EventKind) {
 // read mode. Atomic because concurrent readers share the counter.
 func (f *File) countRead() {
 	atomic.AddInt64(&f.stats.PhysicalReads, 1)
+	atomic.AddInt64(&f.stats.ReadCalls, 1)
 	f.emit(obs.EvPageRead)
+}
+
+// countReadRun records one coalesced read call covering n pages; callers
+// hold f.mu in at least read mode.
+func (f *File) countReadRun(n int) {
+	atomic.AddInt64(&f.stats.PhysicalReads, int64(n))
+	atomic.AddInt64(&f.stats.ReadCalls, 1)
+	if f.tracer != nil {
+		f.tracer.Event(obs.EvPageRead, int64(n))
+	}
 }
 
 // countWrite records one physical page write; callers hold f.mu in at
@@ -305,7 +340,7 @@ func (f *File) Allocate() (PageID, error) {
 	if f.freeHead != InvalidPage {
 		id := f.freeHead
 		// The first 4 bytes of a free page hold the next free page.
-		buf := make([]byte, 4)
+		buf := f.u32[:]
 		if _, err := f.b.ReadAt(buf, int64(id)*int64(f.pageSize)); err != nil {
 			return InvalidPage, fmt.Errorf("pagefile: read free list: %w", err)
 		}
@@ -316,8 +351,10 @@ func (f *File) Allocate() (PageID, error) {
 	id := PageID(f.pageCount)
 	f.pageCount++
 	// Extend the file so the page exists on disk.
-	zero := make([]byte, f.pageSize)
-	if _, err := f.b.WriteAt(zero, int64(id)*int64(f.pageSize)); err != nil {
+	if f.zeroPage == nil {
+		f.zeroPage = make([]byte, f.pageSize)
+	}
+	if _, err := f.b.WriteAt(f.zeroPage, int64(id)*int64(f.pageSize)); err != nil {
 		f.pageCount--
 		return InvalidPage, fmt.Errorf("pagefile: extend: %w", err)
 	}
@@ -336,7 +373,7 @@ func (f *File) Free(id PageID) error {
 	if id == InvalidPage || uint32(id) >= f.pageCount {
 		return fmt.Errorf("%w: free %d of %d", ErrPageOutOfRange, id, f.pageCount)
 	}
-	buf := make([]byte, 4)
+	buf := f.u32[:]
 	putU32(buf, uint32(f.freeHead))
 	if _, err := f.b.WriteAt(buf, int64(id)*int64(f.pageSize)); err != nil {
 		return fmt.Errorf("pagefile: write free list: %w", err)
@@ -364,6 +401,70 @@ func (f *File) ReadPage(id PageID, dst []byte) error {
 		return fmt.Errorf("pagefile: read page %d: %w", id, err)
 	}
 	f.countRead()
+	return nil
+}
+
+// ReadPages reads len(ids) pages, ids[i] into dsts[i], sorting the batch
+// and coalescing physically adjacent pages into single backend ReadAt
+// calls (at most maxCoalesce pages per call). It reorders ids and dsts in
+// tandem in place, so callers must own both slices. Each dst must be
+// exactly PageSize bytes. Reads of distinct batches run concurrently.
+func (f *File) ReadPages(ids []PageID, dsts [][]byte) error {
+	if len(ids) != len(dsts) {
+		return fmt.Errorf("pagefile: ReadPages got %d ids and %d buffers", len(ids), len(dsts))
+	}
+	for _, dst := range dsts {
+		if len(dst) != f.pageSize {
+			return fmt.Errorf("pagefile: ReadPages buffer is %d bytes, want %d", len(dst), f.pageSize)
+		}
+	}
+	// Insertion sort by page id, moving the buffers in tandem. Batches are
+	// small (prefetch windows), so this beats sort.Slice and allocates
+	// nothing.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+			dsts[j], dsts[j-1] = dsts[j-1], dsts[j]
+		}
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return ErrClosed
+	}
+	for _, id := range ids {
+		if id == InvalidPage || uint32(id) >= f.pageCount {
+			return fmt.Errorf("%w: read %d of %d", ErrPageOutOfRange, id, f.pageCount)
+		}
+	}
+	for i := 0; i < len(ids); {
+		// Find the adjacent run starting at i.
+		n := 1
+		for i+n < len(ids) && n < maxCoalesce && ids[i+n] == ids[i]+PageID(n) {
+			n++
+		}
+		if n == 1 {
+			if _, err := f.b.ReadAt(dsts[i], int64(ids[i])*int64(f.pageSize)); err != nil {
+				return fmt.Errorf("pagefile: read page %d: %w", ids[i], err)
+			}
+			f.countRead()
+		} else {
+			buf, _ := f.readBufs.Get().([]byte)
+			if buf == nil {
+				buf = make([]byte, maxCoalesce*f.pageSize)
+			}
+			if _, err := f.b.ReadAt(buf[:n*f.pageSize], int64(ids[i])*int64(f.pageSize)); err != nil {
+				f.readBufs.Put(buf)
+				return fmt.Errorf("pagefile: read pages %d..%d: %w", ids[i], ids[i+n-1], err)
+			}
+			for k := 0; k < n; k++ {
+				copy(dsts[i+k], buf[k*f.pageSize:(k+1)*f.pageSize])
+			}
+			f.readBufs.Put(buf)
+			f.countReadRun(n)
+		}
+		i += n
+	}
 	return nil
 }
 

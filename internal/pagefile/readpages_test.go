@@ -1,0 +1,139 @@
+package pagefile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fillPage writes a page whose every byte is the low byte of its id, so
+// reads can be verified against the id they claim to carry.
+func fillPage(t *testing.T, f *File, id PageID) {
+	t.Helper()
+	buf := bytes.Repeat([]byte{byte(id)}, f.PageSize())
+	if err := f.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPagesCoalescesAdjacentRuns(t *testing.T) {
+	f := NewMem(Options{PageSize: MinPageSize})
+	defer f.Close()
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillPage(t, f, id)
+		ids = append(ids, id)
+	}
+	f.ResetStats()
+
+	// Request pages {7,2,3,4,9} out of order: run 2-3-4 coalesces into one
+	// call, 7 and 9 are singletons — 5 pages in 3 calls.
+	req := []PageID{ids[6], ids[1], ids[2], ids[3], ids[8]}
+	dsts := make([][]byte, len(req))
+	for i := range dsts {
+		dsts[i] = make([]byte, f.PageSize())
+	}
+	want := append([]PageID(nil), req...)
+	if err := f.ReadPages(req, dsts); err != nil {
+		t.Fatal(err)
+	}
+	// ReadPages sorts in tandem: every returned buffer must match its id.
+	for i, id := range req {
+		for _, b := range dsts[i] {
+			if b != byte(id) {
+				t.Fatalf("page %d: got byte %d, want %d", id, b, byte(id))
+			}
+		}
+	}
+	// Same set of pages, reordered.
+	got := append([]PageID(nil), req...)
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("page %d lost during ReadPages reorder", w)
+		}
+	}
+	st := f.Stats()
+	if st.PhysicalReads != 5 {
+		t.Fatalf("PhysicalReads = %d, want 5", st.PhysicalReads)
+	}
+	if st.ReadCalls != 3 {
+		t.Fatalf("ReadCalls = %d, want 3 (run 2-3-4 plus two singletons)", st.ReadCalls)
+	}
+}
+
+func TestReadPagesFullRunOneCall(t *testing.T) {
+	f := NewMem(Options{PageSize: MinPageSize})
+	defer f.Close()
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillPage(t, f, id)
+		ids = append(ids, id)
+	}
+	f.ResetStats()
+	dsts := make([][]byte, len(ids))
+	for i := range dsts {
+		dsts[i] = make([]byte, f.PageSize())
+	}
+	if err := f.ReadPages(append([]PageID(nil), ids...), dsts); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.PhysicalReads != 8 || st.ReadCalls != 1 {
+		t.Fatalf("reads=%d calls=%d, want 8 pages in 1 call", st.PhysicalReads, st.ReadCalls)
+	}
+}
+
+func TestReadPagesValidation(t *testing.T) {
+	f := NewMem(Options{PageSize: MinPageSize})
+	defer f.Close()
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]byte, f.PageSize())
+	if err := f.ReadPages([]PageID{id}, [][]byte{make([]byte, 8)}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := f.ReadPages([]PageID{id, id}, [][]byte{good}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := f.ReadPages([]PageID{InvalidPage}, [][]byte{good}); err == nil {
+		t.Fatal("header page read accepted")
+	}
+	if err := f.ReadPages([]PageID{id + 99}, [][]byte{good}); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestSingleReadCountsOneCall(t *testing.T) {
+	f := NewMem(Options{PageSize: MinPageSize})
+	defer f.Close()
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPage(t, f, id)
+	f.ResetStats()
+	buf := make([]byte, f.PageSize())
+	if err := f.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.PhysicalReads != 1 || st.ReadCalls != 1 {
+		t.Fatalf("reads=%d calls=%d, want 1 and 1", st.PhysicalReads, st.ReadCalls)
+	}
+}

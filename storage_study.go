@@ -1,0 +1,318 @@
+package xrtree
+
+// The storage-stack study: the same mixed workload — hot FindAncestors
+// probes, cold leaf-chain scans, and a descendant-selectivity XR-stack join
+// sweep — measured twice over an identical store, once with the default
+// strict-LRU pool and once with scan-resistant 2Q replacement plus
+// asynchronous readahead. The scans are sized to overflow the pool many
+// times over, so the study isolates exactly what the storage pass claims:
+// 2Q keeps the probe working set resident across scans (fewer physical
+// reads, higher hit rate) and readahead coalesces adjacent leaf reads into
+// vectored calls (coalesced-read ratio above one).
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"xrtree/internal/datagen"
+	"xrtree/internal/workload"
+)
+
+// StorageStudyConfig parameterizes RunStorageStudy.
+type StorageStudyConfig struct {
+	// Seed makes the corpus, probe positions, and join workloads
+	// deterministic. Default 1.
+	Seed int64
+	// Elements is the corpus size. Default 60000 — deliberately NOT scaled
+	// by the harness -scale knob: the study is only meaningful when the
+	// leaf chain dwarfs the pool, so the floor holds even in smoke runs.
+	Elements int
+	// PageSize and BufferPages configure the store (defaults 4096 / 100).
+	// The default pool is ~100 pages against a ~400-page working set.
+	PageSize    int
+	BufferPages int
+	// Rounds repeats the scan+join workload this many times (default 3) so
+	// LRU's scan damage recurs while 2Q's protected set survives.
+	Rounds int
+	// HotKeys is the size of the fixed probe-key set (default 6). Each
+	// probe runs FindAncestors at the key plus FindDescendants over a
+	// ProbeSpan-wide region anchored there, and the probes cycle through
+	// the keys, so the probed index paths and leaf runs form a hot working
+	// set that must fit the protected region of a 2Q pool.
+	HotKeys int
+	// ProbeSpan is the width, in document positions, of each probe's
+	// FindDescendants region (default 4096 ≈ eight leaf pages).
+	ProbeSpan int
+	// ProbeStride interleaves one probe every this many scanned elements
+	// (default 2600) — the classic point-query-versus-scan interference a
+	// scan-resistant policy exists for. The default is tuned so one full
+	// probe cycle (HotKeys × ProbeStride elements) drags more distinct
+	// scan pages through the pool than it has frames: LRU then evicts
+	// every probe path before its next re-reference, while 2Q keeps the
+	// probed pages in the protected region.
+	ProbeStride int
+	// Sweep is the descendant-selectivity join axis (default 90%, 50%, 10%).
+	Sweep []float64
+}
+
+func (c *StorageStudyConfig) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Elements == 0 {
+		c.Elements = 60000
+	}
+	if c.BufferPages == 0 {
+		c.BufferPages = 100
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 3
+	}
+	if c.HotKeys == 0 {
+		c.HotKeys = 12
+	}
+	if c.ProbeSpan == 0 {
+		c.ProbeSpan = 8192
+	}
+	if c.ProbeStride == 0 {
+		c.ProbeStride = 1300
+	}
+	if len(c.Sweep) == 0 {
+		c.Sweep = []float64{0.9, 0.5, 0.1}
+	}
+}
+
+// StorageRow is one storage configuration's measurement of the mixed
+// workload. CoalescedRatio is physical pages read per read system call
+// (1.0 when every read fetches a single page; above 1 when the readahead
+// path coalesces adjacent pages).
+type StorageRow struct {
+	Policy         string  `json:"policy"`
+	Prefetch       bool    `json:"prefetch"`
+	BufferHits     int64   `json:"buffer_hits"`
+	BufferMisses   int64   `json:"buffer_misses"`
+	HitRate        float64 `json:"hit_rate"`
+	PhysicalReads  int64   `json:"physical_reads"`
+	ReadCalls      int64   `json:"read_calls"`
+	CoalescedRatio float64 `json:"coalesced_ratio"`
+	PageEvictions  int64   `json:"page_evictions"`
+	ScanEvictions  int64   `json:"scan_evictions"`
+	ProtectedHits  int64   `json:"protected_hits"`
+	PrefetchIssued int64   `json:"prefetch_issued"`
+	PrefetchReads  int64   `json:"prefetch_reads"`
+	OutputPairs    int64   `json:"output_pairs"`
+	WallMS         float64 `json:"wall_ms"`
+}
+
+// StorageStudy is the full storage-stack comparison: identical workloads
+// under the LRU baseline and under 2Q+readahead.
+type StorageStudy struct {
+	Elements    int          `json:"elements"`
+	PageSize    int          `json:"page_size"`
+	BufferPages int          `json:"buffer_pages"`
+	Rounds      int          `json:"rounds"`
+	Rows        []StorageRow `json:"rows"`
+}
+
+// RunStorageStudy measures the mixed probe/scan/join workload under the LRU
+// baseline and under 2Q replacement with readahead, in that row order.
+func RunStorageStudy(cfg StorageStudyConfig) (*StorageStudy, error) {
+	cfg.defaults()
+	doc, err := datagen.Nested(datagen.NestedConfig{
+		Seed: cfg.Seed, DocID: 1, Elements: cfg.Elements, MaxDepth: 12, DeepBias: 0.6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	els := doc.ElementsByTag("item")
+	// The join phase reuses the §6.3 construction over two disjoint element
+	// sets split by level parity (even levels ancestors, odd descendants),
+	// so each operand gets its own leaf chain and the descendant side's
+	// scan pressure competes with the ancestor side's index pages.
+	var baseA, baseD []Element
+	for _, e := range els {
+		if e.Level%2 == 0 {
+			baseA = append(baseA, e)
+		} else {
+			baseD = append(baseD, e)
+		}
+	}
+	var joinSets []workload.Sets
+	for _, pct := range cfg.Sweep {
+		joinSets = append(joinSets, workload.VaryDescendantSelectivity(baseA, baseD, pct, 0.99, cfg.Seed))
+	}
+
+	study := &StorageStudy{
+		Elements:    len(els),
+		PageSize:    cfg.PageSize,
+		BufferPages: cfg.BufferPages,
+		Rounds:      cfg.Rounds,
+	}
+	for _, variant := range []struct {
+		policy   PoolPolicy
+		prefetch bool
+	}{
+		{PoolLRU, false},
+		{Pool2Q, true},
+	} {
+		row, err := runStorageRow(cfg, els, joinSets, variant.policy, variant.prefetch)
+		if err != nil {
+			return nil, fmt.Errorf("storage study (%s, prefetch=%v): %w", variant.policy, variant.prefetch, err)
+		}
+		study.Rows = append(study.Rows, row)
+	}
+	return study, nil
+}
+
+// runStorageRow builds one store with the given replacement policy, indexes
+// the corpus and the join operands, then measures the mixed workload.
+func runStorageRow(cfg StorageStudyConfig, els []Element, joinSets []workload.Sets, policy PoolPolicy, prefetch bool) (StorageRow, error) {
+	row := StorageRow{Policy: string(policy), Prefetch: prefetch}
+	store, err := NewMemStore(StoreOptions{
+		PageSize:    cfg.PageSize,
+		BufferPages: cfg.BufferPages,
+		PoolPolicy:  policy,
+		Prefetch:    prefetch,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer store.Close()
+
+	// The main set carries the XR-tree (probe target) and the paged list
+	// (scan target, whose iterator publishes windowed readahead hints);
+	// join operands only need the XR-tree.
+	idx := IndexOptions{SkipList: true, SkipBTree: true}
+	main, err := store.IndexElements(els, IndexOptions{SkipBTree: true})
+	if err != nil {
+		return row, err
+	}
+	xr, err := main.XRTree()
+	if err != nil {
+		return row, err
+	}
+	list, err := main.List()
+	if err != nil {
+		return row, err
+	}
+	type operands struct{ a, d *ElementSet }
+	var joins []operands
+	for _, sets := range joinSets {
+		a, err := store.IndexElements(sets.A, idx)
+		if err != nil {
+			return row, err
+		}
+		d, err := store.IndexElements(sets.D, idx)
+		if err != nil {
+			return row, err
+		}
+		joins = append(joins, operands{a, d})
+	}
+	if err := store.DropCache(); err != nil {
+		return row, err
+	}
+
+	// A fixed probe-key set, identical in every row: the rng is seeded per
+	// row, so LRU and 2Q measure exactly the same access sequence. The
+	// cycled keys make the probe paths (root, internal nodes, stab-list
+	// heads, a handful of leaves) a genuinely hot working set.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxPos := els[len(els)-1].End
+	span := uint32(cfg.ProbeSpan)
+	if span >= maxPos {
+		span = maxPos - 1
+	}
+	hot := make([]uint32, cfg.HotKeys)
+	for i := range hot {
+		hot[i] = uint32(rng.Intn(int(maxPos-span))) + 1
+	}
+	probe := 0
+	poolBefore, fileBefore := store.PoolStats(), store.FileStats()
+	start := time.Now()
+	for round := 0; round < cfg.Rounds; round++ {
+		// Phase 1 — cold scan with interleaved hot probes: one pass over
+		// the whole paged list (several pool capacities long) while the
+		// probes keep re-touching the same XR-tree paths and leaf runs.
+		// Under LRU the scan flushes those pages between consecutive
+		// probes, so every probe re-reads them; under 2Q they reach the
+		// protected region (via re-reference or the ghost list) and the
+		// scan churns through probation only, its own pages arriving via
+		// the iterator's windowed readahead hints.
+		var st Stats
+		it := list.Scan(&st)
+		for n := 0; ; n++ {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			if n%64 == 0 {
+				runtime.Gosched()
+			}
+			if n%cfg.ProbeStride == 0 {
+				key := hot[probe%len(hot)]
+				if _, err := xr.FindAncestors(key, 0, &st); err != nil {
+					it.Close()
+					return row, err
+				}
+				if _, err := xr.FindDescendants(key, key+span, &st); err != nil {
+					it.Close()
+					return row, err
+				}
+				probe++
+			}
+		}
+		if err := it.Close(); err != nil {
+			return row, err
+		}
+		if err := it.Err(); err != nil {
+			return row, err
+		}
+		// Phase 2 — the descendant-selectivity join sweep: XR-stack skip
+		// targets are hinted to the readahead workers before each seek, and
+		// the descendant side's leaf scan exerts the same pressure on the
+		// ancestor side's index pages that the probes saw in phase 1.
+		for _, op := range joins {
+			var js Stats
+			if err := Join(AlgXRStack, AncestorDescendant, op.a, op.d, nil, &js); err != nil {
+				return row, err
+			}
+			row.OutputPairs += js.OutputPairs
+		}
+	}
+	row.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	pool, file := store.PoolStats(), store.FileStats()
+
+	row.BufferHits = pool.BufferHits - poolBefore.BufferHits
+	row.BufferMisses = pool.BufferMisses - poolBefore.BufferMisses
+	row.PageEvictions = pool.PageEvictions - poolBefore.PageEvictions
+	row.ScanEvictions = pool.ScanEvictions - poolBefore.ScanEvictions
+	row.ProtectedHits = pool.ProtectedHits - poolBefore.ProtectedHits
+	row.PrefetchIssued = pool.PrefetchIssued - poolBefore.PrefetchIssued
+	row.PrefetchReads = pool.PrefetchReads - poolBefore.PrefetchReads
+	row.PhysicalReads = file.PhysicalReads - fileBefore.PhysicalReads
+	row.ReadCalls = file.ReadCalls - fileBefore.ReadCalls
+	if total := row.BufferHits + row.BufferMisses; total > 0 {
+		row.HitRate = float64(row.BufferHits) / float64(total)
+	}
+	if row.ReadCalls > 0 {
+		row.CoalescedRatio = float64(row.PhysicalReads) / float64(row.ReadCalls)
+	}
+	return row, nil
+}
+
+// FormatStorageStudy renders the study as a table.
+func FormatStorageStudy(w io.Writer, s *StorageStudy) error {
+	fmt.Fprintf(w, "elements=%d buffer-pages=%d rounds=%d\n", s.Elements, s.BufferPages, s.Rounds)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tprefetch\thits\tmisses\thit-rate\tphys-reads\tread-calls\tcoalesce\tscan-evict\tprot-hits\tpf-issued\tpf-reads\twall")
+	for _, r := range s.Rows {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%d\t%.1f%%\t%d\t%d\t%.2f\t%d\t%d\t%d\t%d\t%.0fms\n",
+			r.Policy, r.Prefetch, r.BufferHits, r.BufferMisses, 100*r.HitRate,
+			r.PhysicalReads, r.ReadCalls, r.CoalescedRatio,
+			r.ScanEvictions, r.ProtectedHits, r.PrefetchIssued, r.PrefetchReads, r.WallMS)
+	}
+	return tw.Flush()
+}

@@ -45,6 +45,21 @@ type Document = xmldoc.Document
 // misses, I/Os, elapsed time).
 type Stats = metrics.Counters
 
+// PoolPolicy selects the buffer-pool replacement policy (StoreOptions).
+type PoolPolicy = bufferpool.Policy
+
+// Buffer replacement policies.
+const (
+	// PoolLRU is strict least-recently-unpinned replacement (default).
+	PoolLRU = bufferpool.PolicyLRU
+	// Pool2Q is scan-resistant 2Q-style replacement: a probationary FIFO
+	// for first-touch pages and a protected LRU for re-referenced ones.
+	Pool2Q = bufferpool.Policy2Q
+)
+
+// ParsePoolPolicy validates a policy name ("", "lru", "2q").
+func ParsePoolPolicy(s string) (PoolPolicy, error) { return bufferpool.ParsePolicy(s) }
+
 // CostModel converts counted page misses and scans into a derived time.
 type CostModel = metrics.CostModel
 
@@ -98,6 +113,14 @@ type StoreOptions struct {
 	// 1 shard for small pools (preserving exact global LRU), up to 8 with
 	// at least 16 frames each. See DESIGN.md "Concurrency".
 	PoolShards int
+	// PoolPolicy selects the buffer replacement policy: PolicyLRU (the
+	// default, paper-faithful) or Policy2Q (scan-resistant; see DESIGN.md
+	// "Storage performance").
+	PoolPolicy PoolPolicy
+	// Prefetch starts the pool's asynchronous readahead workers: iterators
+	// publish next-page hints and the workers pull the pages in with
+	// coalesced vectored reads, without pinning them.
+	Prefetch bool
 	// Tracer, when non-nil, receives structured trace events (page I/O,
 	// index descents, skips, output batches) from every operation on the
 	// store. Equivalent to calling SetTracer after creation.
@@ -120,7 +143,12 @@ func newStore(file *pagefile.File, opts StoreOptions) (*Store, error) {
 	if frames == 0 {
 		frames = bufferpool.DefaultFrames
 	}
-	pool, err := bufferpool.NewSharded(file, frames, opts.PoolShards)
+	pool, err := bufferpool.NewWithConfig(file, bufferpool.Config{
+		Capacity: frames,
+		Shards:   opts.PoolShards,
+		Policy:   opts.PoolPolicy,
+		Prefetch: opts.Prefetch,
+	})
 	if err != nil {
 		file.Close()
 		return nil, err
@@ -163,8 +191,10 @@ func NewMemStore(opts StoreOptions) (*Store, error) {
 	return newStore(pagefile.NewMem(pagefile.Options{PageSize: opts.PageSize}), opts)
 }
 
-// Close flushes and closes the underlying file.
+// Close stops the pool's background workers, then flushes and closes the
+// underlying file.
 func (s *Store) Close() error {
+	s.pool.Close()
 	if err := s.pool.FlushAll(); err != nil {
 		s.file.Close()
 		return err
@@ -284,6 +314,16 @@ func (e *ElementSet) Len() int { return len(e.els) }
 // Elements returns the underlying start-sorted element slice (shared; do
 // not modify).
 func (e *ElementSet) Elements() []Element { return e.els }
+
+// List exposes the set's paged element list — the sequential access path
+// the no-index algorithms scan. Its iterator publishes windowed readahead
+// hints when the store runs with StoreOptions.Prefetch.
+func (e *ElementSet) List() (*elemlist.List, error) {
+	if e.list == nil {
+		return nil, ErrNoAccessPath
+	}
+	return e.list, nil
+}
 
 // XRTree exposes the set's XR-tree for direct use of the §5.1 operations
 // (FindAncestors, FindDescendants, FindParent, FindChildren) and the §4
