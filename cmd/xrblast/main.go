@@ -11,6 +11,10 @@
 // /api/v1/stats that the server's buffer pools hold no pinned pages after
 // the run — i.e. canceled and timed-out queries leaked nothing.
 //
+// With -trace, a fraction of requests carry a sampled W3C traceparent so
+// the server traces them; the report ends with the server-assigned trace
+// ids of the slowest decile — handles for /debug/traces and xrtrace.
+//
 // Usage:
 //
 //	xrblast -url http://localhost:8080 -target '/api/v1/join?anc=employee&desc=name' \
@@ -27,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -86,6 +91,35 @@ func (r *results) record(code int, d time.Duration, err error) {
 	}
 }
 
+// traceLog retains (trace id, latency) pairs for the requests the server
+// traced, so the report can surface handles for the slowest ones.
+type traceLog struct {
+	mu      sync.Mutex
+	entries []xrtree.TraceHandle
+}
+
+func (t *traceLog) add(id string, d time.Duration) {
+	t.mu.Lock()
+	t.entries = append(t.entries, xrtree.TraceHandle{TraceID: id, LatencyMS: float64(d.Nanoseconds()) * 1e-6})
+	t.mu.Unlock()
+}
+
+// slowestDecile returns the slowest tenth of the collected handles
+// (at least one, at most 16 so reports stay bounded), slowest first.
+func (t *traceLog) slowestDecile() []xrtree.TraceHandle {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.entries) == 0 {
+		return nil
+	}
+	sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].LatencyMS > t.entries[j].LatencyMS })
+	n := (len(t.entries) + 9) / 10
+	if n > 16 {
+		n = 16
+	}
+	return append([]xrtree.TraceHandle(nil), t.entries[:n]...)
+}
+
 func (r *results) latency() xrtree.LatencySummary {
 	h := r.col.Histogram(obs.EvServeSpan)
 	if h == nil || h.Count() == 0 {
@@ -120,6 +154,8 @@ func main() {
 		minRej    = flag.Int64("min-rejected", -1, "assert at least this many 429 rejections")
 		maxErr    = flag.Int64("max-errors", -1, "assert at most this many transport/other errors")
 		noPins    = flag.Bool("assert-no-pins", false, "assert /api/v1/stats reports zero pinned pages after the run")
+		traceRate = flag.Float64("trace", 0, "stamp this fraction of requests with a sampled traceparent; the report lists the slowest decile's server trace ids")
+		traceSeed = flag.Uint64("trace-seed", 0, "seed for the trace-stamping decisions and ids (0: random)")
 	)
 	flag.Var(&targets, "target", "request path+query, must start with / (repeatable; workers round-robin)")
 	flag.Parse()
@@ -150,6 +186,19 @@ func main() {
 		return budget.Add(-1) >= 0
 	}
 
+	// Trace propagation: a stamped request carries a sampled W3C
+	// traceparent, which forces the server to trace it; the server echoes
+	// its trace context back, and the echoed trace ids of the slowest
+	// requests become the run's actionable handles (feed them to xrtrace
+	// against /debug/traces).
+	var sampler *obs.Sampler
+	var ids *obs.IDSource
+	traces := &traceLog{}
+	if *traceRate > 0 {
+		sampler = obs.NewSampler(*traceRate, *traceSeed)
+		ids = obs.NewIDSource(*traceSeed)
+	}
+
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -157,9 +206,19 @@ func main() {
 	shoot := func() {
 		i := seq.Add(1)
 		target := targets[int(i)%len(targets)]
+		tp := ""
+		if sampler != nil && sampler.Sample() {
+			tp = obs.Traceparent(ids.TraceID(), ids.SpanID(), true)
+		}
 		t0 := time.Now()
-		code, err := get(client, *baseURL+target)
-		res.record(code, time.Since(t0), err)
+		code, serverTP, err := get(client, *baseURL+target, tp)
+		d := time.Since(t0)
+		res.record(code, d, err)
+		if tp != "" && err == nil {
+			if tid, _, _, ok := obs.ParseTraceparent(serverTP); ok {
+				traces.add(tid.String(), d)
+			}
+		}
 	}
 
 	if *rate <= 0 {
@@ -220,6 +279,7 @@ func main() {
 	if elapsed > 0 {
 		row.ThroughputRPS = float64(row.OK) / elapsed.Seconds()
 	}
+	row.SlowTraces = traces.slowestDecile()
 
 	if *jsonOut {
 		rep := &xrtree.BenchReport{
@@ -238,6 +298,9 @@ func main() {
 			row.DurationSec, row.ThroughputRPS)
 		fmt.Printf("%-10s latency mean=%.2fms p50≤%.2fms p90≤%.2fms p99≤%.2fms max=%.2fms\n",
 			"", lat.MeanMS, lat.P50MS, lat.P90MS, lat.P99MS, lat.MaxMS)
+		for _, h := range row.SlowTraces {
+			fmt.Printf("%-10s slow trace %s %.2fms\n", "", h.TraceID, h.LatencyMS)
+		}
 	}
 
 	failed := false
@@ -270,21 +333,31 @@ func main() {
 	}
 }
 
-func get(client *http.Client, url string) (int, error) {
-	resp, err := client.Get(url)
+// get issues one GET, stamping the traceparent header when tp is
+// non-empty, and returns the status code plus the traceparent the server
+// echoed back (empty when the request was not traced server-side).
+func get(client *http.Client, url, tp string) (int, string, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return 0, err
+		return 0, "", err
+	}
+	if tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	_, err = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, err
+	return resp.StatusCode, resp.Header.Get("traceparent"), err
 }
 
 // waitForReady polls /healthz until the server answers 200.
 func waitForReady(client *http.Client, base string, bound time.Duration) error {
 	deadline := time.Now().Add(bound)
 	for {
-		code, err := get(client, base+"/healthz")
+		code, _, err := get(client, base+"/healthz", "")
 		if err == nil && code == http.StatusOK {
 			return nil
 		}

@@ -10,26 +10,38 @@
 // Usage:
 //
 //	xrcheckbench -baseline BENCH_baseline.json candidate.json
+//	curl -s localhost:8080/metrics | xrcheckbench -promlint -
 //
-// Exit status 0 when the candidate matches the baseline's shape; 1 with a
-// list of mismatches otherwise.
+// With -promlint the input is a Prometheus text-exposition document (a
+// /metrics scrape) instead of a bench report, and the same structural
+// checks promtool's linter would apply run against it: declared types,
+// legal names, cumulative histogram buckets, no duplicate samples.
+//
+// Exit status 0 when the candidate matches the baseline's shape (or the
+// exposition is clean); 1 with a list of mismatches otherwise.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"xrtree"
+	"xrtree/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xrcheckbench: ")
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	promlint := flag.Bool("promlint", false, "lint a Prometheus text-exposition file (- for stdin) instead of diffing a bench report")
 	flag.Parse()
+	if *promlint {
+		os.Exit(lintProm(flag.Args()))
+	}
 	if flag.NArg() != 1 {
 		log.Fatal("usage: xrcheckbench [-baseline file] candidate.json")
 	}
@@ -248,6 +260,33 @@ func checkStorage(addf func(string, ...any), c, b *xrtree.StorageStudy) {
 	if twoQ.PrefetchReads == 0 {
 		addf("storage row 2q: prefetch issued %d hints but read no pages", twoQ.PrefetchIssued)
 	}
+}
+
+// lintProm runs the shared exposition linter (internal/obs.PromLint — the
+// same checks the serving tests apply to /metrics) over a file or stdin.
+func lintProm(args []string) int {
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r, name = f, args[0]
+	} else if len(args) > 1 {
+		log.Fatal("usage: xrcheckbench -promlint [file|-]")
+	}
+	problems := obs.PromLint(r)
+	for _, p := range problems {
+		log.Printf("PROMLINT: %s: %s", name, p)
+	}
+	if len(problems) > 0 {
+		log.Printf("%d exposition problems in %s", len(problems), name)
+		return 1
+	}
+	fmt.Printf("ok: %s is a clean Prometheus text exposition\n", name)
+	return 0
 }
 
 func load(path string) *xrtree.BenchReport {

@@ -14,7 +14,11 @@
 //	curl 'localhost:8080/api/v1/query?path=departments//employee/name'
 //
 // Endpoints: /api/v1/join, /api/v1/query, /api/v1/stats, /api/v1/backends,
-// /debug/vars, /healthz. See DESIGN.md "Serving".
+// /debug/vars, /debug/traces, /metrics, /healthz. Request tracing is
+// enabled with -trace-sample (or per request via a sampled traceparent
+// header); -slow-trace pins outliers in the flight recorder; -debug-addr
+// serves net/http/pprof on a separate listener. See DESIGN.md "Serving"
+// and "Request tracing".
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -77,6 +82,12 @@ func main() {
 		limit         = flag.Int("limit", 10, "default result-sample size")
 		buffers       = flag.Int("buffers", 100, "buffer pool pages per store")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown")
+		traceSample   = flag.Float64("trace-sample", 0, "head-based trace sampling rate in [0,1] (0: only requests with a sampled traceparent)")
+		traceBuffer   = flag.Int("trace-buffer", 64, "flight-recorder capacity (completed traces)")
+		tracePinned   = flag.Int("trace-pinned", 16, "pinned slow-trace ring capacity")
+		slowTrace     = flag.Duration("slow-trace", 0, "pin traces at or above this duration (0: disabled)")
+		traceSeed     = flag.Uint64("trace-seed", 0, "seed for sampling and trace ids (0: random; fixed seeds are deterministic)")
+		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty: disabled)")
 	)
 	flag.Var(&stores, "store", "store backend, name=path (repeatable; path built by xrload)")
 	flag.Var(&xmls, "xml", "document backend, name=file.xml[,file2.xml...] (repeatable)")
@@ -92,6 +103,11 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Workers:        *workers,
 		DefaultLimit:   *limit,
+		TraceSample:    *traceSample,
+		TraceBuffer:    *traceBuffer,
+		TracePinned:    *tracePinned,
+		SlowTrace:      *slowTrace,
+		TraceSeed:      *traceSeed,
 	})
 
 	var closers []func() error
@@ -138,6 +154,30 @@ func main() {
 		if err := srv.AddDocuments(e.name, st, docs...); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	// The pprof endpoints go on their own listener, never the serving
+	// address: profiles are operator-only (bind -debug-addr to loopback or
+	// a private interface) and a long profile download must not occupy an
+	// admission slot. Handlers are registered on a private mux so nothing
+	// here depends on http.DefaultServeMux.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("-debug-addr: %v", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

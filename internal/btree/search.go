@@ -58,7 +58,7 @@ func (t *Tree) descendToLeafCopy(key uint32, c *metrics.Counters, buf []byte) er
 	id := t.root
 	//xrvet:bounded root-to-leaf descent, at most t.h iterations
 	for level := t.h; ; level-- {
-		if err := t.pool.FetchCopy(id, buf); err != nil {
+		if err := t.pool.FetchCopyTraced(id, buf, c.TraceSink()); err != nil {
 			return err
 		}
 		if level == 1 {
@@ -177,7 +177,7 @@ func (it *Iterator) advancePage() bool {
 	}
 	t := it.t
 	t.latch.RLock()
-	err := t.pool.FetchCopy(next, it.buf)
+	err := t.pool.FetchCopyTraced(next, it.buf, it.c.TraceSink())
 	t.latch.RUnlock()
 	if err != nil {
 		it.err = err

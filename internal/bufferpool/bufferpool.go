@@ -567,10 +567,18 @@ func (s *shard) victimLocked() *frame {
 // aliases the frame and is valid until the matching Unpin. Callers that
 // modify the bytes must pass dirty=true to Unpin.
 func (p *Pool) Fetch(id pagefile.PageID) ([]byte, error) {
+	return p.FetchTraced(id, nil)
+}
+
+// FetchTraced is Fetch with per-call read attribution: when the lookup
+// misses and tr is non-nil, the physical read's EvPageRead event is
+// charged to tr instead of the file-attached tracer (see
+// pagefile.ReadPageTo). The nil-tr path is identical to Fetch.
+func (p *Pool) FetchTraced(id pagefile.PageID, tr obs.Tracer) ([]byte, error) {
 	s := p.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, err := p.fetchLocked(s, id)
+	f, err := p.fetchLocked(s, id, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -585,13 +593,19 @@ func (p *Pool) Fetch(id pagefile.PageID) ([]byte, error) {
 // pins between calls. Callers must ensure no concurrent writer is mutating
 // the page's bytes (the index latching protocol does).
 func (p *Pool) FetchCopy(id pagefile.PageID, dst []byte) error {
+	return p.FetchCopyTraced(id, dst, nil)
+}
+
+// FetchCopyTraced is FetchCopy with per-call read attribution, mirroring
+// FetchTraced: a miss's EvPageRead goes to tr when non-nil.
+func (p *Pool) FetchCopyTraced(id pagefile.PageID, dst []byte, tr obs.Tracer) error {
 	if len(dst) != p.file.PageSize() {
 		return fmt.Errorf("bufferpool: FetchCopy buffer is %d bytes, want %d", len(dst), p.file.PageSize())
 	}
 	s := p.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, err := p.fetchLocked(s, id)
+	f, err := p.fetchLocked(s, id, tr)
 	if err != nil {
 		return err
 	}
@@ -626,7 +640,9 @@ func (p *Pool) TryFetchCopy(id pagefile.PageID, dst []byte) (bool, error) {
 // fetchLocked returns the resident frame for page id, admitting and
 // reading it on a miss. The caller holds s.mu; the returned frame is not
 // pinned by this call (a missed frame is registered but off the LRU).
-func (p *Pool) fetchLocked(s *shard, id pagefile.PageID) (*frame, error) {
+// tr, when non-nil, receives the miss's EvPageRead instead of the
+// file-attached tracer.
+func (p *Pool) fetchLocked(s *shard, id pagefile.PageID, tr obs.Tracer) (*frame, error) {
 	if f, ok := s.frames[id]; ok {
 		p.countAccess(true)
 		if f.ra {
@@ -644,7 +660,7 @@ func (p *Pool) fetchLocked(s *shard, id pagefile.PageID) (*frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p.file.ReadPage(id, f.data); err != nil {
+	if err := p.file.ReadPageTo(id, f.data, tr); err != nil {
 		// Admission failed; drop the frame entirely.
 		delete(s.frames, id)
 		return nil, err

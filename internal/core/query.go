@@ -43,7 +43,7 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 	id := t.root
 	//xrvet:bounded root-to-leaf descent, at most t.h iterations
 	for level := t.h; level > 1; level-- {
-		data, err := t.pool.Fetch(id)
+		data, err := t.pool.FetchTraced(id, c.TraceSink())
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +67,7 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 	// stack top" variation of §5.2 that keeps the per-probe cost at
 	// O(new ancestors + elements between the stack top and sd in this leaf)
 	// rather than half a leaf.
-	data, err := t.pool.Fetch(id)
+	data, err := t.pool.FetchTraced(id, c.TraceSink())
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +157,7 @@ func (t *Tree) scanPSL(node []byte, ki int, sd uint32, minStart uint32, c *metri
 		if err := c.Interrupted(); err != nil {
 			return err
 		}
-		data, err := t.fetchStab(p)
+		data, err := t.fetchStabTraced(p, c.TraceSink())
 		if err != nil {
 			return err
 		}
@@ -265,14 +265,14 @@ func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
 	id := t.root
 	//xrvet:bounded root-to-leaf descent, at most t.h iterations
 	for level := t.h; level > 1; level-- {
-		if err := t.pool.FetchCopy(id, buf); err != nil {
+		if err := t.pool.FetchCopyTraced(id, buf, c.TraceSink()); err != nil {
 			putPageBuf(buf)
 			return nil, err
 		}
 		addNode(c)
 		id = intChild(buf, intSearch(buf, key))
 	}
-	if err := t.pool.FetchCopy(id, buf); err != nil {
+	if err := t.pool.FetchCopyTraced(id, buf, c.TraceSink()); err != nil {
 		putPageBuf(buf)
 		return nil, err
 	}
@@ -376,7 +376,7 @@ func (it *Iterator) advancePage() bool {
 	}
 	t := it.t
 	t.latch.RLock()
-	err := t.pool.FetchCopy(next, it.buf)
+	err := t.pool.FetchCopyTraced(next, it.buf, it.c.TraceSink())
 	t.latch.RUnlock()
 	if err != nil {
 		it.err = err

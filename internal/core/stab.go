@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"xrtree/internal/obs"
 	"xrtree/internal/pagefile"
 	"xrtree/internal/xmldoc"
 )
@@ -28,7 +29,14 @@ type stabLoc struct {
 
 // fetchStab pins a stab page and validates its type.
 func (t *Tree) fetchStab(id pagefile.PageID) ([]byte, error) {
-	data, err := t.pool.Fetch(id)
+	return t.fetchStabTraced(id, nil)
+}
+
+// fetchStabTraced is fetchStab with per-call read attribution: the probe
+// path (scanPSL) passes the requesting operation's tracer so stab-page
+// misses land on its span rather than the store-global tracer.
+func (t *Tree) fetchStabTraced(id pagefile.PageID, tr obs.Tracer) ([]byte, error) {
+	data, err := t.pool.FetchTraced(id, tr)
 	if err != nil {
 		return nil, err
 	}

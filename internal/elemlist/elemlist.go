@@ -222,7 +222,7 @@ func (it *Iterator) loadPage() bool {
 		it.err = err
 		return false
 	}
-	data, err := it.list.pool.Fetch(it.pageID)
+	data, err := it.list.pool.FetchTraced(it.pageID, it.c.TraceSink())
 	if err != nil {
 		it.err = err
 		return false

@@ -27,6 +27,7 @@ package join
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -194,6 +195,12 @@ func Parallel(tasks []Task, opts Options, emit EmitFunc, c *metrics.Counters) er
 		tracer = c.Tracer
 		ctx = c.Ctx
 	}
+	// When the caller's tracer carries spans, each partition gets a child
+	// span so a request trace shows the per-document tasks individually
+	// (their overlap is the parallelism; their attributes partition the
+	// request's page reads and scans). Flat tracers see the same event
+	// stream as before.
+	spanner, _ := tracer.(obs.SpanTracer)
 	s := &driverState{
 		emit:  emit,
 		spill: make([][][]Pair, len(tasks)),
@@ -230,9 +237,16 @@ func Parallel(tasks []Task, opts Options, emit EmitFunc, c *metrics.Counters) er
 					}
 				}
 
-				local := metrics.Counters{Tracer: tracer, Ctx: ctx}
+				tr := tracer
+				var sp *obs.Span
+				if spanner != nil {
+					sp = spanner.StartSpan("task doc=" + strconv.FormatUint(uint64(tasks[i].DocID), 10))
+					tr = sp
+				}
+				local := metrics.Counters{Tracer: tr, Ctx: ctx}
 				e := &taskEmitter{s: s, i: i, chunk: getChunk()}
 				err := tasks[i].Run(e.emit, &local)
+				sp.End()
 				// The concurrent spans overlap; the driver's wall clock is
 				// the meaningful elapsed time.
 				local.Elapsed = 0

@@ -102,6 +102,33 @@ func (c *Counters) Emit(kind obs.EventKind, value int64) {
 	c.Tracer.Event(kind, value)
 }
 
+// TraceSink returns the attached tracer, nil-safe. It is the argument
+// form the page-fetch paths pass down to the storage manager so physical
+// reads are attributed to the requesting operation's span (or collector)
+// rather than to the store-global tracer. The disabled fast path is one
+// nil check and does not allocate.
+func (c *Counters) TraceSink() obs.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.Tracer
+}
+
+// StartSpan opens a child span named name when the attached tracer can
+// carry one (see obs.SpanTracer), returning nil otherwise. A nil result
+// is safe to use — *Span methods are nil-safe — so callers need no
+// branch beyond `defer sp.End()`. The disabled fast path is two nil
+// checks plus a failed type assertion; it does not allocate.
+func (c *Counters) StartSpan(name string) *obs.Span {
+	if c == nil || c.Tracer == nil {
+		return nil
+	}
+	if st, ok := c.Tracer.(obs.SpanTracer); ok {
+		return st.StartSpan(name)
+	}
+	return nil
+}
+
 // FromSnapshot converts an atomic-counter snapshot (internal/obs) into the
 // plain counter form, the view the pre-existing Stats APIs return.
 func FromSnapshot(s obs.CountersSnapshot) Counters {

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder keeps the last N completed request traces in a lock-free
+// ring, plus a smaller ring that pins slow outliers: a burst of fast
+// requests evicts the main ring in milliseconds, but the trace you want
+// after a latency spike is precisely the one that would be evicted first,
+// so traces at or above the slow threshold are copied into their own ring
+// that only other slow traces can recycle.
+//
+// Record is wait-free (one fetch-add plus one or two pointer stores);
+// Snapshot walks the rings with atomic loads and never blocks writers. A
+// snapshot taken during a wraparound race may briefly see a trace twice
+// or miss the newest entry — acceptable for a debug endpoint, and the
+// -race tests pound exactly this path.
+type FlightRecorder struct {
+	ring    []atomic.Pointer[TraceRecord]
+	pos     atomic.Uint64
+	pinned  []atomic.Pointer[TraceRecord]
+	pinPos  atomic.Uint64
+	slowNS  atomic.Int64
+	records atomic.Int64
+	slow    atomic.Int64
+}
+
+// NewFlightRecorder returns a recorder holding the last size traces and
+// the last pinned slow traces (both rounded up to powers of two; minimum
+// 4 and 2). The slow threshold starts disabled; set it with
+// SetSlowThreshold.
+func NewFlightRecorder(size, pinned int) *FlightRecorder {
+	return &FlightRecorder{
+		ring:   make([]atomic.Pointer[TraceRecord], ceilPow2(size, 4)),
+		pinned: make([]atomic.Pointer[TraceRecord], ceilPow2(pinned, 2)),
+	}
+}
+
+func ceilPow2(n, min int) int {
+	if n < min {
+		n = min
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SetSlowThreshold sets the duration at or above which a recorded trace
+// is pinned into the slow ring. Zero or negative disables pinning.
+func (r *FlightRecorder) SetSlowThreshold(d time.Duration) { r.slowNS.Store(int64(d)) }
+
+// SlowThreshold returns the current pinning threshold.
+func (r *FlightRecorder) SlowThreshold() time.Duration {
+	return time.Duration(r.slowNS.Load())
+}
+
+// Record stores a completed trace, marking and pinning it when it meets
+// the slow threshold. rec must not be mutated afterwards.
+func (r *FlightRecorder) Record(rec *TraceRecord) {
+	if rec == nil {
+		return
+	}
+	r.records.Add(1)
+	if t := r.slowNS.Load(); t > 0 && rec.DurNS >= t {
+		rec.Pinned = true
+		r.slow.Add(1)
+		i := r.pinPos.Add(1) - 1
+		r.pinned[i&uint64(len(r.pinned)-1)].Store(rec)
+	}
+	i := r.pos.Add(1) - 1
+	r.ring[i&uint64(len(r.ring)-1)].Store(rec)
+}
+
+// RecorderStats is the recorder's own accounting, exported alongside the
+// traces so a reader can tell how much history the rings represent.
+type RecorderStats struct {
+	Capacity       int   `json:"capacity"`
+	PinnedCapacity int   `json:"pinned_capacity"`
+	Recorded       int64 `json:"recorded"`
+	Slow           int64 `json:"slow"`
+	SlowThreshMS   int64 `json:"slow_threshold_ms"`
+}
+
+// Stats returns the recorder's accounting.
+func (r *FlightRecorder) Stats() RecorderStats {
+	return RecorderStats{
+		Capacity:       len(r.ring),
+		PinnedCapacity: len(r.pinned),
+		Recorded:       r.records.Load(),
+		Slow:           r.slow.Load(),
+		SlowThreshMS:   r.slowNS.Load() / 1e6,
+	}
+}
+
+// Snapshot returns the retained traces, newest first: the pinned slow
+// ring first (its entries survive main-ring wraparound), then the main
+// ring, with traces present in both reported once.
+func (r *FlightRecorder) Snapshot() []*TraceRecord {
+	out := make([]*TraceRecord, 0, len(r.ring)+len(r.pinned))
+	seen := make(map[*TraceRecord]bool, len(r.pinned))
+	collect := func(ring []atomic.Pointer[TraceRecord], pos uint64) {
+		n := uint64(len(ring))
+		for k := uint64(0); k < n; k++ {
+			rec := ring[(pos-1-k)&(n-1)].Load()
+			if rec == nil || seen[rec] {
+				continue
+			}
+			seen[rec] = true
+			out = append(out, rec)
+		}
+	}
+	collect(r.pinned, r.pinPos.Load())
+	collect(r.ring, r.pos.Load())
+	return out
+}

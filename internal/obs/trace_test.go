@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	ids := NewIDSource(7)
+	tid, sid := ids.TraceID(), ids.SpanID()
+	for _, sampled := range []bool{true, false} {
+		h := Traceparent(tid, sid, sampled)
+		gt, gs, gf, ok := ParseTraceparent(h)
+		if !ok || gt != tid || gs != sid || gf != sampled {
+			t.Fatalf("round trip %q: got (%v %v %v %v)", h, gt, gs, gf, ok)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff is forbidden
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",
+	} {
+		if _, _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestIDSourceDeterministicWithSeed(t *testing.T) {
+	a, b := NewIDSource(99), NewIDSource(99)
+	for i := 0; i < 10; i++ {
+		if a.TraceID() != b.TraceID() || a.SpanID() != b.SpanID() {
+			t.Fatalf("seeded id sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestSamplerDeterministicWithSeed(t *testing.T) {
+	a, b := NewSampler(0.3, 12345), NewSampler(0.3, 12345)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		da, db := a.Sample(), b.Sample()
+		if da != db {
+			t.Fatalf("seeded decision sequences diverged at step %d", i)
+		}
+		if da {
+			hits++
+		}
+	}
+	if hits < 200 || hits > 400 {
+		t.Errorf("rate 0.3: %d/1000 sampled", hits)
+	}
+	if NewSampler(0, 1).Sample() {
+		t.Error("rate 0 sampled")
+	}
+	if !NewSampler(1, 1).Sample() {
+		t.Error("rate 1 skipped")
+	}
+	if got := NewSampler(7, 1).Rate(); got != 1 {
+		t.Errorf("rate not clamped: %g", got)
+	}
+	if got := NewSampler(-2, 1).Rate(); got != 0 {
+		t.Errorf("rate not clamped: %g", got)
+	}
+}
+
+func TestTraceSpanTreeRecord(t *testing.T) {
+	ids := NewIDSource(5)
+	col := NewCollector()
+	tr := NewTrace("serve /join", TraceID{}, SpanID{}, ids, col)
+	root := tr.Root()
+	root.Event(EvServeQueueWait, 1000)
+
+	join := root.StartSpan("join")
+	join.Event(EvPageRead, 1)
+	join.Event(EvPageRead, 1)
+	join.Event(EvLeafScan, 7)
+	task := join.StartSpan("task doc=1")
+	task.Event(EvPageRead, 1)
+	task.End()
+	join.End()
+	root.EndDur(42 * time.Millisecond)
+
+	if got := tr.Total(EvPageRead); got != 3 {
+		t.Fatalf("Total(EvPageRead) = %d, want 3", got)
+	}
+	if got := col.Count(EvPageRead); got != 3 {
+		t.Fatalf("sink Count(EvPageRead) = %d, want 3 (events must also reach next)", got)
+	}
+
+	rec := tr.Record()
+	if rec.DurNS != int64(42*time.Millisecond) {
+		t.Errorf("root DurNS = %d, want the EndDur value", rec.DurNS)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("%d spans recorded, want 3", len(rec.Spans))
+	}
+	if rec.Spans[0].Parent != "" || rec.Spans[1].Parent != rec.Spans[0].ID || rec.Spans[2].Parent != rec.Spans[1].ID {
+		t.Errorf("parent links wrong: %+v", rec.Spans)
+	}
+	// Span attributes must account for the trace totals.
+	var spanReads int64
+	for _, s := range rec.Spans {
+		spanReads += s.Attrs[EvPageRead.String()].Count
+	}
+	if spanReads != rec.Totals[EvPageRead.String()].Count || spanReads != 3 {
+		t.Errorf("span PageRead sum %d, totals %v", spanReads, rec.Totals[EvPageRead.String()])
+	}
+
+	var b strings.Builder
+	if err := rec.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"serve /join", "join", "task doc=1", "PageRead=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceAdoptsRemoteContext(t *testing.T) {
+	ids := NewIDSource(3)
+	tid, parent := ids.TraceID(), ids.SpanID()
+	tr := NewTrace("serve", tid, parent, ids, nil)
+	if tr.ID() != tid {
+		t.Fatalf("trace did not adopt the incoming id")
+	}
+	rec := tr.Record()
+	if rec.RemoteParent != parent.String() {
+		t.Errorf("RemoteParent = %q, want %q", rec.RemoteParent, parent)
+	}
+	if rec.Spans[0].Parent != parent.String() {
+		t.Errorf("root parent = %q, want the remote span", rec.Spans[0].Parent)
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace("root", TraceID{}, SpanID{}, NewIDSource(1), nil)
+	root := tr.Root()
+	for i := 0; i < maxTraceSpans+10; i++ {
+		sp := root.StartSpan("s")
+		sp.Event(EvOutput, 1)
+		sp.End()
+	}
+	rec := tr.Record()
+	if len(rec.Spans) != maxTraceSpans {
+		t.Errorf("%d spans recorded, want the cap %d", len(rec.Spans), maxTraceSpans)
+	}
+	// The cap includes the root span, so cap+10 children overflow by 11.
+	if rec.DroppedSpans != 11 {
+		t.Errorf("DroppedSpans = %d, want 11", rec.DroppedSpans)
+	}
+	// Dropped spans still roll up into totals.
+	if got := rec.Totals[EvOutput.String()].Count; got != int64(maxTraceSpans+10) {
+		t.Errorf("Totals Output = %d, want %d", got, maxTraceSpans+10)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var sp *Span
+	sp.Event(EvPageRead, 1) // must not panic
+	sp.End()
+	sp.EndDur(time.Second)
+	if sp.StartSpan("child") != nil {
+		t.Error("nil span produced a child")
+	}
+	if sp.Count(EvPageRead) != 0 || !sp.ID().IsZero() {
+		t.Error("nil span reported state")
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := NewFlightRecorder(4, 2)
+	if r.Stats().Capacity != 4 || r.Stats().PinnedCapacity != 2 {
+		t.Fatalf("capacities = %+v", r.Stats())
+	}
+	recs := make([]*TraceRecord, 10)
+	for i := range recs {
+		recs[i] = &TraceRecord{TraceID: string(rune('a' + i)), DurNS: int64(i)}
+		r.Record(recs[i])
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("%d retained, want 4", len(snap))
+	}
+	// Newest first: the last four records in reverse order.
+	for i, want := range []*TraceRecord{recs[9], recs[8], recs[7], recs[6]} {
+		if snap[i] != want {
+			t.Fatalf("snapshot[%d] = %v, want %v", i, snap[i].TraceID, want.TraceID)
+		}
+	}
+	if got := r.Stats().Recorded; got != 10 {
+		t.Errorf("Recorded = %d, want 10", got)
+	}
+}
+
+func TestFlightRecorderSlowPinning(t *testing.T) {
+	r := NewFlightRecorder(4, 2)
+	r.SetSlowThreshold(100 * time.Millisecond)
+	slow1 := &TraceRecord{TraceID: "slow1", DurNS: int64(150 * time.Millisecond)}
+	slow2 := &TraceRecord{TraceID: "slow2", DurNS: int64(200 * time.Millisecond)}
+	r.Record(slow1)
+	r.Record(slow2)
+	// A burst of fast traces wraps the main ring completely.
+	for i := 0; i < 8; i++ {
+		r.Record(&TraceRecord{TraceID: "fast", DurNS: 1})
+	}
+	if !slow1.Pinned || !slow2.Pinned {
+		t.Fatal("slow traces not marked pinned")
+	}
+	snap := r.Snapshot()
+	found := map[string]bool{}
+	for _, rec := range snap {
+		found[rec.TraceID] = true
+	}
+	if !found["slow1"] || !found["slow2"] {
+		t.Fatalf("slow traces evicted by fast burst: %v", found)
+	}
+	// Pinned ring holds 2: a third slow trace evicts the oldest pinned one.
+	slow3 := &TraceRecord{TraceID: "slow3", DurNS: int64(300 * time.Millisecond)}
+	r.Record(slow3)
+	found = map[string]bool{}
+	for _, rec := range r.Snapshot() {
+		found[rec.TraceID] = true
+	}
+	if found["slow1"] {
+		t.Error("oldest pinned trace not recycled by newer slow trace")
+	}
+	if !found["slow2"] || !found["slow3"] {
+		t.Error("newer slow traces missing after pinned-ring wrap")
+	}
+	if got := r.Stats().Slow; got != 3 {
+		t.Errorf("Slow = %d, want 3", got)
+	}
+}
+
+// TestFlightRecorderConcurrent pounds Record against Snapshot; run under
+// -race this is the recorder's main correctness check.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(8, 4)
+	r.SetSlowThreshold(time.Microsecond)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Record(&TraceRecord{TraceID: "t", DurNS: int64(i%2) * int64(time.Millisecond)})
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, rec := range r.Snapshot() {
+					if rec == nil {
+						t.Error("nil record in snapshot")
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if r.Stats().Recorded == 0 {
+		t.Fatal("no records made it in")
+	}
+}
+
+func TestPromWriterOutputLints(t *testing.T) {
+	col := NewCollector()
+	for i := int64(1); i <= 100; i++ {
+		col.Event(EvLeafScan, i)
+		col.Event(EvPageRead, 1)
+	}
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("xrtree_serve_requests_total", "Requests.", 42)
+	p.Gauge("xrtree_serve_in_flight", "In flight.", 3)
+	p.Counter("xrtree_pool_buffer_hits_total", "Hits.", 10, PromLabel{Name: "backend", Value: "dept"})
+	p.Counter("xrtree_pool_buffer_hits_total", "Hits.", 20, PromLabel{Name: "backend", Value: `we"ird\`})
+	p.CollectorEvents("xrtree", col)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if problems := PromLint(strings.NewReader(b.String())); len(problems) != 0 {
+		t.Fatalf("PromWriter output fails lint:\n%s\n---\n%s", strings.Join(problems, "\n"), b.String())
+	}
+}
+
+func TestPromLintCatchesBrokenExpositions(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "orphan_metric 1\n",
+		"bad name":         "# TYPE 9bad counter\n9bad 1\n",
+		"duplicate sample": "# TYPE a counter\na 1\na 2\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\n" + "h_sum 9\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + "h_sum 9\nh_count 5\n",
+		"+Inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 4` + "\n" + "h_sum 9\nh_count 5\n",
+	}
+	for name, doc := range cases {
+		if problems := PromLint(strings.NewReader(doc)); len(problems) == 0 {
+			t.Errorf("%s: lint found nothing in:\n%s", name, doc)
+		}
+	}
+}

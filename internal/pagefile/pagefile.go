@@ -386,6 +386,16 @@ func (f *File) Free(id PageID) error {
 // ReadPage reads page id into dst, which must be exactly PageSize bytes.
 // Reads of distinct pages run concurrently.
 func (f *File) ReadPage(id PageID, dst []byte) error {
+	return f.ReadPageTo(id, dst, nil)
+}
+
+// ReadPageTo is ReadPage with per-call read attribution: when tr is
+// non-nil the EvPageRead event goes to tr INSTEAD of the file-attached
+// tracer (either/or, so a read is never double-counted), which is how a
+// request's trace span is charged for exactly the physical reads its miss
+// path caused even while other requests hammer the same file. The
+// process-wide stats counters are updated either way.
+func (f *File) ReadPageTo(id PageID, dst []byte, tr obs.Tracer) error {
 	if len(dst) != f.pageSize {
 		return fmt.Errorf("pagefile: ReadPage buffer is %d bytes, want %d", len(dst), f.pageSize)
 	}
@@ -400,7 +410,13 @@ func (f *File) ReadPage(id PageID, dst []byte) error {
 	if _, err := f.b.ReadAt(dst, int64(id)*int64(f.pageSize)); err != nil {
 		return fmt.Errorf("pagefile: read page %d: %w", id, err)
 	}
-	f.countRead()
+	atomic.AddInt64(&f.stats.PhysicalReads, 1)
+	atomic.AddInt64(&f.stats.ReadCalls, 1)
+	if tr != nil {
+		tr.Event(obs.EvPageRead, 1)
+	} else {
+		f.emit(obs.EvPageRead)
+	}
 	return nil
 }
 

@@ -34,7 +34,14 @@ func (m *Metrics) Collector() *obs.Collector { return m.col }
 // Arrived records one request arrival and samples the queue depth it saw.
 func (m *Metrics) Arrived(queueDepth int) {
 	m.requests.Add(1)
-	m.col.Event(obs.EvServeQueueDepth, int64(queueDepth))
+	m.QueueDepth(queueDepth)
+}
+
+// QueueDepth samples the admission queue depth into the depth
+// distribution. The serving layer calls it at admission and again at
+// completion, so the distribution reflects draining as well as filling.
+func (m *Metrics) QueueDepth(depth int) {
+	m.col.Event(obs.EvServeQueueDepth, int64(depth))
 }
 
 // Rejected records one 429 (queue full at admission).
@@ -91,33 +98,53 @@ func (m *Metrics) summarize(kind obs.EventKind) xrtree.LatencySummary {
 // variable: outcome counts, live gauges, latency digests, and the raw
 // event snapshot for anything not pre-digested.
 type MetricsSnapshot struct {
-	Requests  int64                 `json:"requests"`
-	OK        int64                 `json:"ok"`
-	Rejected  int64                 `json:"rejected"`
-	Timeouts  int64                 `json:"timeouts"`
-	Canceled  int64                 `json:"canceled"`
-	Failed    int64                 `json:"failed"`
-	InFlight  int                   `json:"in_flight"`
-	Queued    int                   `json:"queued"`
-	Latency   xrtree.LatencySummary `json:"latency"`
-	QueueWait xrtree.LatencySummary `json:"queue_wait"`
-	Events    obs.Snapshot          `json:"events"`
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Rejected int64 `json:"rejected"`
+	Timeouts int64 `json:"timeouts"`
+	Canceled int64 `json:"canceled"`
+	Failed   int64 `json:"failed"`
+	InFlight int   `json:"in_flight"`
+	Queued   int   `json:"queued"`
+	// QueueDepth is the live admission-queue depth at snapshot time (the
+	// current-value gauge; the ServeQueueDepth event histogram holds the
+	// sampled distribution).
+	QueueDepth int                   `json:"queue_depth"`
+	Latency    xrtree.LatencySummary `json:"latency"`
+	QueueWait  xrtree.LatencySummary `json:"queue_wait"`
+	Events     obs.Snapshot          `json:"events"`
 }
 
 // Snapshot exports the current state; inFlight and queued are sampled
 // from the limiter by the caller.
 func (m *Metrics) Snapshot(inFlight, queued int) MetricsSnapshot {
 	return MetricsSnapshot{
-		Requests:  m.requests.Load(),
-		OK:        m.ok.Load(),
-		Rejected:  m.rejected.Load(),
-		Timeouts:  m.timeouts.Load(),
-		Canceled:  m.canceled.Load(),
-		Failed:    m.failed.Load(),
-		InFlight:  inFlight,
-		Queued:    queued,
-		Latency:   m.summarize(obs.EvServeSpan),
-		QueueWait: m.summarize(obs.EvServeQueueWait),
-		Events:    m.col.Snapshot(),
+		Requests:   m.requests.Load(),
+		OK:         m.ok.Load(),
+		Rejected:   m.rejected.Load(),
+		Timeouts:   m.timeouts.Load(),
+		Canceled:   m.canceled.Load(),
+		Failed:     m.failed.Load(),
+		InFlight:   inFlight,
+		Queued:     queued,
+		QueueDepth: queued,
+		Latency:    m.summarize(obs.EvServeSpan),
+		QueueWait:  m.summarize(obs.EvServeQueueWait),
+		Events:     m.col.Snapshot(),
 	}
+}
+
+// writeProm renders the serving metrics in Prometheus text form: outcome
+// counters, the live limiter gauges, and every collector event kind as a
+// labeled histogram family.
+func (m *Metrics) writeProm(p *obs.PromWriter, inFlight, queued int) {
+	p.Counter("xrtree_serve_requests_total", "Request arrivals, before admission.", float64(m.requests.Load()))
+	p.Counter("xrtree_serve_ok_total", "Requests completed with a 2xx response.", float64(m.ok.Load()))
+	p.Counter("xrtree_serve_rejected_total", "Requests rejected 429 at admission.", float64(m.rejected.Load()))
+	p.Counter("xrtree_serve_timeouts_total", "Requests that exceeded their deadline.", float64(m.timeouts.Load()))
+	p.Counter("xrtree_serve_canceled_total", "Requests whose client went away.", float64(m.canceled.Load()))
+	p.Counter("xrtree_serve_failed_total", "Requests failed with another 4xx/5xx.", float64(m.failed.Load()))
+	p.Gauge("xrtree_serve_in_flight", "Requests currently executing.", float64(inFlight))
+	p.Gauge("xrtree_serve_queue_depth", "Requests currently waiting for admission.", float64(queued))
+	p.CollectorEvents("xrtree", m.col)
 }

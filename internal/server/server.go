@@ -35,6 +35,22 @@ type Config struct {
 	// DefaultLimit caps the result sample returned per request when the
 	// request names no ?limit (default 10).
 	DefaultLimit int
+	// TraceSample is the head-based trace-sampling rate in [0, 1] for
+	// requests arriving without a sampled traceparent header (default 0:
+	// only explicitly sampled requests are traced).
+	TraceSample float64
+	// TraceBuffer is the flight recorder's main ring capacity (default 64,
+	// rounded up to a power of two).
+	TraceBuffer int
+	// TracePinned is the slow-trace ring capacity (default 16).
+	TracePinned int
+	// SlowTrace pins recorded traces at or above this duration into the
+	// slow ring (default 0: pinning disabled).
+	SlowTrace time.Duration
+	// TraceSeed seeds the sampler and id generator; 0 draws random seeds.
+	// A fixed seed makes the sampling decision sequence deterministic for
+	// tests.
+	TraceSeed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +74,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultLimit <= 0 {
 		c.DefaultLimit = 10
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 64
+	}
+	if c.TracePinned <= 0 {
+		c.TracePinned = 16
 	}
 	return c
 }
@@ -104,11 +126,14 @@ func (b *backend) set(tag string) (*xrtree.ElementSet, error) {
 // API, and serving metrics. Create with New, register backends, then
 // Serve; Shutdown drains in-flight requests.
 type Server struct {
-	cfg Config
-	lim *Limiter
-	met *Metrics
-	hs  *http.Server
-	mux *http.ServeMux
+	cfg     Config
+	lim     *Limiter
+	met     *Metrics
+	hs      *http.Server
+	mux     *http.ServeMux
+	rec     *obs.FlightRecorder
+	ids     *obs.IDSource
+	sampler *obs.Sampler
 
 	mu       sync.RWMutex
 	backends map[string]*backend
@@ -123,16 +148,25 @@ func New(cfg Config) *Server {
 		backends: make(map[string]*backend),
 	}
 	s.lim = NewLimiter(s.cfg.MaxConcurrent, s.cfg.MaxQueue)
+	s.ids = obs.NewIDSource(s.cfg.TraceSeed)
+	s.sampler = obs.NewSampler(s.cfg.TraceSample, s.cfg.TraceSeed)
+	s.rec = obs.NewFlightRecorder(s.cfg.TraceBuffer, s.cfg.TracePinned)
+	s.rec.SetSlowThreshold(s.cfg.SlowTrace)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/v1/backends", s.handleBackends)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /api/v1/join", s.admit(s.handleJoin))
 	s.mux.Handle("GET /api/v1/query", s.admit(s.handleQuery))
 	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	return s
 }
+
+// Recorder exposes the flight recorder (for tests and embedding).
+func (s *Server) Recorder() *obs.FlightRecorder { return s.rec }
 
 // AddStore registers a catalogued store under name: its persisted sets
 // become join operands. Backends must be registered before Serve.
@@ -268,6 +302,10 @@ func (s *Server) admit(fn apiFunc) http.Handler {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
+		tr := s.startTrace(w, r)
+		if tr != nil {
+			ctx = context.WithValue(ctx, traceKey{}, tr)
+		}
 		s.met.Arrived(s.lim.Waiting())
 		if err := s.lim.Acquire(ctx); err != nil {
 			switch {
@@ -281,10 +319,21 @@ func (s *Server) admit(fn apiFunc) http.Handler {
 			default: // client went away while queued; nothing to write
 				s.met.Canceled()
 			}
+			s.finishTrace(tr, time.Since(arrive))
 			return
 		}
-		defer s.lim.Release()
+		defer func() {
+			s.lim.Release()
+			// Completion-side depth sample: sampling only at admission
+			// leaves the depth distribution stale after an idle-then-burst
+			// phase (the last burst arrival saw a full queue; nothing
+			// recorded it draining).
+			s.met.QueueDepth(s.lim.Waiting())
+		}()
 		wait := time.Since(arrive)
+		if tr != nil {
+			tr.Root().Event(obs.EvServeQueueWait, wait.Nanoseconds())
+		}
 
 		err = fn(w, r.WithContext(ctx))
 		switch {
@@ -303,7 +352,11 @@ func (s *Server) admit(fn apiFunc) http.Handler {
 				writeError(w, http.StatusInternalServerError, err.Error())
 			}
 		}
-		s.met.Done(err == nil, wait, time.Since(arrive))
+		total := time.Since(arrive)
+		s.met.Done(err == nil, wait, total)
+		// The root span ends with the identical measurement EvServeSpan
+		// records, so the trace and the latency histogram agree exactly.
+		s.finishTrace(tr, total)
 	})
 }
 
@@ -389,6 +442,7 @@ type joinResponse struct {
 	Query     string                `json:"query"`
 	Alg       string                `json:"alg"`
 	Workers   int                   `json:"workers,omitempty"`
+	TraceID   string                `json:"trace_id,omitempty"`
 	Pairs     int64                 `json:"pairs"`
 	Sample    []pairJSON            `json:"sample,omitempty"`
 	Truncated bool                  `json:"truncated,omitempty"`
@@ -427,11 +481,29 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 	}
 	withStats := q.Get("stats") == "1" || q.Get("stats") == "true"
 
+	axis := "//"
+	if mode == xrtree.ParentChild {
+		axis = "/"
+	}
+
 	var col *obs.Collector
 	var st xrtree.Stats
 	if withStats {
 		col = obs.NewCollector()
 		st.Tracer = col
+	}
+	// A traced request gets a child span for the engine work; the span
+	// chains the stats collector (when present) as the trace's sink, so
+	// stats=1 sees the identical event stream either way.
+	tr := traceFrom(r.Context())
+	var joinSpan *obs.Span
+	if tr != nil {
+		if col != nil {
+			tr.SetSink(col)
+		}
+		joinSpan = tr.Root().StartSpan("join " + anc + axis + desc + " alg=" + alg.String())
+		defer joinSpan.End()
+		st.Tracer = joinSpan
 	}
 	var (
 		pairs     int64
@@ -466,10 +538,6 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 
-	axis := "//"
-	if mode == xrtree.ParentChild {
-		axis = "/"
-	}
 	resp := joinResponse{
 		Backend:   b.name,
 		Query:     anc + axis + desc,
@@ -488,6 +556,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 	if b.coll != nil {
 		resp.Workers = workers
 	}
+	if tr != nil {
+		resp.TraceID = tr.ID().String()
+	}
 	if col != nil {
 		ph := col.JoinPhases()
 		ev := col.Snapshot()
@@ -502,6 +573,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 type queryResponse struct {
 	Backend   string           `json:"backend"`
 	Path      string           `json:"path"`
+	TraceID   string           `json:"trace_id,omitempty"`
 	Matches   int              `json:"matches"`
 	Sample    []xrtree.Element `json:"sample,omitempty"`
 	Truncated bool             `json:"truncated,omitempty"`
@@ -529,6 +601,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	}
 
 	var st xrtree.Stats
+	tr := traceFrom(r.Context())
+	var querySpan *obs.Span
+	if tr != nil {
+		querySpan = tr.Root().StartSpan("query " + path)
+		defer querySpan.End()
+		st.Tracer = querySpan
+	}
 	start := time.Now()
 	els, err := b.coll.QueryContext(r.Context(), path, &st)
 	if err != nil {
@@ -543,7 +622,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if len(sample) > limit {
 		sample, truncated = sample[:limit], true
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
+	resp := queryResponse{
 		Backend:   b.name,
 		Path:      path,
 		Matches:   len(els),
@@ -556,7 +635,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 			StabPageReads:   st.StabPageReads,
 			ElapsedMS:       float64(time.Since(start).Microseconds()) / 1000,
 		},
-	})
+	}
+	if tr != nil {
+		resp.TraceID = tr.ID().String()
+	}
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"xrtree/internal/obs"
+)
+
+// Request tracing at the serving layer. Every admitted request may carry
+// an obs.Trace: the root span covers arrival to response (its duration is
+// the same measurement recorded as EvServeSpan), handlers open child
+// spans for the engine work, and the completed trace lands in the flight
+// recorder behind /debug/traces. A request is traced when its incoming
+// W3C traceparent header has the sampled flag set (the caller already
+// holds the trace id, so refusing would orphan it) or when the head
+// sampler says so; the response always echoes the server's trace context
+// back via the traceparent header so clients can report actionable
+// handles (xrblast does, for its slowest decile).
+
+// traceKey carries the *obs.Trace through the request context.
+type traceKey struct{}
+
+// traceFrom returns the request's trace, or nil when the request is not
+// being traced.
+func traceFrom(ctx context.Context) *obs.Trace {
+	tr, _ := ctx.Value(traceKey{}).(*obs.Trace)
+	return tr
+}
+
+// startTrace makes the head-sampling decision for one request and, when
+// traced, creates the trace (adopting an incoming trace id) and echoes
+// the assigned context in the response headers.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) *obs.Trace {
+	var tid obs.TraceID
+	var parent obs.SpanID
+	forced := false
+	if h := r.Header.Get("traceparent"); h != "" {
+		if t, p, sampled, ok := obs.ParseTraceparent(h); ok {
+			tid, parent, forced = t, p, sampled
+		}
+	}
+	if !forced && !s.sampler.Sample() {
+		return nil
+	}
+	tr := obs.NewTrace("serve "+r.URL.Path, tid, parent, s.ids, nil)
+	w.Header().Set("traceparent", obs.Traceparent(tr.ID(), tr.Root().ID(), true))
+	return tr
+}
+
+// finishTrace closes the root span with the same duration recorded as
+// EvServeSpan and hands the trace to the flight recorder. nil-safe.
+func (s *Server) finishTrace(tr *obs.Trace, total time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Root().EndDur(total)
+	s.rec.Record(tr.Record())
+}
+
+// tracesResponse is the body of /debug/traces.
+type tracesResponse struct {
+	Stats  obs.RecorderStats  `json:"stats"`
+	Traces []*obs.TraceRecord `json:"traces"`
+}
+
+// handleTraces serves the flight recorder's retained traces, newest
+// first, pinned slow traces ahead of the rolling ring.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, tracesResponse{
+		Stats:  s.rec.Stats(),
+		Traces: s.rec.Snapshot(),
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition: serving outcome
+// counters and gauges, every Collector event kind as a labeled histogram
+// family, per-backend buffer-pool counters, and the flight recorder's
+// accounting. Families are emitted grouped, as the text format requires.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	s.met.writeProm(p, s.lim.InFlight(), s.lim.Waiting())
+
+	type poolRow struct {
+		label                              obs.PromLabel
+		hits, misses, reads, writes, evict float64
+		pinned                             float64
+	}
+	s.mu.RLock()
+	rows := make([]poolRow, 0, len(s.order))
+	for _, name := range s.order {
+		b := s.backends[name]
+		ps := b.store.PoolStats()
+		rows = append(rows, poolRow{
+			label:  obs.PromLabel{Name: "backend", Value: name},
+			hits:   float64(ps.BufferHits),
+			misses: float64(ps.BufferMisses),
+			reads:  float64(ps.PhysicalReads),
+			writes: float64(ps.PhysicalWrites),
+			evict:  float64(ps.PageEvictions),
+			pinned: float64(b.store.PinnedPages()),
+		})
+	}
+	s.mu.RUnlock()
+	for _, r := range rows {
+		p.Counter("xrtree_pool_buffer_hits_total", "Buffer-pool lookup hits per backend.", r.hits, r.label)
+	}
+	for _, r := range rows {
+		p.Counter("xrtree_pool_buffer_misses_total", "Buffer-pool lookup misses per backend.", r.misses, r.label)
+	}
+	for _, r := range rows {
+		p.Counter("xrtree_pool_physical_reads_total", "Pages read from the backing file per backend.", r.reads, r.label)
+	}
+	for _, r := range rows {
+		p.Counter("xrtree_pool_physical_writes_total", "Pages written to the backing file per backend.", r.writes, r.label)
+	}
+	for _, r := range rows {
+		p.Counter("xrtree_pool_page_evictions_total", "Buffer-pool frames evicted per backend.", r.evict, r.label)
+	}
+	for _, r := range rows {
+		p.Gauge("xrtree_pool_pinned_pages", "Currently pinned buffer pages per backend.", r.pinned, r.label)
+	}
+
+	rs := s.rec.Stats()
+	p.Counter("xrtree_traces_recorded_total", "Request traces recorded by the flight recorder.", float64(rs.Recorded))
+	p.Counter("xrtree_traces_slow_total", "Recorded traces at or above the slow threshold.", float64(rs.Slow))
+	p.Gauge("xrtree_trace_buffer_capacity", "Flight-recorder ring capacity.", float64(rs.Capacity))
+	_ = p.Err() // headers are sent; a broken client connection is not actionable
+}

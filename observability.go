@@ -37,6 +37,42 @@ const (
 	EvJoinSpan     = obs.EvJoinSpan
 )
 
+// Request tracing (see internal/obs): Span implements Tracer, so a span
+// attached through Stats.Tracer receives every engine event as a typed
+// attribute while the events also roll up into the owning Trace. The
+// serving layer creates one Trace per sampled request; embedders can do
+// the same around any engine call.
+type (
+	// Span is one timed phase of a request trace; it implements Tracer.
+	Span = obs.Span
+	// SpanTracer is a Tracer that can open child spans (*Span implements
+	// it); layers that want sub-structure type-assert the tracer they hold.
+	SpanTracer = obs.SpanTracer
+	// RequestTrace is one request's span tree plus an event rollup.
+	RequestTrace = obs.Trace
+	// TraceRecord is the exported, JSON-serializable form of a completed
+	// trace — the element type of /debug/traces and xrtrace's input.
+	TraceRecord = obs.TraceRecord
+	// SpanRecord is the exported form of one span within a TraceRecord.
+	SpanRecord = obs.SpanRecord
+	// FlightRecorder retains the last N completed traces, pinning slow
+	// outliers past a threshold.
+	FlightRecorder = obs.FlightRecorder
+)
+
+// NewRequestTrace starts a request trace and its root span. A zero id
+// mints a fresh one; next (usually a Collector) receives a copy of every
+// span event.
+func NewRequestTrace(name string, id obs.TraceID, parent obs.SpanID, ids *obs.IDSource, next Tracer) *RequestTrace {
+	return obs.NewTrace(name, id, parent, ids, next)
+}
+
+// NewFlightRecorder returns a recorder holding the last size completed
+// traces plus pinned slow traces.
+func NewFlightRecorder(size, pinned int) *FlightRecorder {
+	return obs.NewFlightRecorder(size, pinned)
+}
+
 // Collector is the standard Tracer: lock-free per-kind counters and
 // fixed-bucket histograms of event values.
 type Collector = obs.Collector

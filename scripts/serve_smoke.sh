@@ -8,7 +8,10 @@
 #      pinned buffer pages afterwards.
 #   2. Requests with a ~1ms-class deadline are answered 503 and leak no
 #      pinned pages.
-#   3. SIGTERM drains in-flight requests and the server exits 0 with
+#   3. A traced request (xrblast -trace) must surface in /debug/traces
+#      with its xrblast-reported trace id, and /metrics must be a clean
+#      Prometheus text exposition (xrcheckbench -promlint).
+#   4. SIGTERM drains in-flight requests and the server exits 0 with
 #      "drained cleanly".
 set -eu
 
@@ -22,7 +25,8 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "== build"
-$GO build -o "$TMP" ./cmd/xrgen ./cmd/xrload ./cmd/xrserve ./cmd/xrblast
+$GO build -o "$TMP" ./cmd/xrgen ./cmd/xrload ./cmd/xrserve ./cmd/xrblast \
+    ./cmd/xrtrace ./cmd/xrcheckbench
 
 echo "== corpus + store"
 "$TMP/xrgen" -dtd department -out "$TMP/dept.xml"
@@ -54,6 +58,24 @@ OUT=$("$TMP/xrblast" -url "$BASE" -label deadline \
     -max-errors 0 -assert-no-pins)
 echo "$OUT"
 echo "$OUT" | grep -q 'timeouts=4' || { echo "FAIL: expected all 4 short-deadline requests to time out (503)"; exit 1; }
+
+echo "== trace smoke: propagated traceparent must land in /debug/traces"
+OUT=$("$TMP/xrblast" -url "$BASE" -label traced \
+    -target '/api/v1/join?anc=employee&desc=name&alg=xr&stats=1' \
+    -clients 1 -requests 3 -duration 30s -trace 1 -trace-seed 7 \
+    -min-ok 3 -max-errors 0)
+echo "$OUT"
+TID=$(echo "$OUT" | awk '/slow trace/ {print $3; exit}')
+[ -n "$TID" ] || { echo "FAIL: xrblast reported no trace handles"; exit 1; }
+"$TMP/xrtrace" -url "$BASE" -trace "$TID" >"$TMP/trace.txt" \
+    || { echo "FAIL: xrtrace found no trace $TID in /debug/traces"; exit 1; }
+cat "$TMP/trace.txt"
+grep -q "trace $TID" "$TMP/trace.txt" || { echo "FAIL: trace $TID missing from xrtrace output"; exit 1; }
+
+echo "== /metrics must be a clean Prometheus text exposition"
+curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+grep -q 'xrtree_serve_requests_total' "$TMP/metrics.txt" || { echo "FAIL: serving counters missing from /metrics"; exit 1; }
+"$TMP/xrcheckbench" -promlint "$TMP/metrics.txt"
 
 echo "== graceful drain on SIGTERM"
 kill -TERM "$SERVER_PID"

@@ -42,6 +42,18 @@ type ServingRow struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 	// Latency digests the end-to-end client-observed request latency.
 	Latency LatencySummary `json:"latency"`
+	// SlowTraces lists the server-assigned trace ids of the run's
+	// slowest-decile requests (present when the run propagated trace
+	// context), so a load run ends with handles to feed /debug/traces
+	// and xrtrace rather than just aggregate quantiles.
+	SlowTraces []TraceHandle `json:"slow_traces,omitempty"`
+}
+
+// TraceHandle points at one traced request: the client-observed latency
+// and the trace id the server echoed back in its traceparent header.
+type TraceHandle struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMS float64 `json:"latency_ms"`
 }
 
 // ServingStudy is the root of the bench JSON "serving" section.
