@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke microbench serve-smoke examples experiments verify clean fmt-check lint vet test-debug fuzz-smoke ci
+.PHONY: all build test race bench bench-json bench-smoke microbench serve-smoke examples experiments verify clean fmt-check lint vet test-debug fuzz-smoke crash-smoke ci
 
 all: build test
 
@@ -67,6 +67,15 @@ test-debug:
 fuzz-smoke:
 	$(GO) test -run FuzzParseDocument -fuzz FuzzParseDocument -fuzztime 10s ./internal/xmldoc
 	$(GO) test -run FuzzPathExpr -fuzz FuzzPathExpr -fuzztime 10s ./internal/pathexpr
+	$(GO) test -run FuzzWALReplay -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
+
+# Crash-recovery gate: 30 randomized kill points against a WAL-enabled
+# store (the crossing log write torn partway), each reopened through redo
+# and re-verified against the Definition 4 oracle and the acknowledged
+# commit set, plus the concurrent-writer group-commit phase (fsyncs <
+# commits). CI runs the same budget in the `crash` job.
+crash-smoke:
+	$(GO) run ./cmd/xrcrash -n 30
 
 # gofmt as a check: fail when any file needs reformatting.
 fmt-check:
@@ -86,7 +95,7 @@ lint:
 	fi
 
 # Everything the CI pipeline runs, in the same order, runnable locally.
-ci: build fmt-check lint vet test race test-debug bench-smoke serve-smoke
+ci: build fmt-check lint vet test race test-debug bench-smoke serve-smoke crash-smoke
 	@echo "ci: all checks passed"
 
 examples:

@@ -27,6 +27,7 @@ import (
 	"xrtree/internal/core"
 	"xrtree/internal/elemlist"
 	"xrtree/internal/pagefile"
+	"xrtree/internal/wal"
 )
 
 const (
@@ -95,7 +96,16 @@ func (s *Store) SaveSet(name string, set *ElementSet) error {
 	if !replaced {
 		entries = append(entries, e)
 	}
-	return s.writeCatalog(entries)
+	// The catalog pages are written unlogged, like the bulk-built trees
+	// they point to; the flush-fsync-checkpoint below is the durability
+	// point for both.
+	s.pool.BeginUnlogged()
+	err = s.writeCatalog(entries)
+	s.pool.EndUnlogged()
+	if err != nil {
+		return err
+	}
+	return s.syncDurable()
 }
 
 // SetNames lists the names saved in the catalog.
@@ -350,9 +360,31 @@ func (s *Store) writeCatalog(entries []catEntry) error {
 }
 
 // OpenStore reopens a store file created by CreateStore, with its catalog.
+// With StoreOptions.WAL it first runs crash recovery: the page file's
+// physical tail is repaired and every committed transaction in the log is
+// redone (see Recovery for the report). Without it, a store that needs
+// recovery — torn page-file tail, or a log directory left by a WAL-enabled
+// run — fails with ErrRecoveryNeeded instead of opening silently.
 func OpenStore(path string, opts StoreOptions) (*Store, error) {
+	if opts.WAL {
+		return openStoreWAL(path, opts)
+	}
+	if hasWAL(path, opts) {
+		// A cleanly closed log means the page file is fully in sync, so a
+		// plain open is safe; anything else demands recovery.
+		clean, err := wal.CleanlyClosed(opts.WALFS, walDir(path, opts))
+		if err != nil {
+			return nil, err
+		}
+		if !clean {
+			return nil, fmt.Errorf("%w: log segments exist at %s", ErrRecoveryNeeded, walDir(path, opts))
+		}
+	}
 	file, err := pagefile.Open(path)
 	if err != nil {
+		if errors.Is(err, pagefile.ErrTornTail) {
+			return nil, fmt.Errorf("%w: %v", ErrRecoveryNeeded, err)
+		}
 		return nil, err
 	}
 	return newStore(file, opts)

@@ -81,6 +81,7 @@ func main() {
 		workers       = flag.Int("workers", 1, "default parallel-join workers for document backends")
 		limit         = flag.Int("limit", 10, "default result-sample size")
 		buffers       = flag.Int("buffers", 100, "buffer pool pages per store")
+		useWAL        = flag.Bool("wal", false, "open -store backends with the write-ahead log: recovery runs on open, mutations are crash-durable")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown")
 		traceSample   = flag.Float64("trace-sample", 0, "head-based trace sampling rate in [0,1] (0: only requests with a sampled traceparent)")
 		traceBuffer   = flag.Int("trace-buffer", 64, "flight-recorder capacity (completed traces)")
@@ -123,9 +124,16 @@ func main() {
 		if len(e.paths) != 1 {
 			log.Fatalf("-store %s: exactly one store file per backend", e.name)
 		}
-		st, err := xrtree.OpenStore(e.paths[0], xrtree.StoreOptions{BufferPages: *buffers})
+		st, err := xrtree.OpenStore(e.paths[0], xrtree.StoreOptions{BufferPages: *buffers, WAL: *useWAL})
 		if err != nil {
+			if errors.Is(err, xrtree.ErrRecoveryNeeded) {
+				log.Fatalf("-store %s: %v (pass -wal to recover)", e.name, err)
+			}
 			log.Fatalf("-store %s: %v", e.name, err)
+		}
+		if rep := st.Recovery(); rep != nil && rep.Replayed() {
+			log.Printf("-store %s: recovered: %d transactions redone, %d pages, torn tail: %v",
+				e.name, rep.TxCommitted, rep.PagesApplied, rep.TornTail)
 		}
 		closers = append(closers, st.Close)
 		if err := srv.AddStore(e.name, st); err != nil {

@@ -90,7 +90,47 @@ type Tree struct {
 	// descent or per leaf hop.
 	latch sync.RWMutex
 
+	// tx is the WAL transaction of the mutation in flight, nil outside one.
+	// Guarded by the write latch (see the core package's twin for details).
+	tx *bufferpool.Tx
+
 	c *metrics.Counters // optional counter sink, used by write paths only
+}
+
+// The fetch/unpin wrappers route page accesses through the in-flight WAL
+// transaction when one exists; otherwise they are the plain pool calls.
+
+func (t *Tree) fetch(id pagefile.PageID) ([]byte, error) {
+	return t.pool.FetchHeld(t.tx, id)
+}
+
+func (t *Tree) fetchNew() (pagefile.PageID, []byte, error) {
+	return t.pool.FetchNewHeld(t.tx)
+}
+
+func (t *Tree) unpin(id pagefile.PageID, dirty bool) error {
+	return t.pool.UnpinTx(t.tx, id, dirty)
+}
+
+func (t *Tree) discard(id pagefile.PageID) error {
+	return t.pool.DiscardTx(t.tx, id)
+}
+
+func (t *Tree) free(id pagefile.PageID) error {
+	return t.pool.FreeTx(t.tx, id)
+}
+
+// beginTx starts a WAL transaction for one mutation and returns its
+// commit function, to be deferred with the mutation's named error.
+func (t *Tree) beginTx() func(*error) {
+	t.tx = t.pool.Begin()
+	return func(errp *error) {
+		tx := t.tx
+		t.tx = nil
+		if cerr := t.pool.CommitTx(tx); cerr != nil && *errp == nil {
+			*errp = cerr
+		}
+	}
 }
 
 // New creates an empty tree whose pages come from pool's file.
@@ -151,12 +191,12 @@ func (t *Tree) computeCaps() {
 }
 
 func (t *Tree) syncMeta() error {
-	data, err := t.pool.Fetch(t.meta)
+	data, err := t.fetch(t.meta)
 	if err != nil {
 		return err
 	}
 	t.writeMeta(data)
-	return t.pool.Unpin(t.meta, true)
+	return t.unpin(t.meta, true)
 }
 
 func (t *Tree) writeMeta(data []byte) {

@@ -9,34 +9,36 @@ import (
 
 // Delete removes the element with the given start key. It returns
 // ErrNotFound if no such element exists.
-func (t *Tree) Delete(key uint32) error {
+func (t *Tree) Delete(key uint32) (err error) {
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	defer t.debugPinBalance()()
+	commit := t.beginTx()
+	defer commit(&err)
 	if _, err := t.deleteFrom(t.root, t.h, key); err != nil {
 		return err
 	}
 	t.count--
 	// Shrink the tree if the root is an internal node with a single child.
 	for t.h > 1 {
-		data, err := t.pool.Fetch(t.root)
+		data, err := t.fetch(t.root)
 		if err != nil {
 			return err
 		}
 		if intCount(data) > 0 {
-			if err := t.pool.Unpin(t.root, false); err != nil {
+			if err := t.unpin(t.root, false); err != nil {
 				return err
 			}
 			break
 		}
 		onlyChild := intChild(data, 0)
-		if err := t.pool.Unpin(t.root, false); err != nil {
+		if err := t.unpin(t.root, false); err != nil {
 			return err
 		}
 		old := t.root
 		t.root = onlyChild
 		t.h--
-		if err := t.pool.File().Free(old); err != nil {
+		if err := t.free(old); err != nil {
 			return err
 		}
 	}
@@ -49,7 +51,7 @@ func (t *Tree) intMin() int  { return t.intCap / 2 }
 // deleteFrom removes key from the subtree rooted at id (height 1 = leaf).
 // It reports whether the node underflowed below its minimum occupancy.
 func (t *Tree) deleteFrom(id pagefile.PageID, height int, key uint32) (bool, error) {
-	data, err := t.pool.Fetch(id)
+	data, err := t.fetch(id)
 	if err != nil {
 		return false, err
 	}
@@ -58,12 +60,12 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, key uint32) (bool, err
 		n := leafCount(data)
 		pos := leafSearch(data, key)
 		if pos >= n || leafKey(data, pos) != key {
-			t.pool.Unpin(id, false)
+			t.unpin(id, false)
 			return false, fmt.Errorf("%w: start %d", ErrNotFound, key)
 		}
 		removeLeafEntry(data, pos, n)
 		under := leafCount(data) < t.leafMin()
-		return under, t.pool.Unpin(id, true)
+		return under, t.unpin(id, true)
 	}
 
 	t.countNode()
@@ -71,18 +73,18 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, key uint32) (bool, err
 	child := intChild(data, ci)
 	childUnder, err := t.deleteFrom(child, height-1, key)
 	if err != nil {
-		t.pool.Unpin(id, false)
+		t.unpin(id, false)
 		return false, err
 	}
 	if !childUnder {
-		return false, t.pool.Unpin(id, false)
+		return false, t.unpin(id, false)
 	}
 	if err := t.rebalanceChild(data, ci, height-1); err != nil {
-		t.pool.Unpin(id, true)
+		t.unpin(id, true)
 		return false, err
 	}
 	m := intCount(data)
-	return m < t.intMin(), t.pool.Unpin(id, true)
+	return m < t.intMin(), t.unpin(id, true)
 }
 
 // rebalanceChild restores minimum occupancy of the child at index ci of the
@@ -107,13 +109,13 @@ func (t *Tree) rebalanceChild(data []byte, ci int, childHeight int) error {
 func (t *Tree) rebalancePair(parent []byte, li int, childHeight int) error {
 	leftID := intChild(parent, li)
 	rightID := intChild(parent, li+1)
-	left, err := t.pool.Fetch(leftID)
+	left, err := t.fetch(leftID)
 	if err != nil {
 		return err
 	}
-	right, err := t.pool.Fetch(rightID)
+	right, err := t.fetch(rightID)
 	if err != nil {
-		t.pool.Unpin(leftID, false)
+		t.unpin(leftID, false)
 		return err
 	}
 
@@ -138,25 +140,25 @@ func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, le
 		next := leafNext(right)
 		setLeafNext(left, next)
 		if next != pagefile.InvalidPage {
-			nd, err := t.pool.Fetch(next)
+			nd, err := t.fetch(next)
 			if err != nil {
-				t.pool.Unpin(leftID, true)
-				t.pool.Unpin(rightID, false)
+				t.unpin(leftID, true)
+				t.unpin(rightID, false)
 				return err
 			}
 			setLeafPrev(nd, leftID)
-			if err := t.pool.Unpin(next, true); err != nil {
-				t.pool.Unpin(leftID, true)
-				t.pool.Unpin(rightID, false)
+			if err := t.unpin(next, true); err != nil {
+				t.unpin(leftID, true)
+				t.unpin(rightID, false)
 				return err
 			}
 		}
 		removeIntEntry(parent, li, intCount(parent))
-		if err := t.pool.Unpin(leftID, true); err != nil {
-			t.pool.Unpin(rightID, false)
+		if err := t.unpin(leftID, true); err != nil {
+			t.unpin(rightID, false)
 			return err
 		}
-		return t.pool.Discard(rightID)
+		return t.discard(rightID)
 
 	case ln < min:
 		// Borrow the first entry of right.
@@ -172,11 +174,11 @@ func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, le
 		insertLeafEntry(right, 0, rn, e)
 		setIntKey(parent, li, e.Start)
 	}
-	if err := t.pool.Unpin(leftID, true); err != nil {
-		t.pool.Unpin(rightID, true)
+	if err := t.unpin(leftID, true); err != nil {
+		t.unpin(rightID, true)
 		return err
 	}
-	return t.pool.Unpin(rightID, true)
+	return t.unpin(rightID, true)
 }
 
 // rebalanceInternals redistributes or merges two sibling internal nodes
@@ -196,11 +198,11 @@ func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID,
 		}
 		setIntCount(left, lm+rm+1)
 		removeIntEntry(parent, li, intCount(parent))
-		if err := t.pool.Unpin(leftID, true); err != nil {
-			t.pool.Unpin(rightID, false)
+		if err := t.unpin(leftID, true); err != nil {
+			t.unpin(rightID, false)
 			return err
 		}
-		return t.pool.Discard(rightID)
+		return t.discard(rightID)
 
 	case lm < min:
 		// Rotate left: sep moves down to left, right's first key moves up.
@@ -222,11 +224,11 @@ func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID,
 		setIntChild(right, 0, intChild(left, lm))
 		setIntCount(left, lm-1)
 	}
-	if err := t.pool.Unpin(leftID, true); err != nil {
-		t.pool.Unpin(rightID, true)
+	if err := t.unpin(leftID, true); err != nil {
+		t.unpin(rightID, true)
 		return err
 	}
-	return t.pool.Unpin(rightID, true)
+	return t.unpin(rightID, true)
 }
 
 // removeLeafEntry deletes entry pos from a leaf with n entries.

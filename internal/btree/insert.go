@@ -10,20 +10,22 @@ import (
 // Insert adds e to the tree. The start position must be unique within the
 // indexed set (region starts of distinct elements are distinct by
 // construction); inserting a duplicate start returns ErrDuplicate.
-func (t *Tree) Insert(e xmldoc.Element) error {
+func (t *Tree) Insert(e xmldoc.Element) (err error) {
 	if e.DocID != t.docID {
 		return fmt.Errorf("btree: insert of DocID %d into tree for DocID %d", e.DocID, t.docID)
 	}
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	defer t.debugPinBalance()()
+	commit := t.beginTx()
+	defer commit(&err)
 	promoKey, promoChild, err := t.insertInto(t.root, t.h, e)
 	if err != nil {
 		return err
 	}
 	if promoChild != pagefile.InvalidPage {
 		// Root split: grow the tree.
-		newRootID, data, err := t.pool.FetchNew()
+		newRootID, data, err := t.fetchNew()
 		if err != nil {
 			return err
 		}
@@ -32,7 +34,7 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 		setIntChild(data, 0, t.root)
 		setIntKey(data, 0, promoKey)
 		setIntChild(data, 1, promoChild)
-		if err := t.pool.Unpin(newRootID, true); err != nil {
+		if err := t.unpin(newRootID, true); err != nil {
 			return err
 		}
 		t.root = newRootID
@@ -45,13 +47,13 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 // insertInto inserts e under page id at the given height (1 = leaf).
 // On split it returns the separator key and the new right sibling.
 func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element) (uint32, pagefile.PageID, error) {
-	data, err := t.pool.Fetch(id)
+	data, err := t.fetch(id)
 	if err != nil {
 		return 0, pagefile.InvalidPage, err
 	}
 	if height == 1 {
 		if !isLeaf(data) {
-			t.pool.Unpin(id, false)
+			t.unpin(id, false)
 			return 0, pagefile.InvalidPage, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
 		}
 		return t.insertLeaf(id, data, e)
@@ -64,11 +66,11 @@ func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element) (uin
 	// the pin across recursion (pool capacity must exceed tree height).
 	promoKey, promoChild, err := t.insertInto(child, height-1, e)
 	if err != nil {
-		t.pool.Unpin(id, false)
+		t.unpin(id, false)
 		return 0, pagefile.InvalidPage, err
 	}
 	if promoChild == pagefile.InvalidPage {
-		return 0, pagefile.InvalidPage, t.pool.Unpin(id, false)
+		return 0, pagefile.InvalidPage, t.unpin(id, false)
 	}
 	return t.insertInternalEntry(id, data, ci, promoKey, promoChild)
 }
@@ -80,18 +82,18 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element) (ui
 	n := leafCount(data)
 	pos := leafSearch(data, e.Start)
 	if pos < n && leafKey(data, pos) == e.Start {
-		t.pool.Unpin(id, false)
+		t.unpin(id, false)
 		return 0, pagefile.InvalidPage, fmt.Errorf("%w: start %d", ErrDuplicate, e.Start)
 	}
 	if n < t.leafCap {
 		insertLeafEntry(data, pos, n, e)
-		return 0, pagefile.InvalidPage, t.pool.Unpin(id, true)
+		return 0, pagefile.InvalidPage, t.unpin(id, true)
 	}
 
 	// Split: move the upper half to a new right sibling.
-	newID, newData, err := t.pool.FetchNew()
+	newID, newData, err := t.fetchNew()
 	if err != nil {
-		t.pool.Unpin(id, false)
+		t.unpin(id, false)
 		return 0, pagefile.InvalidPage, err
 	}
 	initLeaf(newData)
@@ -107,14 +109,14 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element) (ui
 	setLeafPrev(newData, id)
 	setLeafNext(data, newID)
 	if oldNext != pagefile.InvalidPage {
-		nd, err := t.pool.Fetch(oldNext)
+		nd, err := t.fetch(oldNext)
 		if err == nil {
 			setLeafPrev(nd, newID)
-			err = t.pool.Unpin(oldNext, true)
+			err = t.unpin(oldNext, true)
 		}
 		if err != nil {
-			t.pool.Unpin(newID, true)
-			t.pool.Unpin(id, true)
+			t.unpin(newID, true)
+			t.unpin(id, true)
 			return 0, pagefile.InvalidPage, err
 		}
 	}
@@ -127,10 +129,10 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element) (ui
 		npos := leafSearch(newData, e.Start)
 		insertLeafEntry(newData, npos, moved, e)
 	}
-	if err := t.pool.Unpin(newID, true); err != nil {
+	if err := t.unpin(newID, true); err != nil {
 		return 0, pagefile.InvalidPage, err
 	}
-	if err := t.pool.Unpin(id, true); err != nil {
+	if err := t.unpin(id, true); err != nil {
 		return 0, pagefile.InvalidPage, err
 	}
 	return sep, newID, nil
@@ -152,7 +154,7 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, key 
 	m := intCount(data)
 	if m < t.intCap {
 		insertIntEntry(data, ci, m, key, child)
-		return 0, pagefile.InvalidPage, t.pool.Unpin(id, true)
+		return 0, pagefile.InvalidPage, t.unpin(id, true)
 	}
 
 	// Split the internal node. Gather the m+1 entries logically, find the
@@ -172,9 +174,9 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, key 
 	mid := total / 2 // keys[mid] is promoted
 	promoted := keys[mid]
 
-	newID, newData, err := t.pool.FetchNew()
+	newID, newData, err := t.fetchNew()
 	if err != nil {
-		t.pool.Unpin(id, false)
+		t.unpin(id, false)
 		return 0, pagefile.InvalidPage, err
 	}
 	initInternal(newData)
@@ -195,10 +197,10 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, key 
 		setIntChild(newData, i+1, childs[mid+2+i])
 	}
 
-	if err := t.pool.Unpin(newID, true); err != nil {
+	if err := t.unpin(newID, true); err != nil {
 		return 0, pagefile.InvalidPage, err
 	}
-	if err := t.pool.Unpin(id, true); err != nil {
+	if err := t.unpin(id, true); err != nil {
 		return 0, pagefile.InvalidPage, err
 	}
 	return promoted, newID, nil
@@ -223,6 +225,9 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	defer t.debugPinBalance()()
+	// Unlogged bulk construction; durability comes from the store's save.
+	t.pool.BeginUnlogged()
+	defer t.pool.EndUnlogged()
 	if t.count != 0 {
 		return fmt.Errorf("btree: BulkLoad into non-empty tree (%d elements)", t.count)
 	}
@@ -260,9 +265,9 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		var err error
 		if off == 0 {
 			id = t.root
-			data, err = t.pool.Fetch(id)
+			data, err = t.fetch(id)
 		} else {
-			id, data, err = t.pool.FetchNew()
+			id, data, err = t.fetchNew()
 		}
 		if err != nil {
 			return err
@@ -275,14 +280,14 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		if prevData != nil {
 			setLeafNext(prevData, id)
 			setLeafPrev(data, prevID)
-			if err := t.pool.Unpin(prevID, true); err != nil {
+			if err := t.unpin(prevID, true); err != nil {
 				return err
 			}
 		}
 		level = append(level, levelEntry{firstKey: es[off].Start, id: id})
 		prevID, prevData = id, data
 	}
-	if err := t.pool.Unpin(prevID, true); err != nil {
+	if err := t.unpin(prevID, true); err != nil {
 		return err
 	}
 
@@ -304,7 +309,7 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 			if rem := len(level) - off - n; rem == 1 {
 				n--
 			}
-			id, data, err := t.pool.FetchNew()
+			id, data, err := t.fetchNew()
 			if err != nil {
 				return err
 			}
@@ -315,7 +320,7 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 				setIntChild(data, i, level[off+i].id)
 			}
 			setIntCount(data, n-1)
-			if err := t.pool.Unpin(id, true); err != nil {
+			if err := t.unpin(id, true); err != nil {
 				return err
 			}
 			next = append(next, levelEntry{firstKey: level[off].firstKey, id: id})

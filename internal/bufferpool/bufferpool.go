@@ -56,6 +56,7 @@ import (
 	"xrtree/internal/metrics"
 	"xrtree/internal/obs"
 	"xrtree/internal/pagefile"
+	"xrtree/internal/wal"
 )
 
 // DefaultFrames is the default pool capacity in frames, matching §6.1.
@@ -107,6 +108,15 @@ type frame struct {
 	// just ahead of the consuming scan, and it makes the first demand hit
 	// count as a first touch rather than a promoting re-reference.
 	ra bool
+	// held marks a frame touched by an in-flight WAL transaction (no-steal
+	// policy, see wal.go in this package): set at fetch time, cleared at
+	// commit. A held frame is never on a replacement list — it stays
+	// offList when its pins drop to zero — and flushLocked skips it, so it
+	// cannot reach the page file before its redo records are durable.
+	held bool
+	// lsn is the commit LSN of the frame's newest logged image; write-back
+	// waits for the log to be durable past it (the WAL-before-page rule).
+	lsn uint64
 	// sum is the resting-page checksum oracle (debug builds only; see
 	// debug.go). hasSum marks it valid.
 	sum    uint64
@@ -210,6 +220,15 @@ type Pool struct {
 
 	// pf is the asynchronous readahead machinery; nil when disabled.
 	pf *prefetcher
+
+	// wal, when set, is the write-ahead log beneath the pool: mutations run
+	// as transactions (Begin/CommitTx) whose touched frames are held back
+	// from write-back until their images are durably logged. ckptBytes is
+	// the fuzzy-checkpoint trigger; ckptGate serializes checkpoints and
+	// excludes them from unlogged bulk builds (see wal.go).
+	wal       atomic.Pointer[wal.Log]
+	ckptBytes int64
+	ckptGate  sync.RWMutex
 
 	// stats are the pool's always-on counters, atomic so Stats snapshots
 	// never race with concurrent fetches.
@@ -610,7 +629,7 @@ func (p *Pool) FetchCopyTraced(id pagefile.PageID, dst []byte, tr obs.Tracer) er
 		return err
 	}
 	copy(dst, f.data)
-	if f.pins == 0 && f.where == offList {
+	if f.pins == 0 && f.where == offList && !f.held {
 		// Freshly admitted by this call: make it a replacement candidate.
 		s.releaseLocked(f)
 	}
@@ -711,7 +730,10 @@ func (p *Pool) Unpin(id pagefile.PageID, dirty bool) error {
 	p.debugPinned(-1)
 	if f.pins == 0 {
 		f.restSum()
-		s.releaseLocked(f)
+		// Held frames stay offList until their transaction commits.
+		if !f.held {
+			s.releaseLocked(f)
+		}
 	}
 	return nil
 }
@@ -737,7 +759,9 @@ func (p *Pool) Discard(id pagefile.PageID) error {
 }
 
 // FlushAll writes every dirty frame back to the file. Pinned frames are
-// flushed too (they stay pinned and in the pool).
+// flushed too (they stay pinned and in the pool); frames held by an
+// in-flight WAL transaction are skipped — their write-back happens after
+// their commit makes the redo records durable.
 func (p *Pool) FlushAll() error {
 	for _, s := range p.shards {
 		s.mu.Lock()
@@ -876,8 +900,17 @@ func (p *Pool) admitLocked(s *shard, id pagefile.PageID) (*frame, error) {
 
 func (p *Pool) flushLocked(f *frame) error {
 	f.verifySum()
-	if !f.dirty {
+	if !f.dirty || f.held {
 		return nil
+	}
+	// WAL-before-page: the log must be durable past the frame's newest
+	// logged image before that image reaches the page file.
+	if f.lsn > 0 {
+		if l := p.wal.Load(); l != nil {
+			if err := l.FlushTo(f.lsn); err != nil {
+				return err
+			}
+		}
 	}
 	if err := p.file.WritePage(f.id, f.data); err != nil {
 		return err

@@ -19,6 +19,11 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	defer t.debugPinBalance()()
+	// Bulk construction is unlogged: its durability point is the store's
+	// explicit save. The bracket keeps fuzzy WAL checkpoints from reading
+	// half-built frames.
+	t.pool.BeginUnlogged()
+	defer t.pool.EndUnlogged()
 	if t.count != 0 {
 		return fmt.Errorf("xrtree: BulkLoad into non-empty tree (%d elements)", t.count)
 	}
@@ -61,9 +66,9 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		var err error
 		if off == 0 {
 			id = t.root
-			data, err = t.pool.Fetch(id)
+			data, err = t.fetch(id)
 		} else {
-			id, data, err = t.pool.FetchNew()
+			id, data, err = t.fetchNew()
 		}
 		if err != nil {
 			return err
@@ -78,7 +83,7 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 			sep = t.chooseSep(prevLast, es[off].Start)
 			setLeafNext(prevData, id)
 			setLeafPrev(data, prevID)
-			if err := t.pool.Unpin(prevID, true); err != nil {
+			if err := t.unpin(prevID, true); err != nil {
 				return err
 			}
 		}
@@ -86,7 +91,7 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		prevID, prevData = id, data
 		prevLast = es[off+n-1].Start
 	}
-	if err := t.pool.Unpin(prevID, true); err != nil {
+	if err := t.unpin(prevID, true); err != nil {
 		return err
 	}
 
@@ -106,7 +111,7 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 			if rem := len(level) - off - n; rem == 1 {
 				n--
 			}
-			id, data, err := t.pool.FetchNew()
+			id, data, err := t.fetchNew()
 			if err != nil {
 				return err
 			}
@@ -120,7 +125,7 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 				})
 			}
 			setIntCount(data, n-1)
-			if err := t.pool.Unpin(id, true); err != nil {
+			if err := t.unpin(id, true); err != nil {
 				return err
 			}
 			next = append(next, levelEntry{sep: level[off].sep, id: id})
@@ -153,21 +158,21 @@ func (t *Tree) homeElement(e xmldoc.Element) error {
 	id := t.root
 	homed := false
 	for level := t.h; level > 1; level-- {
-		data, err := t.pool.Fetch(id)
+		data, err := t.fetch(id)
 		if err != nil {
 			return err
 		}
 		dirty := false
 		if !homed && primaryKeyIndex(data, e.Start, e.End) >= 0 {
 			if err := t.stabInsertElement(data, e); err != nil {
-				t.pool.Unpin(id, true)
+				t.unpin(id, true)
 				return err
 			}
 			homed = true
 			dirty = true
 		}
 		child := intChild(data, intSearch(data, e.Start))
-		if err := t.pool.Unpin(id, dirty); err != nil {
+		if err := t.unpin(id, dirty); err != nil {
 			return err
 		}
 		id = child
@@ -175,16 +180,16 @@ func (t *Tree) homeElement(e xmldoc.Element) error {
 	if !homed {
 		return nil
 	}
-	data, err := t.pool.Fetch(id)
+	data, err := t.fetch(id)
 	if err != nil {
 		return err
 	}
 	pos := leafSearch(data, e.Start)
 	if pos >= leafCount(data) || leafKey(data, pos) != e.Start {
-		t.pool.Unpin(id, false)
+		t.unpin(id, false)
 		return fmt.Errorf("%w: bulk-loaded element %v missing from leaf", ErrCorrupt, e)
 	}
 	_, fl := leafElem(data, pos)
 	setLeafFlags(data, pos, fl|xmldoc.FlagInStabList)
-	return t.pool.Unpin(id, true)
+	return t.unpin(id, true)
 }

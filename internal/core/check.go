@@ -82,11 +82,11 @@ type stabHome struct {
 // It returns the subtree's smallest and largest leaf keys.
 func (ck *checker) walk(id pagefile.PageID, height int, lo, hi uint32, ancKeys []uint32) (minKey, maxKey uint32, empty bool, err error) {
 	t := ck.t
-	data, err := t.pool.Fetch(id)
+	data, err := t.fetch(id)
 	if err != nil {
 		return 0, 0, true, err
 	}
-	defer t.pool.Unpin(id, false)
+	defer t.unpin(id, false)
 
 	if height == 1 {
 		if !isLeaf(data) {
@@ -97,12 +97,12 @@ func (ck *checker) walk(id pagefile.PageID, height int, lo, hi uint32, ancKeys [
 			return 0, 0, true, fmt.Errorf("xrtree: leaf %d prev = %d, want %d", id, leafPrev(data), ck.prevLeaf)
 		}
 		if ck.prevLeaf != pagefile.InvalidPage {
-			pd, err := t.pool.Fetch(ck.prevLeaf)
+			pd, err := t.fetch(ck.prevLeaf)
 			if err != nil {
 				return 0, 0, true, err
 			}
 			nx := leafNext(pd)
-			t.pool.Unpin(ck.prevLeaf, false)
+			t.unpin(ck.prevLeaf, false)
 			if nx != id {
 				return 0, 0, true, fmt.Errorf("xrtree: leaf %d next = %d, want %d", ck.prevLeaf, nx, id)
 			}
@@ -215,18 +215,18 @@ func (ck *checker) checkStabList(id pagefile.PageID, node []byte, keys []uint32,
 		}
 		ck.stabPages++
 		if stabPrev(data) != prevPage {
-			t.pool.Unpin(p, false)
+			t.unpin(p, false)
 			return fmt.Errorf("xrtree: stab page %d prev = %d, want %d", p, stabPrev(data), prevPage)
 		}
 		n := stabCount(data)
 		if n == 0 {
-			t.pool.Unpin(p, false)
+			t.unpin(p, false)
 			return fmt.Errorf("xrtree: stab page %d of node %d is empty", p, id)
 		}
 		for i := 0; i < n; i++ {
 			en := stabEntryAt(data, i)
 			if haveLast && !stabLess(lastKey, lastStart, en.key, en.start) {
-				t.pool.Unpin(p, false)
+				t.unpin(p, false)
 				return fmt.Errorf("xrtree: node %d stab chain unsorted: (%d,%d) then (%d,%d)",
 					id, lastKey, lastStart, en.key, en.start)
 			}
@@ -234,14 +234,14 @@ func (ck *checker) checkStabList(id pagefile.PageID, node []byte, keys []uint32,
 			// stabbing (start, end).
 			j := primaryKeyIndex(node, en.start, en.end)
 			if j < 0 || keys[j] != en.key {
-				t.pool.Unpin(p, false)
+				t.unpin(p, false)
 				return fmt.Errorf("xrtree: node %d: entry (%d,%d) keyed %d, primary key index %d",
 					id, en.start, en.end, en.key, j)
 			}
 			// No ancestor key may stab it (Definition 4.4).
 			for _, ak := range ancKeys {
 				if en.start <= ak && ak <= en.end {
-					t.pool.Unpin(p, false)
+					t.unpin(p, false)
 					return fmt.Errorf("xrtree: node %d: entry (%d,%d) also stabbed by ancestor key %d",
 						id, en.start, en.end, ak)
 				}
@@ -249,7 +249,7 @@ func (ck *checker) checkStabList(id pagefile.PageID, node []byte, keys []uint32,
 			// Strict nesting within a PSL: successive entries are nested.
 			if haveLast && en.key == lastPSLKey {
 				if en.end >= lastPSLEnd {
-					t.pool.Unpin(p, false)
+					t.unpin(p, false)
 					return fmt.Errorf("xrtree: node %d PSL(%d): (%d,%d) not nested in predecessor ending %d",
 						id, en.key, en.start, en.end, lastPSLEnd)
 				}
@@ -258,7 +258,7 @@ func (ck *checker) checkStabList(id pagefile.PageID, node []byte, keys []uint32,
 				heads[en.key] = headInfo{page: p, start: en.start, end: en.end}
 			}
 			if prev, dup := ck.stabbed[en.start]; dup {
-				t.pool.Unpin(p, false)
+				t.unpin(p, false)
 				return fmt.Errorf("xrtree: element starting %d in two stab lists (heights %d and %d)",
 					en.start, prev.height, height)
 			}
@@ -269,7 +269,7 @@ func (ck *checker) checkStabList(id pagefile.PageID, node []byte, keys []uint32,
 			ck.stabEntries++
 		}
 		next := stabNext(data)
-		t.pool.Unpin(p, false)
+		t.unpin(p, false)
 		prevPage = p
 		p = next
 	}

@@ -20,7 +20,7 @@ import (
 
 // Delete removes the element whose region starts at start. It returns
 // ErrNotFound if no such element is indexed.
-func (t *Tree) Delete(start uint32) error {
+func (t *Tree) Delete(start uint32) (err error) {
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	defer t.debugPinBalance()()
@@ -30,6 +30,8 @@ func (t *Tree) Delete(start uint32) error {
 	if err != nil {
 		return err
 	}
+	commit := t.beginTx()
+	defer commit(&err)
 	found := false
 	t.c.Emit(obs.EvIndexDescend, int64(t.h))
 	if _, err := t.deleteFrom(t.root, t.h, e, &found); err != nil {
@@ -38,28 +40,28 @@ func (t *Tree) Delete(start uint32) error {
 	t.count--
 	// D4: shrink the tree while the root is an internal node with one child.
 	for t.h > 1 {
-		data, err := t.pool.Fetch(t.root)
+		data, err := t.fetch(t.root)
 		if err != nil {
 			return err
 		}
 		if intCount(data) > 0 {
-			if err := t.pool.Unpin(t.root, false); err != nil {
+			if err := t.unpin(t.root, false); err != nil {
 				return err
 			}
 			break
 		}
 		onlyChild := intChild(data, 0)
 		if stabHead(data) != pagefile.InvalidPage {
-			t.pool.Unpin(t.root, false)
+			t.unpin(t.root, false)
 			return fmt.Errorf("%w: keyless root retains a stab list", ErrCorrupt)
 		}
-		if err := t.pool.Unpin(t.root, false); err != nil {
+		if err := t.unpin(t.root, false); err != nil {
 			return err
 		}
 		old := t.root
 		t.root = onlyChild
 		t.h--
-		if err := t.pool.File().Free(old); err != nil {
+		if err := t.free(old); err != nil {
 			return err
 		}
 	}
@@ -83,22 +85,22 @@ func (t *Tree) lookupLocked(start uint32, c *metrics.Counters) (xmldoc.Element, 
 	id := t.root
 	//xrvet:bounded root-to-leaf descent, at most t.h iterations
 	for level := t.h; level > 1; level-- {
-		data, err := t.pool.Fetch(id)
+		data, err := t.fetch(id)
 		if err != nil {
 			return xmldoc.Element{}, err
 		}
 		addNode(c)
 		child := intChild(data, intSearch(data, start))
-		if err := t.pool.Unpin(id, false); err != nil {
+		if err := t.unpin(id, false); err != nil {
 			return xmldoc.Element{}, err
 		}
 		id = child
 	}
-	data, err := t.pool.Fetch(id)
+	data, err := t.fetch(id)
 	if err != nil {
 		return xmldoc.Element{}, err
 	}
-	defer t.pool.Unpin(id, false)
+	defer t.unpin(id, false)
 	addLeaf(c)
 	pos := leafSearch(data, start)
 	if pos < leafCount(data) && leafKey(data, pos) == start {
@@ -115,7 +117,7 @@ func (t *Tree) intMin() int  { return t.intCap / 2 }
 
 // deleteFrom removes e from the subtree rooted at id, reporting underflow.
 func (t *Tree) deleteFrom(id pagefile.PageID, height int, e xmldoc.Element, foundInStab *bool) (bool, error) {
-	data, err := t.pool.Fetch(id)
+	data, err := t.fetch(id)
 	if err != nil {
 		return false, err
 	}
@@ -123,19 +125,19 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, e xmldoc.Element, foun
 		n := leafCount(data)
 		pos := leafSearch(data, e.Start)
 		if pos >= n || leafKey(data, pos) != e.Start {
-			t.pool.Unpin(id, false)
+			t.unpin(id, false)
 			return false, fmt.Errorf("%w: start %d vanished mid-delete", ErrCorrupt, e.Start)
 		}
 		removeLeafEntry(data, pos, n)
 		under := leafCount(data) < t.leafMin()
-		return under, t.pool.Unpin(id, true)
+		return under, t.unpin(id, true)
 	}
 
 	// D1: drop e from this node's stab list if it lives here.
 	if !*foundInStab {
 		found, err := t.stabDeleteElement(data, e.Start, e.End)
 		if err != nil {
-			t.pool.Unpin(id, true)
+			t.unpin(id, true)
 			return false, err
 		}
 		if found {
@@ -146,17 +148,17 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, e xmldoc.Element, foun
 	child := intChild(data, ci)
 	childUnder, err := t.deleteFrom(child, height-1, e, foundInStab)
 	if err != nil {
-		t.pool.Unpin(id, true)
+		t.unpin(id, true)
 		return false, err
 	}
 	if childUnder {
 		if err := t.rebalanceChild(data, ci, height-1); err != nil {
-			t.pool.Unpin(id, true)
+			t.unpin(id, true)
 			return false, err
 		}
 	}
 	under := intCount(data) < t.intMin()
-	return under, t.pool.Unpin(id, true)
+	return under, t.unpin(id, true)
 }
 
 // rebalanceChild restores minimum occupancy of the child at index ci of the
@@ -172,13 +174,13 @@ func (t *Tree) rebalanceChild(parent []byte, ci int, childHeight int) error {
 	}
 	leftID := intChild(parent, li)
 	rightID := intChild(parent, li+1)
-	left, err := t.pool.Fetch(leftID)
+	left, err := t.fetch(leftID)
 	if err != nil {
 		return err
 	}
-	right, err := t.pool.Fetch(rightID)
+	right, err := t.fetch(rightID)
 	if err != nil {
-		t.pool.Unpin(leftID, false)
+		t.unpin(leftID, false)
 		return err
 	}
 	if childHeight == 1 {
@@ -251,16 +253,16 @@ func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, le
 		next := leafNext(right)
 		setLeafNext(left, next)
 		if next != pagefile.InvalidPage {
-			nd, err := t.pool.Fetch(next)
+			nd, err := t.fetch(next)
 			if err != nil {
-				t.pool.Unpin(leftID, true)
-				t.pool.Unpin(rightID, false)
+				t.unpin(leftID, true)
+				t.unpin(rightID, false)
 				return err
 			}
 			setLeafPrev(nd, leftID)
-			if err := t.pool.Unpin(next, true); err != nil {
-				t.pool.Unpin(leftID, true)
-				t.pool.Unpin(rightID, false)
+			if err := t.unpin(next, true); err != nil {
+				t.unpin(leftID, true)
+				t.unpin(rightID, false)
 				return err
 			}
 		}
@@ -281,15 +283,15 @@ func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, le
 			}
 		}
 		if err != nil {
-			t.pool.Unpin(leftID, true)
-			t.pool.Unpin(rightID, false)
+			t.unpin(leftID, true)
+			t.unpin(rightID, false)
 			return err
 		}
-		if err := t.pool.Unpin(leftID, true); err != nil {
-			t.pool.Unpin(rightID, false)
+		if err := t.unpin(leftID, true); err != nil {
+			t.unpin(rightID, false)
 			return err
 		}
-		return t.pool.Discard(rightID)
+		return t.discard(rightID)
 	}
 
 	// D22: redistribute one entry and replace the separator.
@@ -308,15 +310,15 @@ func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, le
 	newSep := t.chooseSep(leafKey(left, leafCount(left)-1), leafKey(right, 0))
 	err := t.replaceLeafSeparator(parent, li, newSep, left, right)
 	if err != nil {
-		t.pool.Unpin(leftID, true)
-		t.pool.Unpin(rightID, true)
+		t.unpin(leftID, true)
+		t.unpin(rightID, true)
 		return err
 	}
-	if err := t.pool.Unpin(leftID, true); err != nil {
-		t.pool.Unpin(rightID, true)
+	if err := t.unpin(leftID, true); err != nil {
+		t.unpin(rightID, true)
 		return err
 	}
-	return t.pool.Unpin(rightID, true)
+	return t.unpin(rightID, true)
 }
 
 // replaceLeafSeparator changes parent key li to newSep between two pinned
@@ -361,13 +363,13 @@ func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID,
 		// the merged node and the two stab chains are concatenated.
 		extP, err := t.extractPSL(parent, li)
 		if err != nil {
-			t.pool.Unpin(leftID, true)
-			t.pool.Unpin(rightID, true)
+			t.unpin(leftID, true)
+			t.unpin(rightID, true)
 			return err
 		}
 		if err := t.mergeStabChains(left, right); err != nil {
-			t.pool.Unpin(leftID, true)
-			t.pool.Unpin(rightID, true)
+			t.unpin(leftID, true)
+			t.unpin(rightID, true)
 			return err
 		}
 		writeIntEntry(left, lm, intEntryMem{key: sep, child: intChild(right, 0), psl: pagefile.InvalidPage})
@@ -376,8 +378,8 @@ func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID,
 		}
 		setIntCount(left, lm+rm+1)
 		if err := t.rekeyStabbedPrefix(left, lm); err != nil {
-			t.pool.Unpin(leftID, true)
-			t.pool.Unpin(rightID, true)
+			t.unpin(leftID, true)
+			t.unpin(rightID, true)
 			return err
 		}
 		removeIntEntry(parent, li, intCount(parent))
@@ -394,15 +396,15 @@ func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID,
 			}
 		}
 		if err != nil {
-			t.pool.Unpin(leftID, true)
-			t.pool.Unpin(rightID, true)
+			t.unpin(leftID, true)
+			t.unpin(rightID, true)
 			return err
 		}
-		if err := t.pool.Unpin(leftID, true); err != nil {
-			t.pool.Unpin(rightID, false)
+		if err := t.unpin(leftID, true); err != nil {
+			t.unpin(rightID, false)
 			return err
 		}
-		return t.pool.Discard(rightID)
+		return t.discard(rightID)
 	}
 
 	// D32: rotate one key through the parent.
@@ -414,15 +416,15 @@ func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID,
 		err = t.rotateRight(parent, li, left, right)
 	}
 	if err != nil {
-		t.pool.Unpin(leftID, true)
-		t.pool.Unpin(rightID, true)
+		t.unpin(leftID, true)
+		t.unpin(rightID, true)
 		return err
 	}
-	if err := t.pool.Unpin(leftID, true); err != nil {
-		t.pool.Unpin(rightID, true)
+	if err := t.unpin(leftID, true); err != nil {
+		t.unpin(rightID, true)
 		return err
 	}
-	return t.pool.Unpin(rightID, true)
+	return t.unpin(rightID, true)
 }
 
 // rotateLeft moves the right sibling's first key up to the parent and the

@@ -53,7 +53,7 @@ func writeIntEntry(data []byte, i int, e intEntryMem) {
 }
 
 // Insert adds e to the tree, maintaining every stab-list invariant.
-func (t *Tree) Insert(e xmldoc.Element) error {
+func (t *Tree) Insert(e xmldoc.Element) (err error) {
 	if e.DocID != t.docID {
 		return fmt.Errorf("xrtree: insert of DocID %d into tree for DocID %d", e.DocID, t.docID)
 	}
@@ -63,6 +63,8 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	defer t.debugPinBalance()()
+	commit := t.beginTx()
+	defer commit(&err)
 	t.c.Emit(obs.EvIndexDescend, int64(t.h))
 	res, err := t.insertInto(t.root, t.h, e, false)
 	if err != nil {
@@ -70,7 +72,7 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 	}
 	if res != nil {
 		// I4: grow the tree with a new root.
-		newRootID, data, err := t.pool.FetchNew()
+		newRootID, data, err := t.fetchNew()
 		if err != nil {
 			return err
 		}
@@ -80,14 +82,14 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 		writeIntEntry(data, 0, intEntryMem{key: res.key, child: res.child, psl: pagefile.InvalidPage})
 		rejects, err := t.stabReinsertAll(data, res.stabSet)
 		if err != nil {
-			t.pool.Unpin(newRootID, true)
+			t.unpin(newRootID, true)
 			return err
 		}
 		if len(rejects) > 0 {
-			t.pool.Unpin(newRootID, true)
+			t.unpin(newRootID, true)
 			return fmt.Errorf("%w: %d StabSet' elements not stabbed by new root key", ErrCorrupt, len(rejects))
 		}
-		if err := t.pool.Unpin(newRootID, true); err != nil {
+		if err := t.unpin(newRootID, true); err != nil {
 			return err
 		}
 		t.root = newRootID
@@ -103,13 +105,13 @@ func (t *Tree) Insert(e xmldoc.Element) error {
 // insertInto inserts e under page id at the given height (1 = leaf). homed
 // reports whether e already joined a stab list higher up.
 func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element, homed bool) (*splitResult, error) {
-	data, err := t.pool.Fetch(id)
+	data, err := t.fetch(id)
 	if err != nil {
 		return nil, err
 	}
 	if height == 1 {
 		if !isLeaf(data) {
-			t.pool.Unpin(id, false)
+			t.unpin(id, false)
 			return nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
 		}
 		return t.insertLeaf(id, data, e, homed)
@@ -119,7 +121,7 @@ func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element, home
 	// I1: home e in the highest stabbing node.
 	if !homed && primaryKeyIndex(data, e.Start, e.End) >= 0 {
 		if err := t.stabInsertElement(data, e); err != nil {
-			t.pool.Unpin(id, true)
+			t.unpin(id, true)
 			return nil, err
 		}
 		homed = true
@@ -129,11 +131,11 @@ func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element, home
 	child := intChild(data, ci)
 	res, err := t.insertInto(child, height-1, e, homed)
 	if err != nil {
-		t.pool.Unpin(id, dirty)
+		t.unpin(id, dirty)
 		return nil, err
 	}
 	if res == nil {
-		return nil, t.pool.Unpin(id, dirty)
+		return nil, t.unpin(id, dirty)
 	}
 	return t.insertInternalEntry(id, data, ci, res)
 }
@@ -144,7 +146,7 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element, hom
 	n := leafCount(data)
 	pos := leafSearch(data, e.Start)
 	if pos < n && leafKey(data, pos) == e.Start {
-		t.pool.Unpin(id, false)
+		t.unpin(id, false)
 		return nil, fmt.Errorf("%w: start %d", ErrDuplicate, e.Start)
 	}
 	var flags uint16
@@ -153,13 +155,13 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element, hom
 	}
 	if n < t.leafCap {
 		insertLeafEntry(data, pos, n, e, flags)
-		return nil, t.pool.Unpin(id, true)
+		return nil, t.unpin(id, true)
 	}
 
 	// I22: split the leaf.
-	newID, newData, err := t.pool.FetchNew()
+	newID, newData, err := t.fetchNew()
 	if err != nil {
-		t.pool.Unpin(id, false)
+		t.unpin(id, false)
 		return nil, err
 	}
 	initLeaf(newData)
@@ -174,14 +176,14 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element, hom
 	setLeafPrev(newData, id)
 	setLeafNext(data, newID)
 	if oldNext != pagefile.InvalidPage {
-		nd, err := t.pool.Fetch(oldNext)
+		nd, err := t.fetch(oldNext)
 		if err == nil {
 			setLeafPrev(nd, newID)
-			err = t.pool.Unpin(oldNext, true)
+			err = t.unpin(oldNext, true)
 		}
 		if err != nil {
-			t.pool.Unpin(newID, true)
-			t.pool.Unpin(id, true)
+			t.unpin(newID, true)
+			t.unpin(id, true)
 			return nil, err
 		}
 	}
@@ -224,11 +226,11 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element, hom
 	collect(data)
 	collect(newData)
 
-	if err := t.pool.Unpin(newID, true); err != nil {
-		t.pool.Unpin(id, true)
+	if err := t.unpin(newID, true); err != nil {
+		t.unpin(id, true)
 		return nil, err
 	}
-	if err := t.pool.Unpin(id, true); err != nil {
+	if err := t.unpin(id, true); err != nil {
 		return nil, err
 	}
 	return &splitResult{key: sep, child: newID, stabSet: stabSet}, nil
@@ -244,19 +246,19 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res 
 		// Existing stab entries now primarily stabbed by the new key move
 		// into its PSL (the successor PSL's stabbed prefix).
 		if err := t.rekeyStabbedPrefix(data, ci); err != nil {
-			t.pool.Unpin(id, true)
+			t.unpin(id, true)
 			return nil, err
 		}
 		rejects, err := t.stabReinsertAll(data, res.stabSet)
 		if err != nil {
-			t.pool.Unpin(id, true)
+			t.unpin(id, true)
 			return nil, err
 		}
 		if len(rejects) > 0 {
-			t.pool.Unpin(id, true)
+			t.unpin(id, true)
 			return nil, fmt.Errorf("%w: %d StabSet' elements not stabbed at node %d", ErrCorrupt, len(rejects), id)
 		}
-		return nil, t.pool.Unpin(id, true)
+		return nil, t.unpin(id, true)
 	}
 
 	// Gather entries with the new one in place.
@@ -279,16 +281,16 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res 
 	if j := keyIndex(data, midKey); j >= 0 {
 		ext, err := t.extractPSL(data, j)
 		if err != nil {
-			t.pool.Unpin(id, true)
+			t.unpin(id, true)
 			return nil, err
 		}
 		outSet = append(outSet, ext...)
 	}
 
 	// Allocate the right node and lay out both halves.
-	newID, newData, err := t.pool.FetchNew()
+	newID, newData, err := t.fetchNew()
 	if err != nil {
-		t.pool.Unpin(id, true)
+		t.unpin(id, true)
 		return nil, err
 	}
 	initInternal(newData)
@@ -308,8 +310,8 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res 
 
 	// Split the stab chain between the halves (Figure 5(a)).
 	if err := t.splitStabChain(data, newData, midKey); err != nil {
-		t.pool.Unpin(newID, true)
-		t.pool.Unpin(id, true)
+		t.unpin(newID, true)
+		t.unpin(id, true)
 		return nil, err
 	}
 
@@ -325,20 +327,20 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res 
 		}
 		if ki := keyIndex(half, res.key); ki >= 0 {
 			if err := t.rekeyStabbedPrefix(half, ki); err != nil {
-				t.pool.Unpin(newID, true)
-				t.pool.Unpin(id, true)
+				t.unpin(newID, true)
+				t.unpin(id, true)
 				return nil, err
 			}
 		}
 		rejects, err := t.stabReinsertAll(half, res.stabSet)
 		if err != nil {
-			t.pool.Unpin(newID, true)
-			t.pool.Unpin(id, true)
+			t.unpin(newID, true)
+			t.unpin(id, true)
 			return nil, err
 		}
 		if len(rejects) > 0 {
-			t.pool.Unpin(newID, true)
-			t.pool.Unpin(id, true)
+			t.unpin(newID, true)
+			t.unpin(id, true)
 			return nil, fmt.Errorf("%w: %d StabSet' elements lost in split", ErrCorrupt, len(rejects))
 		}
 	}
@@ -348,18 +350,18 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res 
 	for _, half := range [][]byte{data, newData} {
 		ext, err := t.extractStabbedBy(half, midKey)
 		if err != nil {
-			t.pool.Unpin(newID, true)
-			t.pool.Unpin(id, true)
+			t.unpin(newID, true)
+			t.unpin(id, true)
 			return nil, err
 		}
 		outSet = append(outSet, ext...)
 	}
 
-	if err := t.pool.Unpin(newID, true); err != nil {
-		t.pool.Unpin(id, true)
+	if err := t.unpin(newID, true); err != nil {
+		t.unpin(id, true)
 		return nil, err
 	}
-	if err := t.pool.Unpin(id, true); err != nil {
+	if err := t.unpin(id, true); err != nil {
 		return nil, err
 	}
 	return &splitResult{key: midKey, child: newID, stabSet: outSet}, nil

@@ -50,12 +50,12 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 		addNode(c)
 		// S11: collect stabbed elements from this node's stab list.
 		if err := t.searchStabList(data, sd, minStart, c, &out); err != nil {
-			t.pool.Unpin(id, false)
+			t.unpin(id, false)
 			return nil, err
 		}
 		// S12/S13: descend by the largest key ≤ sd.
 		child := intChild(data, intSearch(data, sd))
-		if err := t.pool.Unpin(id, false); err != nil {
+		if err := t.unpin(id, false); err != nil {
 			return nil, err
 		}
 		id = child
@@ -107,7 +107,7 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 	}
 	c.Emit(obs.EvLeafScan, int64(examined))
 	c.Emit(obs.EvAncProbe, int64(len(out)-len(dst)))
-	if err := t.pool.Unpin(id, false); err != nil {
+	if err := t.unpin(id, false); err != nil {
 		return nil, err
 	}
 	// Only the appended tail needs ordering; dst's prefix is untouched.
@@ -167,17 +167,17 @@ func (t *Tree) scanPSL(node []byte, ki int, sd uint32, minStart uint32, c *metri
 		for ; i < n; i++ {
 			en := stabEntryAt(data, i)
 			if en.key != kv {
-				return t.pool.Unpin(p, false)
+				return t.unpin(p, false)
 			}
 			if !(en.start < sd && sd < en.end) {
 				// Terminal entry of the stabbed prefix: free, as in S2.
-				return t.pool.Unpin(p, false)
+				return t.unpin(p, false)
 			}
 			addScan(c, 1)
 			*out = append(*out, en.element(t.docID))
 		}
 		next := stabNext(data)
-		if err := t.pool.Unpin(p, false); err != nil {
+		if err := t.unpin(p, false); err != nil {
 			return err
 		}
 		p = next

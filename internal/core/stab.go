@@ -36,12 +36,15 @@ func (t *Tree) fetchStab(id pagefile.PageID) ([]byte, error) {
 // path (scanPSL) passes the requesting operation's tracer so stab-page
 // misses land on its span rather than the store-global tracer.
 func (t *Tree) fetchStabTraced(id pagefile.PageID, tr obs.Tracer) ([]byte, error) {
-	data, err := t.pool.FetchTraced(id, tr)
+	// Held fetch: mutations rewrite stab pages in place, and any page a
+	// transaction can dirty must be in its held set or its after-image
+	// never reaches the log. Queries run with t.tx == nil (plain fetch).
+	data, err := t.pool.FetchHeldTraced(t.tx, id, tr)
 	if err != nil {
 		return nil, err
 	}
 	if data[0] != stabType {
-		t.pool.Unpin(id, false)
+		t.unpin(id, false)
 		return nil, fmt.Errorf("%w: page %d is not a stab page", ErrCorrupt, id)
 	}
 	return data, nil
@@ -104,13 +107,13 @@ func (t *Tree) findStabInsertPos(node []byte, j int, se stabEntry) (stabLoc, err
 			for i := 0; i < n; i++ {
 				en := stabEntryAt(data, i)
 				if en.key == nk {
-					if err := t.pool.Unpin(p, false); err != nil {
+					if err := t.unpin(p, false); err != nil {
 						return stabLoc{}, err
 					}
 					return stabLoc{page: p, idx: i}, nil
 				}
 			}
-			t.pool.Unpin(p, false)
+			t.unpin(p, false)
 			return stabLoc{}, fmt.Errorf("%w: PSL head for key %d not on page %d", ErrCorrupt, nk, p)
 		}
 	}
@@ -124,7 +127,7 @@ func (t *Tree) findStabInsertPos(node []byte, j int, se stabEntry) (stabLoc, err
 		return stabLoc{}, err
 	}
 	n := stabCount(data)
-	if err := t.pool.Unpin(tail, false); err != nil {
+	if err := t.unpin(tail, false); err != nil {
 		return stabLoc{}, err
 	}
 	return stabLoc{page: tail, idx: n}, nil
@@ -144,14 +147,14 @@ func (t *Tree) scanForward(p pagefile.PageID, se stabEntry) (stabLoc, error) {
 		for i := 0; i < n; i++ {
 			en := stabEntryAt(data, i)
 			if !stabLess(en.key, en.start, se.key, se.start) {
-				if err := t.pool.Unpin(p, false); err != nil {
+				if err := t.unpin(p, false); err != nil {
 					return stabLoc{}, err
 				}
 				return stabLoc{page: p, idx: i}, nil
 			}
 		}
 		next := stabNext(data)
-		if err := t.pool.Unpin(p, false); err != nil {
+		if err := t.unpin(p, false); err != nil {
 			return stabLoc{}, err
 		}
 		if next == pagefile.InvalidPage {
@@ -167,14 +170,14 @@ func (t *Tree) scanForward(p pagefile.PageID, se stabEntry) (stabLoc, error) {
 func (t *Tree) insertAt(node []byte, loc stabLoc, se stabEntry) error {
 	if loc.page == pagefile.InvalidPage {
 		// Empty chain: allocate the first page.
-		id, data, err := t.pool.FetchNew()
+		id, data, err := t.fetchNew()
 		if err != nil {
 			return err
 		}
 		initStabPage(data)
 		putStabEntry(data, 0, se)
 		setStabCount(data, 1)
-		if err := t.pool.Unpin(id, true); err != nil {
+		if err := t.unpin(id, true); err != nil {
 			return err
 		}
 		setStabHead(node, id)
@@ -192,13 +195,13 @@ func (t *Tree) insertAt(node []byte, loc stabLoc, se stabEntry) error {
 	if n < t.stabCap {
 		insertStabEntry(data, loc.idx, n, se)
 		t.lastInsertPage = loc.page
-		return t.pool.Unpin(loc.page, true)
+		return t.unpin(loc.page, true)
 	}
 
 	// Page full: split it, keeping the first half in place.
-	newID, newData, err := t.pool.FetchNew()
+	newID, newData, err := t.fetchNew()
 	if err != nil {
-		t.pool.Unpin(loc.page, false)
+		t.unpin(loc.page, false)
 		return err
 	}
 	initStabPage(newData)
@@ -219,11 +222,11 @@ func (t *Tree) insertAt(node []byte, loc stabLoc, se stabEntry) error {
 		nd, err := t.fetchStab(oldNext)
 		if err == nil {
 			setStabPrev(nd, newID)
-			err = t.pool.Unpin(oldNext, true)
+			err = t.unpin(oldNext, true)
 		}
 		if err != nil {
-			t.pool.Unpin(newID, true)
-			t.pool.Unpin(loc.page, true)
+			t.unpin(newID, true)
+			t.unpin(loc.page, true)
 			return err
 		}
 	} else {
@@ -265,11 +268,11 @@ func (t *Tree) insertAt(node []byte, loc stabLoc, se stabEntry) error {
 		insertStabEntry(newData, loc.idx-mid, moved, se)
 		t.lastInsertPage = newID
 	}
-	if err := t.pool.Unpin(newID, true); err != nil {
-		t.pool.Unpin(loc.page, true)
+	if err := t.unpin(newID, true); err != nil {
+		t.unpin(loc.page, true)
 		return err
 	}
-	return t.pool.Unpin(loc.page, true)
+	return t.unpin(loc.page, true)
 }
 
 // popPSLHead removes and returns the head entry of PSL(j) of the pinned
@@ -293,7 +296,7 @@ func (t *Tree) popPSLHead(node []byte, j int) (stabEntry, error) {
 		}
 	}
 	if idx < 0 {
-		t.pool.Unpin(p, false)
+		t.unpin(p, false)
 		return stabEntry{}, fmt.Errorf("%w: PSL head for key %d missing on page %d", ErrCorrupt, kv, p)
 	}
 	head := stabEntryAt(data, idx)
@@ -321,19 +324,19 @@ func (t *Tree) removeAt(node []byte, p pagefile.PageID, data []byte, idx int) (s
 		if idx >= n-1 {
 			succ = stabLoc{page: stabNext(data), idx: 0}
 		}
-		return succ, t.pool.Unpin(p, true)
+		return succ, t.unpin(p, true)
 	}
 	// Page empty: unlink and free it.
 	prev, next := stabPrev(data), stabNext(data)
 	if prev != pagefile.InvalidPage {
 		pd, err := t.fetchStab(prev)
 		if err != nil {
-			t.pool.Unpin(p, true)
+			t.unpin(p, true)
 			return stabLoc{}, err
 		}
 		setStabNext(pd, next)
-		if err := t.pool.Unpin(prev, true); err != nil {
-			t.pool.Unpin(p, true)
+		if err := t.unpin(prev, true); err != nil {
+			t.unpin(p, true)
 			return stabLoc{}, err
 		}
 	} else {
@@ -342,19 +345,19 @@ func (t *Tree) removeAt(node []byte, p pagefile.PageID, data []byte, idx int) (s
 	if next != pagefile.InvalidPage {
 		nd, err := t.fetchStab(next)
 		if err != nil {
-			t.pool.Unpin(p, true)
+			t.unpin(p, true)
 			return stabLoc{}, err
 		}
 		setStabPrev(nd, prev)
-		if err := t.pool.Unpin(next, true); err != nil {
-			t.pool.Unpin(p, true)
+		if err := t.unpin(next, true); err != nil {
+			t.unpin(p, true)
 			return stabLoc{}, err
 		}
 	} else {
 		setStabTail(node, prev)
 	}
 	t.stabPages--
-	return stabLoc{page: next, idx: 0}, t.pool.Discard(p)
+	return stabLoc{page: next, idx: 0}, t.discard(p)
 }
 
 // refreshHeadFromSucc updates (ps, pe) and the head pointer of key j after
@@ -376,7 +379,7 @@ func (t *Tree) refreshHeadFromSucc(node []byte, j int, succ stabLoc) error {
 		// Successor was the first entry of the next page but that page is
 		// exhausted too — only possible when succ.idx is 0 on an empty
 		// page, which unlink prevents; treat defensively as no successor.
-		t.pool.Unpin(succ.page, false)
+		t.unpin(succ.page, false)
 		t.clearPSL(node, j)
 		return nil
 	}
@@ -387,7 +390,7 @@ func (t *Tree) refreshHeadFromSucc(node []byte, j int, succ stabLoc) error {
 	} else {
 		t.clearPSL(node, j)
 	}
-	return t.pool.Unpin(succ.page, false)
+	return t.unpin(succ.page, false)
 }
 
 func (t *Tree) clearPSL(node []byte, j int) {
@@ -419,7 +422,7 @@ func (t *Tree) stabDeleteElement(node []byte, s, e uint32) (bool, error) {
 			en := stabEntryAt(data, i)
 			if en.key > kv || (en.key == kv && en.start > s) {
 				// Passed the position: not present.
-				return false, t.pool.Unpin(p, false)
+				return false, t.unpin(p, false)
 			}
 			if en.key == kv && en.start == s {
 				wasHead := keyPS(node, j) == s
@@ -437,7 +440,7 @@ func (t *Tree) stabDeleteElement(node []byte, s, e uint32) (bool, error) {
 			}
 		}
 		advance = stabNext(data)
-		if err := t.pool.Unpin(p, false); err != nil {
+		if err := t.unpin(p, false); err != nil {
 			return false, err
 		}
 		p = advance
@@ -571,7 +574,7 @@ func (t *Tree) splitStabChain(left, right []byte, midKey uint32) error {
 		// Clean split between pages: B and everything after belong to right.
 		prev := stabPrev(bData)
 		setStabPrev(bData, pagefile.InvalidPage)
-		if err := t.pool.Unpin(bID, true); err != nil {
+		if err := t.unpin(bID, true); err != nil {
 			return err
 		}
 		if prev != pagefile.InvalidPage {
@@ -580,7 +583,7 @@ func (t *Tree) splitStabChain(left, right []byte, midKey uint32) error {
 				return err
 			}
 			setStabNext(pd, pagefile.InvalidPage)
-			if err := t.pool.Unpin(prev, true); err != nil {
+			if err := t.unpin(prev, true); err != nil {
 				return err
 			}
 			setStabTail(left, prev)
@@ -599,7 +602,7 @@ func (t *Tree) splitStabChain(left, right []byte, midKey uint32) error {
 		// a later page — cannot happen for a head pointer, but guard.)
 		next := stabNext(bData)
 		setStabNext(bData, pagefile.InvalidPage)
-		if err := t.pool.Unpin(bID, true); err != nil {
+		if err := t.unpin(bID, true); err != nil {
 			return err
 		}
 		if next == pagefile.InvalidPage {
@@ -610,7 +613,7 @@ func (t *Tree) splitStabChain(left, right []byte, midKey uint32) error {
 			return err
 		}
 		setStabPrev(nd, pagefile.InvalidPage)
-		if err := t.pool.Unpin(next, true); err != nil {
+		if err := t.unpin(next, true); err != nil {
 			return err
 		}
 		setStabTail(left, bID)
@@ -622,9 +625,9 @@ func (t *Tree) splitStabChain(left, right []byte, midKey uint32) error {
 	// Mixed page: move the suffix B[idx:] to a fresh page that becomes the
 	// right chain's head. Only the page holding the split point is touched,
 	// as §4.1 observes (Figure 5(a)).
-	qID, qData, err := t.pool.FetchNew()
+	qID, qData, err := t.fetchNew()
 	if err != nil {
-		t.pool.Unpin(bID, false)
+		t.unpin(bID, false)
 		return err
 	}
 	initStabPage(qData)
@@ -642,22 +645,22 @@ func (t *Tree) splitStabChain(left, right []byte, midKey uint32) error {
 	if oldNext != pagefile.InvalidPage {
 		nd, err := t.fetchStab(oldNext)
 		if err != nil {
-			t.pool.Unpin(qID, true)
-			t.pool.Unpin(bID, true)
+			t.unpin(qID, true)
+			t.unpin(bID, true)
 			return err
 		}
 		setStabPrev(nd, qID)
-		if err := t.pool.Unpin(oldNext, true); err != nil {
-			t.pool.Unpin(qID, true)
-			t.pool.Unpin(bID, true)
+		if err := t.unpin(oldNext, true); err != nil {
+			t.unpin(qID, true)
+			t.unpin(bID, true)
 			return err
 		}
 	}
-	if err := t.pool.Unpin(qID, true); err != nil {
-		t.pool.Unpin(bID, true)
+	if err := t.unpin(qID, true); err != nil {
+		t.unpin(bID, true)
 		return err
 	}
-	if err := t.pool.Unpin(bID, true); err != nil {
+	if err := t.unpin(bID, true); err != nil {
 		return err
 	}
 
@@ -697,7 +700,7 @@ func (t *Tree) mergeStabChains(left, right []byte) error {
 		return err
 	}
 	setStabNext(td, rHead)
-	if err := t.pool.Unpin(lTail, true); err != nil {
+	if err := t.unpin(lTail, true); err != nil {
 		return err
 	}
 	hd, err := t.fetchStab(rHead)
@@ -705,7 +708,7 @@ func (t *Tree) mergeStabChains(left, right []byte) error {
 		return err
 	}
 	setStabPrev(hd, lTail)
-	if err := t.pool.Unpin(rHead, true); err != nil {
+	if err := t.unpin(rHead, true); err != nil {
 		return err
 	}
 	setStabTail(left, stabTail(right))
@@ -727,7 +730,7 @@ func (t *Tree) stabEntriesAll(node []byte) ([]stabEntry, error) {
 			out = append(out, stabEntryAt(data, i))
 		}
 		next := stabNext(data)
-		if err := t.pool.Unpin(p, false); err != nil {
+		if err := t.unpin(p, false); err != nil {
 			return nil, err
 		}
 		p = next

@@ -40,13 +40,13 @@ func (t *Tree) Space() (SpaceStats, error) {
 }
 
 func (t *Tree) spaceWalk(id pagefile.PageID, height int, st *SpaceStats) error {
-	data, err := t.pool.Fetch(id)
+	data, err := t.fetch(id)
 	if err != nil {
 		return err
 	}
 	if height == 1 {
 		st.LeafPages++
-		return t.pool.Unpin(id, false)
+		return t.unpin(id, false)
 	}
 	st.InternalNodes++
 	pages := 0
@@ -54,14 +54,14 @@ func (t *Tree) spaceWalk(id pagefile.PageID, height int, st *SpaceStats) error {
 	for p != pagefile.InvalidPage {
 		sd, err := t.fetchStab(p)
 		if err != nil {
-			t.pool.Unpin(id, false)
+			t.unpin(id, false)
 			return err
 		}
 		pages++
 		st.StabEntries += stabCount(sd)
 		next := stabNext(sd)
-		if err := t.pool.Unpin(p, false); err != nil {
-			t.pool.Unpin(id, false)
+		if err := t.unpin(p, false); err != nil {
+			t.unpin(id, false)
 			return err
 		}
 		p = next
@@ -76,7 +76,7 @@ func (t *Tree) spaceWalk(id pagefile.PageID, height int, st *SpaceStats) error {
 	for i := 0; i <= m; i++ {
 		children = append(children, intChild(data, i))
 	}
-	if err := t.pool.Unpin(id, false); err != nil {
+	if err := t.unpin(id, false); err != nil {
 		return err
 	}
 	for _, c := range children {

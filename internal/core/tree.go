@@ -148,7 +148,52 @@ type Tree struct {
 	// check (see debug.go). Guarded by the write latch.
 	debugOps int
 
+	// tx is the WAL transaction of the mutation in flight, nil outside one
+	// (and always nil when the pool has no log attached). Guarded by the
+	// write latch: only Insert/Delete set it, and the page-access wrappers
+	// below read it.
+	tx *bufferpool.Tx
+
 	c *metrics.Counters
+}
+
+// The fetch/unpin wrappers route every page access through the in-flight
+// WAL transaction when one exists; outside a transaction (queries, bulk
+// load, stores without a log) they are the plain pool calls.
+
+func (t *Tree) fetch(id pagefile.PageID) ([]byte, error) {
+	return t.pool.FetchHeld(t.tx, id)
+}
+
+func (t *Tree) fetchNew() (pagefile.PageID, []byte, error) {
+	return t.pool.FetchNewHeld(t.tx)
+}
+
+func (t *Tree) unpin(id pagefile.PageID, dirty bool) error {
+	return t.pool.UnpinTx(t.tx, id, dirty)
+}
+
+func (t *Tree) discard(id pagefile.PageID) error {
+	return t.pool.DiscardTx(t.tx, id)
+}
+
+func (t *Tree) free(id pagefile.PageID) error {
+	return t.pool.FreeTx(t.tx, id)
+}
+
+// beginTx starts a WAL transaction for one mutation and returns its
+// commit function, to be deferred with the mutation's named error: commit
+// runs before the write latch is released, and a commit failure surfaces
+// unless the mutation already failed. No-ops when the pool has no log.
+func (t *Tree) beginTx() func(*error) {
+	t.tx = t.pool.Begin()
+	return func(errp *error) {
+		tx := t.tx
+		t.tx = nil
+		if cerr := t.pool.CommitTx(tx); cerr != nil && *errp == nil {
+			*errp = cerr
+		}
+	}
 }
 
 // New creates an empty XR-tree whose pages come from pool's file.
@@ -221,12 +266,12 @@ func (t *Tree) writeMeta(data []byte) {
 }
 
 func (t *Tree) syncMeta() error {
-	data, err := t.pool.Fetch(t.meta)
+	data, err := t.fetch(t.meta)
 	if err != nil {
 		return err
 	}
 	t.writeMeta(data)
-	return t.pool.Unpin(t.meta, true)
+	return t.unpin(t.meta, true)
 }
 
 // Meta returns the meta page id, the handle needed by Open.

@@ -66,6 +66,10 @@ func Build(pool *bufferpool.Pool, es []xmldoc.Element) (*List, error) {
 		}
 	}
 
+	// Unlogged bulk construction; durability comes from the store's save.
+	pool.BeginUnlogged()
+	defer pool.EndUnlogged()
+
 	l := &List{pool: pool, numElem: len(es), docID: docID, perPage: perPage}
 	var prevID pagefile.PageID
 	var prevData []byte

@@ -50,6 +50,11 @@ var (
 	ErrBadPageSize    = errors.New("pagefile: invalid page size")
 	ErrClosed         = errors.New("pagefile: file is closed")
 	ErrBadHeader      = errors.New("pagefile: bad or corrupt file header")
+	// ErrTornTail means the file is shorter than its header's page count —
+	// a crash landed between the header write and the extending page write.
+	// Open refuses such files; OpenRepair re-extends them so WAL redo can
+	// rewrite whatever the tail was supposed to hold.
+	ErrTornTail = errors.New("pagefile: file shorter than header page count (torn tail)")
 )
 
 // backend abstracts the byte store so File can run over an OS file or RAM.
@@ -183,8 +188,24 @@ func Create(path string, opts Options) (*File, error) {
 	return pf, nil
 }
 
-// Open opens an existing paged file created by Create.
+// Open opens an existing paged file created by Create. A file whose byte
+// length is shorter than its header's page count fails with ErrTornTail;
+// callers with a write-ahead log use OpenRepair instead and let redo
+// reconstruct the tail.
 func Open(path string) (*File, error) {
+	return open(path, false)
+}
+
+// OpenRepair opens an existing paged file, re-extending a torn tail with
+// zero pages. Only safe when the caller is about to replay a write-ahead
+// log over the file: the zeroed tail pages are exactly the ones whose
+// extending write was lost, and every committed image of them is in the
+// log.
+func OpenRepair(path string) (*File, error) {
+	return open(path, true)
+}
+
+func open(path string, repair bool) (*File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pagefile: open %s: %w", path, err)
@@ -193,6 +214,24 @@ func Open(path string) (*File, error) {
 	if err := pf.readHeader(); err != nil {
 		f.Close()
 		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: stat %s: %w", path, err)
+	}
+	want := int64(pf.pageCount) * int64(pf.pageSize)
+	if st.Size() < want {
+		if !repair {
+			f.Close()
+			return nil, fmt.Errorf("%w: %s is %d bytes, header claims %d", ErrTornTail, path, st.Size(), want)
+		}
+		// Zero-extend to the claimed length; os.File.Truncate grows with
+		// zeros. WAL redo overwrites any page that ever held committed data.
+		if err := f.Truncate(want); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pagefile: repair %s: %w", path, err)
+		}
 	}
 	return pf, nil
 }
@@ -504,6 +543,62 @@ func (f *File) WritePage(id PageID, src []byte) error {
 	}
 	f.countWrite()
 	return nil
+}
+
+// ApplyPage writes a recovered page image, extending the file when id
+// lies past the current page count (the crash lost the extending write
+// but the image was committed). It implements the WAL recovery applier.
+func (f *File) ApplyPage(id PageID, data []byte) error {
+	if len(data) != f.pageSize {
+		return fmt.Errorf("pagefile: ApplyPage image is %d bytes, want %d", len(data), f.pageSize)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage {
+		return fmt.Errorf("%w: apply %d", ErrPageOutOfRange, id)
+	}
+	if _, err := f.b.WriteAt(data, int64(id)*int64(f.pageSize)); err != nil {
+		return fmt.Errorf("pagefile: apply page %d: %w", id, err)
+	}
+	f.countWrite()
+	if uint32(id) >= f.pageCount {
+		f.pageCount = uint32(id) + 1
+		return f.writeHeader()
+	}
+	return nil
+}
+
+// ResetFreeList empties the free-page list. Recovery calls this after a
+// non-clean shutdown: the free list is threaded through unlogged link
+// writes, so after a crash its links cannot be trusted. The freed pages
+// leak (bounded by what was freed since the last clean shutdown), which
+// beats handing the allocator a corrupt link.
+func (f *File) ResetFreeList() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if f.freeHead == InvalidPage {
+		return nil
+	}
+	f.freeHead = InvalidPage
+	return f.writeHeader()
+}
+
+// Abandon closes the backend without flushing — the crash harness's way
+// of dropping a store on the floor mid-run.
+func (f *File) Abandon() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.b.Close()
 }
 
 // Sync flushes the backend to stable storage.

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"xrtree"
 	"xrtree/internal/obs"
 )
 
@@ -87,12 +88,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		label                              obs.PromLabel
 		hits, misses, reads, writes, evict float64
 		pinned                             float64
+		wal                                xrtree.WALStats
+		hasWAL                             bool
 	}
 	s.mu.RLock()
 	rows := make([]poolRow, 0, len(s.order))
 	for _, name := range s.order {
 		b := s.backends[name]
 		ps := b.store.PoolStats()
+		ws, ok := b.store.WALStats()
 		rows = append(rows, poolRow{
 			label:  obs.PromLabel{Name: "backend", Value: name},
 			hits:   float64(ps.BufferHits),
@@ -101,6 +105,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			writes: float64(ps.PhysicalWrites),
 			evict:  float64(ps.PageEvictions),
 			pinned: float64(b.store.PinnedPages()),
+			wal:    ws,
+			hasWAL: ok,
 		})
 	}
 	s.mu.RUnlock()
@@ -121,6 +127,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, r := range rows {
 		p.Gauge("xrtree_pool_pinned_pages", "Currently pinned buffer pages per backend.", r.pinned, r.label)
+	}
+
+	// WAL families, for WAL-enabled backends only. Fsyncs staying well
+	// below commits is the group-commit signature worth alerting on.
+	for _, r := range rows {
+		if r.hasWAL {
+			p.Counter("xrtree_wal_commits_total", "Transactions committed to the write-ahead log per backend.", float64(r.wal.Commits), r.label)
+		}
+	}
+	for _, r := range rows {
+		if r.hasWAL {
+			p.Counter("xrtree_wal_fsyncs_total", "Group-commit fsyncs issued by the log flusher per backend.", float64(r.wal.Fsyncs), r.label)
+		}
+	}
+	for _, r := range rows {
+		if r.hasWAL {
+			p.Counter("xrtree_wal_bytes_total", "Record bytes appended to the write-ahead log per backend.", float64(r.wal.Bytes), r.label)
+		}
+	}
+	for _, r := range rows {
+		if r.hasWAL {
+			p.Counter("xrtree_wal_checkpoints_total", "Fuzzy checkpoints written per backend.", float64(r.wal.Checkpoints), r.label)
+		}
+	}
+	for _, r := range rows {
+		if r.hasWAL {
+			p.Gauge("xrtree_wal_max_commit_group", "Most commits acknowledged by a single fsync per backend.", float64(r.wal.MaxGroup), r.label)
+		}
 	}
 
 	rs := s.rec.Stats()

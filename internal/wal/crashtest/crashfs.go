@@ -1,0 +1,115 @@
+// Package crashtest is the crash-injection harness behind `make
+// crash-smoke` and cmd/xrcrash: it runs a randomized insert/delete
+// workload against a WAL-enabled store whose log dies after a chosen
+// number of bytes — tearing the final write partway through — then
+// reopens the store, lets recovery redo the log, and verifies that every
+// acknowledged operation survived and every index invariant holds.
+package crashtest
+
+import (
+	"errors"
+	"os"
+	"sync"
+
+	"xrtree/internal/wal"
+)
+
+// ErrCrashed is the error every filesystem operation returns once the
+// byte budget is spent.
+var ErrCrashed = errors.New("crashtest: injected crash")
+
+// FS wraps the OS filesystem and kills the log after a byte budget: the
+// write that crosses the budget is torn partway through (its prefix
+// reaches the file, like a sector-aligned crash mid-append), and every
+// later write and fsync fails. Reads keep working so recovery can run
+// against the torn result.
+type FS struct {
+	mu      sync.Mutex
+	remain  int64
+	crashed bool
+}
+
+// NewFS returns a crash-injecting filesystem that dies after budget
+// written bytes.
+func NewFS(budget int64) *FS { return &FS{remain: budget} }
+
+// Crashed reports whether the budget has been hit.
+func (c *FS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// charge consumes n bytes of budget, returning how many may still be
+// written (< n once the crash fires).
+func (c *FS) charge(n int64) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, false
+	}
+	if n > c.remain {
+		part := c.remain
+		c.remain = 0
+		c.crashed = true
+		return part, false
+	}
+	c.remain -= n
+	return n, true
+}
+
+// OpenFile implements wal.FS.
+func (c *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	f, err := wal.OSFS{}.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, f: f}, nil
+}
+
+// ReadDir implements wal.FS.
+func (c *FS) ReadDir(dir string) ([]string, error) { return wal.OSFS{}.ReadDir(dir) }
+
+// Remove implements wal.FS. Removes are failed after the crash so a dying
+// process cannot keep pruning segments.
+func (c *FS) Remove(name string) error {
+	if c.Crashed() {
+		return ErrCrashed
+	}
+	return wal.OSFS{}.Remove(name)
+}
+
+// MkdirAll implements wal.FS.
+func (c *FS) MkdirAll(dir string, perm os.FileMode) error {
+	if c.Crashed() {
+		return ErrCrashed
+	}
+	return wal.OSFS{}.MkdirAll(dir, perm)
+}
+
+type crashFile struct {
+	fs *FS
+	f  wal.File
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	allowed, ok := f.fs.charge(int64(len(p)))
+	if ok {
+		return f.f.Write(p)
+	}
+	if allowed > 0 {
+		f.f.Write(p[:allowed])
+	}
+	return int(allowed), ErrCrashed
+}
+
+func (f *crashFile) Sync() error {
+	if f.fs.Crashed() {
+		return ErrCrashed
+	}
+	return f.f.Sync()
+}
+
+func (f *crashFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *crashFile) Size() (int64, error)                    { return f.f.Size() }
+func (f *crashFile) Close() error                            { return f.f.Close() }

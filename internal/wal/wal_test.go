@@ -1,0 +1,310 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xrtree/internal/pagefile"
+)
+
+const testPS = 512
+
+// mapApplier collects replayed images in memory.
+type mapApplier map[pagefile.PageID][]byte
+
+func (m mapApplier) ApplyPage(id pagefile.PageID, data []byte) error {
+	img := make([]byte, len(data))
+	copy(img, data)
+	m[id] = img
+	return nil
+}
+
+func img(b byte) []byte {
+	d := make([]byte, testPS)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func startLog(t *testing.T, dir string, next uint64, opts Options) *Log {
+	t.Helper()
+	l, err := Start(dir, testPS, next, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestRoundtrip commits transactions, crashes (Abandon), and checks that
+// replay reconstructs the newest committed image of every page.
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := startLog(t, dir, 0, Options{})
+	if _, err := l.Commit([]PageImage{{ID: 3, Data: img(0xaa)}, {ID: 5, Data: img(0xbb)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit([]PageImage{{ID: 3, Data: img(0xcc)}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Abandon()
+
+	got := mapApplier{}
+	rep, err := Replay(nil, dir, testPS, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TxCommitted != 2 || rep.TxDiscarded != 0 || rep.CleanClose {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.PagesApplied != 2 {
+		t.Fatalf("applied %d pages, want 2 (coalesced)", rep.PagesApplied)
+	}
+	if got[3][0] != 0xcc || got[5][0] != 0xbb {
+		t.Fatalf("wrong images: page3=%x page5=%x", got[3][0], got[5][0])
+	}
+	if !rep.Replayed() {
+		t.Fatal("crash recovery must report Replayed")
+	}
+}
+
+// TestTornTail truncates the log mid-record: complete transactions before
+// the tear replay, the torn one is discarded, and the tail is reported.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l := startLog(t, dir, 0, Options{})
+	if _, err := l.Commit([]PageImage{{ID: 1, Data: img(0x11)}}); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Commit([]PageImage{{ID: 2, Data: img(0x22)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Abandon()
+
+	// Tear the last 5 bytes off the second transaction's commit record:
+	// its page record is intact, the commit is not.
+	name := filepath.Join(dir, segmentName(0))
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(name, data[:segHeader+int(lsn)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := mapApplier{}
+	rep, err := Replay(nil, dir, testPS, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTail {
+		t.Fatalf("torn tail not detected: %+v", rep)
+	}
+	if rep.TxCommitted != 1 || rep.TxDiscarded != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if _, ok := got[2]; ok {
+		t.Fatal("discarded transaction's image was applied")
+	}
+	if got[1][0] != 0x11 {
+		t.Fatal("committed transaction lost")
+	}
+}
+
+// TestRotation forces segment rotation with a tiny threshold and replays
+// across the resulting chain.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := startLog(t, dir, 0, Options{SegmentBytes: 2 * testPS})
+	for i := 0; i < 8; i++ {
+		if _, err := l.Commit([]PageImage{{ID: pagefile.PageID(i + 1), Data: img(byte(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	l.Abandon()
+
+	got := mapApplier{}
+	rep, err := Replay(nil, dir, testPS, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Segments < 2 || rep.TxCommitted != 8 || len(got) != 8 {
+		t.Fatalf("report %+v, %d images", rep, len(got))
+	}
+}
+
+// TestCheckpointBarrier checks the barrier semantics replay relies on:
+// images committed below a checkpoint are NOT re-applied (the writer
+// flushed them to the page file before the marker), and segments wholly
+// below it are pruned.
+func TestCheckpointBarrier(t *testing.T) {
+	dir := t.TempDir()
+	l := startLog(t, dir, 0, Options{SegmentBytes: 2 * testPS})
+	// Two transactions overflow the tiny segment, so the checkpoint
+	// rotates first and the old segment falls wholly below the marker.
+	if _, err := l.Commit([]PageImage{{ID: 1, Data: img(0x01)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit([]PageImage{{ID: 1, Data: img(0x03)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit([]PageImage{{ID: 2, Data: img(0x02)}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Truncated == 0 {
+		t.Fatalf("checkpoint pruned no segments: %+v", st)
+	}
+	l.Abandon()
+
+	got := mapApplier{}
+	rep, err := Replay(nil, dir, testPS, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got[1]; ok {
+		t.Fatal("image below the checkpoint barrier was re-applied")
+	}
+	if got[2] == nil || got[2][0] != 0x02 {
+		t.Fatalf("image above the barrier lost: %+v", rep)
+	}
+}
+
+// TestCleanShutdown closes the log cleanly and checks that the following
+// replay trusts it: nothing applied, CleanClose reported.
+func TestCleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	l := startLog(t, dir, 0, Options{})
+	if _, err := l.Commit([]PageImage{{ID: 7, Data: img(0x77)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	got := mapApplier{}
+	rep, err := Replay(nil, dir, testPS, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CleanClose || rep.Replayed() || rep.PagesApplied != 0 {
+		t.Fatalf("clean shutdown not honored: %+v", rep)
+	}
+	if rep.NextLSN == 0 {
+		t.Fatal("NextLSN not advanced")
+	}
+
+	// Restarting at NextLSN and replaying again still works.
+	l = startLog(t, dir, rep.NextLSN, Options{})
+	if _, err := l.Commit([]PageImage{{ID: 8, Data: img(0x88)}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Abandon()
+	got = mapApplier{}
+	rep2, err := Replay(nil, dir, testPS, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.NextLSN <= rep.NextLSN || got[8] == nil {
+		t.Fatalf("restarted log broken: %+v", rep2)
+	}
+}
+
+// TestTornSegmentHeader simulates a crash inside Start or a rotation: the
+// newest segment holds a short or garbage header. Replay must treat it as
+// the torn tail, not corruption.
+func TestTornSegmentHeader(t *testing.T) {
+	dir := t.TempDir()
+	l := startLog(t, dir, 0, Options{})
+	if _, err := l.Commit([]PageImage{{ID: 1, Data: img(0x11)}}); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	l.Abandon()
+
+	// A later segment whose header write was torn to 7 bytes.
+	next := uint64(segHeader) + uint64(st.Bytes)
+	if err := os.WriteFile(filepath.Join(dir, segmentName(next)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := mapApplier{}
+	rep, err := Replay(nil, dir, testPS, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTail || rep.TxCommitted != 1 || got[1] == nil {
+		t.Fatalf("torn header not tolerated: %+v", rep)
+	}
+	if rep.NextLSN < next {
+		t.Fatalf("NextLSN %d did not reach the torn segment base %d", rep.NextLSN, next)
+	}
+}
+
+// TestPageSizeMismatch rejects a log recorded under a different page size.
+func TestPageSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l := startLog(t, dir, 0, Options{})
+	if _, err := l.Commit([]PageImage{{ID: 1, Data: img(0x11)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(nil, dir, 2*testPS, mapApplier{}); err == nil {
+		t.Fatal("page-size mismatch not rejected")
+	}
+}
+
+// TestHasSegments reports segment presence for the recovery-needed probe.
+func TestHasSegments(t *testing.T) {
+	dir := t.TempDir()
+	if ok, err := HasSegments(nil, dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	l := startLog(t, dir, 0, Options{})
+	l.Abandon()
+	if ok, err := HasSegments(nil, dir); err != nil || !ok {
+		t.Fatalf("after start: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestGroupCommitStats hammers the log from concurrent goroutines and
+// checks the group-commit signature on the stats.
+func TestGroupCommitStats(t *testing.T) {
+	dir := t.TempDir()
+	l := startLog(t, dir, 0, Options{})
+	const writers, per = 8, 25
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < per; i++ {
+				if _, err := l.Commit([]PageImage{{ID: pagefile.PageID(w + 1), Data: img(byte(i))}}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if err := l.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits != writers*per {
+		t.Fatalf("commits %d, want %d", st.Commits, writers*per)
+	}
+	if st.Fsyncs >= st.Commits {
+		t.Fatalf("group commit absent: %d fsyncs for %d commits", st.Fsyncs, st.Commits)
+	}
+}

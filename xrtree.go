@@ -32,6 +32,7 @@ import (
 	"xrtree/internal/join"
 	"xrtree/internal/metrics"
 	"xrtree/internal/pagefile"
+	"xrtree/internal/wal"
 	"xrtree/internal/xmldoc"
 )
 
@@ -125,6 +126,22 @@ type StoreOptions struct {
 	// index descents, skips, output batches) from every operation on the
 	// store. Equivalent to calling SetTracer after creation.
 	Tracer Tracer
+	// WAL enables write-ahead logging on a file-backed store: every
+	// Insert/Delete commits durably (group-committed fsync) before
+	// returning, and OpenStore redoes the log after a crash. See
+	// DESIGN.md "Durability & recovery".
+	WAL bool
+	// WALDir is the log directory; default "<store path>.wal".
+	WALDir string
+	// WALSegmentBytes rotates log segments past this size (default 1 MiB).
+	WALSegmentBytes int64
+	// WALCheckpointBytes triggers a fuzzy checkpoint once this many log
+	// bytes accumulate (default 4 MiB).
+	WALCheckpointBytes int64
+	// WALFS substitutes the filesystem the log writes through; nil means
+	// the OS. The crash-injection harness uses it to kill the log
+	// mid-write.
+	WALFS WALFS
 }
 
 // Store owns one paged file and its buffer pool; all indexes built through
@@ -136,6 +153,10 @@ type Store struct {
 	// tracer is the store's default tracer, restored when an AttachStats
 	// sink with its own tracer detaches.
 	tracer Tracer
+	// wal is the write-ahead log, nil unless StoreOptions.WAL (see
+	// durability.go); recovery is the report of the open-time redo pass.
+	wal      *wal.Log
+	recovery *RecoveryReport
 }
 
 func newStore(file *pagefile.File, opts StoreOptions) (*Store, error) {
@@ -182,22 +203,49 @@ func CreateStore(path string, opts StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newStore(file, opts)
+	s, err := newStore(file, opts)
+	if err != nil || !opts.WAL {
+		return s, err
+	}
+	if err := s.startWAL(path, opts, 0); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("xrtree: start log: %w", err)
+	}
+	return s, nil
 }
 
 // NewMemStore creates a store backed by memory — identical behavior and
 // cost accounting, no filesystem.
 func NewMemStore(opts StoreOptions) (*Store, error) {
+	if opts.WAL {
+		return nil, errors.New("xrtree: WAL requires a file-backed store")
+	}
 	return newStore(pagefile.NewMem(pagefile.Options{PageSize: opts.PageSize}), opts)
 }
 
 // Close stops the pool's background workers, then flushes and closes the
-// underlying file.
+// underlying file. With a WAL attached it also fsyncs the page file and
+// writes a clean-shutdown record, so the next open skips redo and keeps
+// the free list.
 func (s *Store) Close() error {
 	s.pool.Close()
 	if err := s.pool.FlushAll(); err != nil {
+		if s.wal != nil {
+			s.wal.Abandon()
+		}
 		s.file.Close()
 		return err
+	}
+	if s.wal != nil {
+		if err := s.file.Sync(); err != nil {
+			s.wal.Abandon()
+			s.file.Close()
+			return err
+		}
+		if err := s.wal.CloseClean(); err != nil {
+			s.file.Close()
+			return err
+		}
 	}
 	return s.file.Close()
 }
@@ -323,6 +371,15 @@ func (e *ElementSet) List() (*elemlist.List, error) {
 		return nil, ErrNoAccessPath
 	}
 	return e.list, nil
+}
+
+// BTree exposes the set's B+-tree baseline for direct use of its lookup,
+// scan, and update operations.
+func (e *ElementSet) BTree() (*btree.Tree, error) {
+	if e.bt == nil {
+		return nil, ErrNoAccessPath
+	}
+	return e.bt, nil
 }
 
 // XRTree exposes the set's XR-tree for direct use of the §5.1 operations
