@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke microbench serve-smoke examples experiments verify clean fmt-check lint vet test-debug fuzz-smoke crash-smoke ci
+.PHONY: all build test race bench bench-json bench-smoke microbench serve-smoke cluster-smoke examples experiments verify clean fmt-check lint vet test-debug fuzz-smoke crash-smoke ci
 
 all: build test
 
@@ -51,6 +51,14 @@ microbench:
 serve-smoke:
 	GO="$(GO)" sh ./scripts/serve_smoke.sh
 
+# End-to-end smoke of the distributed-serving subsystem: three DocId
+# shards plus a router, scatter-gather correctness, hedge visibility,
+# refusal of overlapping ownership claims, SIGKILL of one shard mid-run
+# (degraded responses with shards_failed, healthy results intact), and a
+# clean router drain.
+cluster-smoke:
+	GO="$(GO)" sh ./scripts/cluster_smoke.sh
+
 # Project-specific invariant checkers (cmd/xrvet): pin-leak, latch-order,
 # cancellation-poll, and Counters-threading analysis over the whole module.
 vet:
@@ -95,7 +103,7 @@ lint:
 	fi
 
 # Everything the CI pipeline runs, in the same order, runnable locally.
-ci: build fmt-check lint vet test race test-debug bench-smoke serve-smoke crash-smoke
+ci: build fmt-check lint vet test race test-debug bench-smoke serve-smoke cluster-smoke crash-smoke
 	@echo "ci: all checks passed"
 
 examples:

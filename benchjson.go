@@ -38,6 +38,9 @@ type BenchReport struct {
 	// Storage is the storage-stack study: the mixed probe/scan/join
 	// workload under LRU vs 2Q+readahead (additive, like Parallel).
 	Storage *StorageStudy `json:"storage,omitempty"`
+	// Cluster is the distributed-serving study produced by cmd/xrblast in
+	// -cluster mode (additive, like Parallel).
+	Cluster *ClusterStudy `json:"cluster,omitempty"`
 	// PoolPolicy and Prefetch record the pool configuration the sweeps ran
 	// under (additive; empty/false means the LRU default).
 	PoolPolicy string `json:"pool_policy,omitempty"`

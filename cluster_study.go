@@ -1,0 +1,49 @@
+package xrtree
+
+// The cluster section of the bench JSON: what cmd/xrblast observes when it
+// drives a cluster router. End-to-end quantiles come from the load run
+// itself; the per-shard rows are scraped from the router's /api/v1/cluster
+// status (sub-request counts, failures, hedges, retries and sub-request
+// latency as the router saw them), optionally cross-checked with a direct
+// /healthz probe per shard from the client side.
+
+// ClusterShardRow is one shard's entry in the cluster study.
+type ClusterShardRow struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// Up is the router's health verdict at scrape time.
+	Up bool `json:"up"`
+	// Reachable is xrblast's own /healthz probe of the shard, when it ran
+	// (nil: not probed). Divergence from Up means router and client
+	// disagree about the shard — worth alarming on.
+	Reachable *bool `json:"reachable,omitempty"`
+	// Docs is the number of documents the placement assigns to this shard.
+	Docs        int            `json:"docs"`
+	Subrequests int64          `json:"subrequests"`
+	Failures    int64          `json:"failures"`
+	Hedges      int64          `json:"hedges"`
+	Retries     int64          `json:"retries"`
+	Latency     LatencySummary `json:"latency"`
+}
+
+// ClusterStudy is the distributed-serving study: one xrblast run against a
+// cluster router.
+type ClusterStudy struct {
+	// Router is the router base URL the run drove.
+	Router string `json:"router"`
+	// Requests/OK/Degraded count end-to-end router responses seen by the
+	// client; Degraded are 200s that carried a non-empty shards_failed.
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Degraded int64 `json:"degraded"`
+	// Subrequests/Hedges/Retries aggregate the per-shard rows.
+	Subrequests int64 `json:"subrequests"`
+	Hedges      int64 `json:"hedges"`
+	Retries     int64 `json:"retries"`
+	// HedgeRate is Hedges/Subrequests (0 when no sub-requests ran).
+	HedgeRate float64 `json:"hedge_rate"`
+	// Latency is the end-to-end router request latency of the run.
+	Latency LatencySummary `json:"latency"`
+	// Shards holds one row per shard of the fleet.
+	Shards []ClusterShardRow `json:"shards"`
+}

@@ -62,6 +62,7 @@ type results struct {
 	rejected atomic.Int64
 	timeouts atomic.Int64
 	errors   atomic.Int64
+	degraded atomic.Int64 // 200s carrying X-XR-Shards-Failed (cluster mode)
 	maxNS    atomic.Int64
 	col      *obs.Collector
 }
@@ -156,6 +157,9 @@ func main() {
 		noPins    = flag.Bool("assert-no-pins", false, "assert /api/v1/stats reports zero pinned pages after the run")
 		traceRate = flag.Float64("trace", 0, "stamp this fraction of requests with a sampled traceparent; the report lists the slowest decile's server trace ids")
 		traceSeed = flag.Uint64("trace-seed", 0, "seed for the trace-stamping decisions and ids (0: random)")
+		shardList = flag.String("cluster", "", "comma-separated name=url shard list: adds the bench-JSON cluster section (router /api/v1/cluster scrape) plus a direct /healthz reachability probe per shard")
+		minDeg    = flag.Int64("min-degraded", -1, "assert at least this many degraded (shards_failed) responses")
+		minHedges = flag.Int64("min-hedges", -1, "assert the router reports at least this many hedged sub-requests")
 	)
 	flag.Var(&targets, "target", "request path+query, must start with / (repeatable; workers round-robin)")
 	flag.Parse()
@@ -211,11 +215,14 @@ func main() {
 			tp = obs.Traceparent(ids.TraceID(), ids.SpanID(), true)
 		}
 		t0 := time.Now()
-		code, serverTP, err := get(client, *baseURL+target, tp)
+		code, hdr, err := get(client, *baseURL+target, tp)
 		d := time.Since(t0)
 		res.record(code, d, err)
+		if err == nil && code == http.StatusOK && hdr.Get("X-XR-Shards-Failed") != "" {
+			res.degraded.Add(1)
+		}
 		if tp != "" && err == nil {
-			if tid, _, _, ok := obs.ParseTraceparent(serverTP); ok {
+			if tid, _, _, ok := obs.ParseTraceparent(hdr.Get("traceparent")); ok {
 				traces.add(tid.String(), d)
 			}
 		}
@@ -281,12 +288,22 @@ func main() {
 	}
 	row.SlowTraces = traces.slowestDecile()
 
+	var study *xrtree.ClusterStudy
+	var studyErr error
+	if *shardList != "" || *minHedges >= 0 {
+		study, studyErr = clusterStudy(client, *baseURL, *shardList, res)
+		if studyErr != nil {
+			log.Printf("cluster scrape: %v", studyErr)
+		}
+	}
+
 	if *jsonOut {
 		rep := &xrtree.BenchReport{
 			Schema:    xrtree.BenchSchema,
 			CreatedAt: time.Now().UTC(),
 			GoVersion: runtime.Version(),
 			Serving:   &xrtree.ServingStudy{BaseURL: *baseURL, Rows: []xrtree.ServingRow{row}},
+			Cluster:   study,
 		}
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -300,6 +317,21 @@ func main() {
 			"", lat.MeanMS, lat.P50MS, lat.P90MS, lat.P99MS, lat.MaxMS)
 		for _, h := range row.SlowTraces {
 			fmt.Printf("%-10s slow trace %s %.2fms\n", "", h.TraceID, h.LatencyMS)
+		}
+		if study != nil {
+			fmt.Printf("%-10s cluster shards=%d subrequests=%d hedges=%d (rate %.3f) retries=%d degraded=%d\n",
+				"", len(study.Shards), study.Subrequests, study.Hedges, study.HedgeRate, study.Retries, study.Degraded)
+			for _, sh := range study.Shards {
+				state := "up"
+				if !sh.Up {
+					state = "DOWN"
+				}
+				if sh.Reachable != nil && *sh.Reachable != sh.Up {
+					state += " (disagrees with direct probe)"
+				}
+				fmt.Printf("%-10s shard %-8s %-4s docs=%d subrequests=%d failures=%d hedges=%d retries=%d p99≤%.2fms\n",
+					"", sh.Name, state, sh.Docs, sh.Subrequests, sh.Failures, sh.Hedges, sh.Retries, sh.Latency.P99MS)
+			}
 		}
 	}
 
@@ -328,29 +360,40 @@ func main() {
 			check(pins == 0, "server reports %d pinned pages after the run", pins)
 		}
 	}
+	if *minDeg >= 0 {
+		check(res.degraded.Load() >= *minDeg, "degraded=%d < min-degraded=%d", res.degraded.Load(), *minDeg)
+	}
+	if *minHedges >= 0 {
+		if study == nil {
+			failed = true
+			log.Printf("ASSERTION FAILED: min-hedges set but cluster status unavailable: %v", studyErr)
+		} else {
+			check(study.Hedges >= *minHedges, "hedges=%d < min-hedges=%d", study.Hedges, *minHedges)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
 // get issues one GET, stamping the traceparent header when tp is
-// non-empty, and returns the status code plus the traceparent the server
-// echoed back (empty when the request was not traced server-side).
-func get(client *http.Client, url, tp string) (int, string, error) {
+// non-empty, and returns the status code plus the response headers (the
+// echoed traceparent and, in cluster mode, X-XR-Shards-Failed).
+func get(client *http.Client, url, tp string) (int, http.Header, error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return 0, "", err
+		return 0, nil, err
 	}
 	if tp != "" {
 		req.Header.Set("traceparent", tp)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, "", err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	_, err = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, resp.Header.Get("traceparent"), err
+	return resp.StatusCode, resp.Header, err
 }
 
 // waitForReady polls /healthz until the server answers 200.
@@ -366,6 +409,80 @@ func waitForReady(client *http.Client, base string, bound time.Duration) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+// clusterStudy assembles the bench-JSON cluster section: client-observed
+// end-to-end counts and latency from this run, the router's per-shard view
+// scraped from /api/v1/cluster, and (for shards named in the -cluster
+// list) a direct /healthz probe so the report can flag router/client
+// disagreement about a shard's health.
+func clusterStudy(client *http.Client, base, shardList string, res *results) (*xrtree.ClusterStudy, error) {
+	resp, err := client.Get(base + "/api/v1/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/api/v1/cluster: status %d", resp.StatusCode)
+	}
+	var scraped struct {
+		Shards []struct {
+			Name        string                `json:"name"`
+			Addr        string                `json:"addr"`
+			Up          bool                  `json:"up"`
+			Docs        int                   `json:"docs"`
+			Subrequests int64                 `json:"subrequests"`
+			Failures    int64                 `json:"failures"`
+			Hedges      int64                 `json:"hedges"`
+			Retries     int64                 `json:"retries"`
+			Latency     xrtree.LatencySummary `json:"latency"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scraped); err != nil {
+		return nil, err
+	}
+
+	reach := make(map[string]*bool)
+	if shardList != "" {
+		for _, part := range strings.Split(shardList, ",") {
+			name, url, ok := strings.Cut(part, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad -cluster entry %q (want name=url)", part)
+			}
+			code, _, err := get(client, strings.TrimRight(url, "/")+"/healthz", "")
+			up := err == nil && code == http.StatusOK
+			reach[name] = &up
+		}
+	}
+
+	study := &xrtree.ClusterStudy{
+		Router:   base,
+		Requests: res.requests.Load(),
+		OK:       res.ok.Load(),
+		Degraded: res.degraded.Load(),
+		Latency:  res.latency(),
+	}
+	for _, sh := range scraped.Shards {
+		study.Subrequests += sh.Subrequests
+		study.Hedges += sh.Hedges
+		study.Retries += sh.Retries
+		study.Shards = append(study.Shards, xrtree.ClusterShardRow{
+			Name:        sh.Name,
+			Addr:        sh.Addr,
+			Up:          sh.Up,
+			Reachable:   reach[sh.Name],
+			Docs:        sh.Docs,
+			Subrequests: sh.Subrequests,
+			Failures:    sh.Failures,
+			Hedges:      sh.Hedges,
+			Retries:     sh.Retries,
+			Latency:     sh.Latency,
+		})
+	}
+	if study.Subrequests > 0 {
+		study.HedgeRate = float64(study.Hedges) / float64(study.Subrequests)
+	}
+	return study, nil
 }
 
 // pinnedPages sums pinned_pages over every backend of /api/v1/stats.

@@ -2,8 +2,8 @@
 // xrbench -json output) against a committed baseline — by SHAPE, not by
 // timing. CI runs a reduced-scale smoke report and checks that it still
 // has the schema version, sweep structure, algorithm coverage, phase
-// breakdowns, parallel-study rows, serving rows, and storage-study rows of
-// the committed baseline: the kinds
+// breakdowns, parallel-study rows, serving rows, storage-study rows, and
+// cluster-study shard fleet of the committed baseline: the kinds
 // of regressions a refactor silently introduces (a sweep dropped, an
 // algorithm skipped, observation wired out) without any timing noise.
 //
@@ -66,6 +66,7 @@ func main() {
 	checkParallel(addf, cand.Parallel, base.Parallel)
 	checkServing(addf, cand.Serving, base.Serving)
 	checkStorage(addf, cand.Storage, base.Storage)
+	checkCluster(addf, cand.Cluster, base.Cluster)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -259,6 +260,66 @@ func checkStorage(addf func(string, ...any), c, b *xrtree.StorageStudy) {
 	}
 	if twoQ.PrefetchReads == 0 {
 		addf("storage row 2q: prefetch issued %d hints but read no pages", twoQ.PrefetchIssued)
+	}
+}
+
+// checkCluster guards the distributed-serving section's shape: the same
+// shard fleet as the baseline, actual traffic, degraded responses bounded
+// by successes, and a non-empty sub-request latency histogram wherever the
+// router completed sub-requests. The router's counters are cumulative
+// across runs, so a degraded candidate checked against a healthy baseline
+// still passes — only structure is compared, never rates or timings.
+func checkCluster(addf func(string, ...any), c, b *xrtree.ClusterStudy) {
+	if b == nil {
+		return
+	}
+	if c == nil {
+		addf("cluster study missing from candidate")
+		return
+	}
+	if c.Router == "" {
+		addf("cluster study: empty router URL")
+	}
+	if c.Requests == 0 {
+		addf("cluster study: no traffic")
+		return
+	}
+	if b.OK > 0 && c.OK == 0 {
+		addf("cluster study: no successful responses (baseline had %d)", b.OK)
+	}
+	if c.Degraded > c.OK {
+		addf("cluster study: degraded=%d exceeds ok=%d", c.Degraded, c.OK)
+	}
+	if c.OK > 0 && c.Latency.Count == 0 {
+		addf("cluster study: latency histogram empty despite %d completions", c.OK)
+	}
+	if c.Subrequests == 0 {
+		addf("cluster study: router reports no sub-requests")
+	}
+	names := func(s *xrtree.ClusterStudy) map[string]xrtree.ClusterShardRow {
+		m := make(map[string]xrtree.ClusterShardRow, len(s.Shards))
+		for _, r := range s.Shards {
+			m[r.Name] = r
+		}
+		return m
+	}
+	cm, bm := names(c), names(b)
+	for name := range bm {
+		if _, ok := cm[name]; !ok {
+			addf("cluster study: shard %q missing from candidate", name)
+		}
+	}
+	for name, cr := range cm {
+		if _, ok := bm[name]; !ok {
+			addf("cluster study: shard %q not in baseline", name)
+			continue
+		}
+		if ok := cr.Subrequests - cr.Failures; ok > 0 && cr.Latency.Count == 0 {
+			addf("cluster shard %s: latency histogram empty despite %d completed sub-requests", name, ok)
+		}
+		if cr.Reachable != nil && *cr.Reachable && !cr.Up {
+			addf("cluster shard %s: router says down but the client probe reached it", name)
+		}
 	}
 }
 

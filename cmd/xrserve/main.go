@@ -19,6 +19,14 @@
 // header); -slow-trace pins outliers in the flight recorder; -debug-addr
 // serves net/http/pprof on a separate listener. See DESIGN.md "Serving"
 // and "Request tracing".
+//
+// Cluster mode (DESIGN.md "Distributed serving"): with -cluster FILE and
+// no -shard, xrserve runs as a router — no local backends, every join and
+// query scatter-gathers across the shards named in FILE, /api/v1/cluster
+// reports fleet health. A shard node serves a DocId slice of the corpus:
+// either -owns 1-4 (explicit claim, used by scripts) or -shard NAME with
+// -cluster FILE (ownership derived from the placement ring). A router
+// refuses to start when the config's explicit ownership claims overlap.
 package main
 
 import (
@@ -32,11 +40,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"xrtree"
+	"xrtree/internal/cluster"
 	"xrtree/internal/server"
 )
 
@@ -89,15 +99,54 @@ func main() {
 		slowTrace     = flag.Duration("slow-trace", 0, "pin traces at or above this duration (0: disabled)")
 		traceSeed     = flag.Uint64("trace-seed", 0, "seed for sampling and trace ids (0: random; fixed seeds are deterministic)")
 		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty: disabled)")
+		clusterFile   = flag.String("cluster", "", "cluster membership file: router mode without -shard, ring ownership with -shard")
+		shardName     = flag.String("shard", "", "this node's shard name in the -cluster file")
+		ownsFlag      = flag.String("owns", "", "DocId ranges this shard owns, e.g. 1-4,9 (explicit claim)")
+		subTimeout    = flag.Duration("sub-timeout", 5*time.Second, "router: per-shard sub-request budget")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "router: fixed hedge delay (0: derive from each shard's p99)")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "router: /healthz probe cadence")
+		fanout        = flag.Int("fanout", 8, "router: concurrent shard sub-requests")
 	)
 	flag.Var(&stores, "store", "store backend, name=path (repeatable; path built by xrload)")
-	flag.Var(&xmls, "xml", "document backend, name=file.xml[,file2.xml...] (repeatable)")
+	flag.Var(&xmls, "xml", "document backend, name=file.xml[@docid][,file2.xml...] (repeatable)")
 	flag.Parse()
-	if len(stores.entries)+len(xmls.entries) == 0 {
+	routerMode := *clusterFile != "" && *shardName == ""
+	if routerMode && len(stores.entries)+len(xmls.entries) > 0 {
+		log.Fatal("router mode (-cluster without -shard) serves no local backends; drop -store/-xml or add -shard")
+	}
+	if !routerMode && len(stores.entries)+len(xmls.entries) == 0 {
 		log.Fatal("at least one -store or -xml backend is required")
 	}
 
-	srv := server.New(server.Config{
+	var owns func(uint32) bool
+	if *ownsFlag != "" {
+		set, err := cluster.ParseDocSet(*ownsFlag)
+		if err != nil {
+			log.Fatalf("-owns: %v", err)
+		}
+		owns = func(id uint32) bool { return cluster.DocSetContains(set, id) }
+	}
+	if *shardName != "" && owns == nil {
+		// Ownership comes from the same placement ring the router uses, so
+		// shard and router agree on every DocId by construction.
+		if *clusterFile == "" {
+			log.Fatal("-shard needs -cluster (ring ownership) or -owns (explicit claim)")
+		}
+		ccfg, err := cluster.ParseConfigFile(*clusterFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ccfg.Shard(*shardName) == nil {
+			log.Fatalf("-shard %q is not in %s", *shardName, *clusterFile)
+		}
+		ring, name := cluster.NewRing(ccfg), *shardName
+		owns = func(id uint32) bool {
+			owner, ok := ring.Owner(id)
+			return ok && owner == name
+		}
+	}
+
+	scfg := server.Config{
 		MaxConcurrent:  *maxConcurrent,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *defTimeout,
@@ -109,7 +158,35 @@ func main() {
 		TracePinned:    *tracePinned,
 		SlowTrace:      *slowTrace,
 		TraceSeed:      *traceSeed,
-	})
+		ShardName:      *shardName,
+		Owns:           owns,
+	}
+	var srv *server.Server
+	if routerMode {
+		ccfg, err := cluster.ParseConfigFile(*clusterFile)
+		if err != nil {
+			var oe *cluster.OverlapError
+			if errors.As(err, &oe) {
+				log.Fatalf("refusing to start: %v", err)
+			}
+			log.Fatal(err)
+		}
+		coord, err := cluster.New(ccfg, cluster.Options{
+			SubTimeout:    *subTimeout,
+			HedgeAfter:    *hedgeAfter,
+			ProbeInterval: *probeInterval,
+			Fanout:        *fanout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		coord.Start()
+		defer coord.Close()
+		srv = server.NewRouter(scfg, coord)
+		log.Printf("router over %d shards (%s)", len(ccfg.Shards), *clusterFile)
+	} else {
+		srv = server.New(scfg)
+	}
 
 	var closers []func() error
 	defer func() {
@@ -147,12 +224,23 @@ func main() {
 		}
 		closers = append(closers, st.Close)
 		var docs []*xrtree.Document
-		for i, path := range e.paths {
+		nextID := uint32(1)
+		for _, spec := range e.paths {
+			path, idStr, hasID := strings.Cut(spec, "@")
+			docID := nextID
+			if hasID {
+				n, err := strconv.ParseUint(idStr, 10, 32)
+				if err != nil || n == 0 {
+					log.Fatalf("-xml %s: bad doc id %q (want file.xml@N, N ≥ 1)", e.name, idStr)
+				}
+				docID = uint32(n)
+			}
+			nextID = docID + 1
 			f, err := os.Open(path)
 			if err != nil {
 				log.Fatalf("-xml %s: %v", e.name, err)
 			}
-			doc, err := xrtree.ParseXML(f, uint32(i+1))
+			doc, err := xrtree.ParseXML(f, docID)
 			f.Close()
 			if err != nil {
 				log.Fatalf("-xml %s: %s: %v", e.name, path, err)

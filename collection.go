@@ -82,6 +82,11 @@ type ParallelJoinOptions struct {
 	// Workers is the number of join goroutines; ≤ 0 selects GOMAXPROCS,
 	// 1 degrades to the sequential per-document loop.
 	Workers int
+	// Keep, when non-nil, restricts the join to documents it accepts.
+	// Since pairs never cross documents (§2.2), the filtered result is
+	// exactly the unfiltered stream with the rejected documents' pairs cut
+	// out — the property cluster shards rely on to serve a DocId slice.
+	Keep func(docID uint32) bool
 }
 
 // ParallelJoin is Collection.Join distributed over a worker pool: the join
@@ -95,6 +100,9 @@ type ParallelJoinOptions struct {
 func (c *Collection) ParallelJoin(alg Algorithm, mode Mode, ancTag, descTag string, emit EmitFunc, st *Stats, opts ParallelJoinOptions) error {
 	var tasks []join.Task
 	for _, idx := range c.docs {
+		if opts.Keep != nil && !opts.Keep(idx.doc.DocID) {
+			continue
+		}
 		as := idx.doc.ElementsByTag(ancTag)
 		ds := idx.doc.ElementsByTag(descTag)
 		if len(as) == 0 || len(ds) == 0 {
@@ -138,11 +146,30 @@ func (c *Collection) setFor(idx *IndexedDocument, tag string, els []Element) (*E
 	return idx.fullSet(tag, els)
 }
 
+// DocIDs returns the collection's document ids in ascending order.
+func (c *Collection) DocIDs() []uint32 {
+	ids := make([]uint32, 0, len(c.docs))
+	for _, idx := range c.docs {
+		ids = append(ids, idx.doc.DocID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Query evaluates a path expression over every document and returns the
 // union of the results, sorted by (DocID, start).
 func (c *Collection) Query(expr string, st *Stats) ([]Element, error) {
+	return c.QueryDocs(expr, nil, st)
+}
+
+// QueryDocs is Query restricted to the documents keep accepts (nil keeps
+// all) — the query-side counterpart of ParallelJoinOptions.Keep.
+func (c *Collection) QueryDocs(expr string, keep func(docID uint32) bool, st *Stats) ([]Element, error) {
 	var out []Element
 	for _, idx := range c.docs {
+		if keep != nil && !keep(idx.doc.DocID) {
+			continue
+		}
 		els, err := idx.Query(expr, st)
 		if err != nil {
 			return nil, fmt.Errorf("xrtree: DocID %d: %w", idx.doc.DocID, err)
@@ -161,10 +188,15 @@ func (c *Collection) Query(expr string, st *Stats) ([]Element, error) {
 // QueryContext is Query with cancellation, stopping between per-document
 // evaluations and at the pipeline's poll points within one.
 func (c *Collection) QueryContext(ctx context.Context, expr string, st *Stats) ([]Element, error) {
+	return c.QueryContextDocs(ctx, expr, nil, st)
+}
+
+// QueryContextDocs is QueryDocs with cancellation.
+func (c *Collection) QueryContextDocs(ctx context.Context, expr string, keep func(docID uint32) bool, st *Stats) ([]Element, error) {
 	var out []Element
 	err := withCtx(ctx, st, func(st *Stats) error {
 		var err error
-		out, err = c.Query(expr, st)
+		out, err = c.QueryDocs(expr, keep, st)
 		return err
 	})
 	return out, err

@@ -1,0 +1,215 @@
+// Package cluster is the distributed-serving subsystem: DocId-sharded
+// placement over a static set of xrserve shard nodes, and the router-side
+// scatter-gather machinery that fans /api/v1/join and /api/v1/query out to
+// the owning shards and stream-merges the results back in document order.
+//
+// Placement promotes DocId — already the parallel partition key of
+// internal/join — to a placement key: the paper's join condition
+// a.DocId == d.DocId means no result pair ever crosses a document, so a
+// cluster-level join decomposes into per-shard sub-joins whose outputs
+// concatenate, in DocId order, into exactly the single-node result stream.
+//
+// Membership is static, read from a -cluster config file (see ParseConfig);
+// DocIds map to shards through explicit range claims or a consistent-hash
+// ring (see Ring). The coordinator (coordinator.go) is built to survive the
+// realities of a serving fleet: per-shard health probing with an up/down
+// state machine (health.go), bounded per-sub-request timeouts with hedged
+// retries to a replica after a p99-derived delay (hedge.go), typed
+// retriable-vs-fatal error classification, and a per-request partial-result
+// policy (fail, or degrade with a shards_failed field).
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ShardSpec is one shard node of the static membership.
+type ShardSpec struct {
+	// Name identifies the shard; placement and metrics key on it.
+	Name string
+	// Addr is the shard's serving base URL (http://host:port).
+	Addr string
+	// Replica is an optional standby serving the same documents; hedged
+	// and failover sub-requests go to it. Empty means hedges re-ask the
+	// primary (still useful against tail latency, useless against loss).
+	Replica string
+	// Lo..Hi is an explicit DocId ownership claim. Explicit ranges win
+	// over the hash ring and must not overlap across shards.
+	Lo, Hi   uint32
+	HasRange bool
+}
+
+// Config is the parsed static cluster membership.
+type Config struct {
+	Shards []ShardSpec
+}
+
+// Shard returns the spec with the given name, or nil.
+func (c *Config) Shard(name string) *ShardSpec {
+	for i := range c.Shards {
+		if c.Shards[i].Name == name {
+			return &c.Shards[i]
+		}
+	}
+	return nil
+}
+
+// ConfigError reports a malformed cluster-config line.
+type ConfigError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("cluster config line %d: %s", e.Line, e.Msg)
+}
+
+// OverlapError is the typed validation error for two config entries
+// claiming overlapping DocId ownership: the router must refuse to start on
+// it, because both shards would serve (and double-count) the shared range.
+type OverlapError struct {
+	ShardA, ShardB string
+	Lo, Hi         uint32
+}
+
+func (e *OverlapError) Error() string {
+	return fmt.Sprintf("cluster config: shards %q and %q claim overlapping DocId ownership (%d-%d)",
+		e.ShardA, e.ShardB, e.Lo, e.Hi)
+}
+
+// normalizeAddr prefixes bare host:port addresses with http://.
+func normalizeAddr(a string) string {
+	if strings.Contains(a, "://") {
+		return strings.TrimRight(a, "/")
+	}
+	return "http://" + a
+}
+
+// ParseConfig reads the cluster membership file. Format, one shard per
+// non-comment line:
+//
+//	<name> <addr> [replica=<addr>] [range=<lo>-<hi>]
+//
+// addr is host:port or a full base URL. Shards with an explicit range=
+// claim own exactly that DocId range; shards without one join the
+// consistent-hash ring covering every DocId not explicitly claimed.
+func ParseConfig(r io.Reader) (*Config, error) {
+	cfg := &Config{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, &ConfigError{line, fmt.Sprintf("want <name> <addr> [replica=..] [range=lo-hi], got %q", text)}
+		}
+		spec := ShardSpec{Name: fields[0], Addr: normalizeAddr(fields[1])}
+		for _, f := range fields[2:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, &ConfigError{line, fmt.Sprintf("bad option %q (want key=value)", f)}
+			}
+			switch key {
+			case "replica":
+				spec.Replica = normalizeAddr(val)
+			case "range":
+				lo, hi, err := ParseDocRange(val)
+				if err != nil {
+					return nil, &ConfigError{line, err.Error()}
+				}
+				spec.Lo, spec.Hi, spec.HasRange = lo, hi, true
+			default:
+				return nil, &ConfigError{line, fmt.Sprintf("unknown option %q", key)}
+			}
+		}
+		cfg.Shards = append(cfg.Shards, spec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// ParseConfigFile is ParseConfig over a file path.
+func ParseConfigFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg, err := ParseConfig(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// ParseDocRange parses a DocId range "lo-hi" (or a single "n", meaning
+// n-n). It is shared with the shard-side docs= request parameter.
+func ParseDocRange(s string) (lo, hi uint32, err error) {
+	loS, hiS, ok := strings.Cut(s, "-")
+	if !ok {
+		hiS = loS
+	}
+	l, err1 := strconv.ParseUint(loS, 10, 32)
+	h, err2 := strconv.ParseUint(hiS, 10, 32)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad DocId range %q (want lo-hi)", s)
+	}
+	if l > h {
+		return 0, 0, fmt.Errorf("bad DocId range %q: lo > hi", s)
+	}
+	return uint32(l), uint32(h), nil
+}
+
+// Validate checks structural soundness: at least one shard, unique names,
+// non-empty addresses, and — the property the router's correctness rests
+// on — no two explicit range claims overlapping (every DocId must have at
+// most one explicit owner). Overlap returns a typed *OverlapError.
+func (c *Config) Validate() error {
+	if len(c.Shards) == 0 {
+		return errors.New("cluster config: no shards")
+	}
+	seen := make(map[string]bool, len(c.Shards))
+	for _, s := range c.Shards {
+		if s.Name == "" || s.Addr == "" {
+			return fmt.Errorf("cluster config: shard with empty name or addr")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("cluster config: duplicate shard name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	ranged := make([]ShardSpec, 0, len(c.Shards))
+	for _, s := range c.Shards {
+		if s.HasRange {
+			ranged = append(ranged, s)
+		}
+	}
+	sort.Slice(ranged, func(i, j int) bool { return ranged[i].Lo < ranged[j].Lo })
+	for i := 1; i < len(ranged); i++ {
+		prev, cur := ranged[i-1], ranged[i]
+		if cur.Lo <= prev.Hi {
+			hi := prev.Hi
+			if cur.Hi < hi {
+				hi = cur.Hi
+			}
+			return &OverlapError{ShardA: prev.Name, ShardB: cur.Name, Lo: cur.Lo, Hi: hi}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseConfig(t *testing.T) {
+	in := `
+# the smoke-test fleet
+a localhost:9001 replica=localhost:9101 range=1-2
+b http://localhost:9002/ range=3-4
+
+c localhost:9003
+`
+	cfg, err := ParseConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(cfg.Shards))
+	}
+	a := cfg.Shard("a")
+	if a == nil || a.Addr != "http://localhost:9001" || a.Replica != "http://localhost:9101" {
+		t.Fatalf("shard a = %+v", a)
+	}
+	if !a.HasRange || a.Lo != 1 || a.Hi != 2 {
+		t.Fatalf("shard a range = %+v", a)
+	}
+	b := cfg.Shard("b")
+	if b == nil || b.Addr != "http://localhost:9002" {
+		t.Fatalf("shard b addr = %+v", b)
+	}
+	c := cfg.Shard("c")
+	if c == nil || c.HasRange || c.Replica != "" {
+		t.Fatalf("shard c = %+v", c)
+	}
+	if cfg.Shard("nope") != nil {
+		t.Fatal("Shard(nope) should be nil")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"a", "want <name> <addr>"},
+		{"a localhost:1 bogus", "bad option"},
+		{"a localhost:1 color=red", "unknown option"},
+		{"a localhost:1 range=9-3", "lo > hi"},
+		{"a localhost:1\na localhost:2", "duplicate shard name"},
+		{"", "no shards"},
+	}
+	for _, tc := range cases {
+		_, err := ParseConfig(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseConfig(%q) err = %v, want substring %q", tc.in, err, tc.want)
+		}
+	}
+
+	// Malformed lines carry their line number in a typed ConfigError.
+	_, err := ParseConfig(strings.NewReader("a localhost:1\n\nb localhost:2 k=v"))
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Line != 3 {
+		t.Fatalf("err = %v, want *ConfigError at line 3", err)
+	}
+}
+
+func TestOverlapRefused(t *testing.T) {
+	in := "a localhost:1 range=1-4\nb localhost:2 range=4-6"
+	_, err := ParseConfig(strings.NewReader(in))
+	var oe *OverlapError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v, want *OverlapError", err)
+	}
+	if oe.ShardA != "a" || oe.ShardB != "b" || oe.Lo != 4 || oe.Hi != 4 {
+		t.Fatalf("overlap = %+v", oe)
+	}
+
+	// The typed error survives the file-path wrapper too (the router's
+	// refuse-to-start check relies on errors.As through it).
+	if _, err := ParseConfigFile("/nonexistent/cluster.conf"); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestParseDocRange(t *testing.T) {
+	if lo, hi, err := ParseDocRange("5"); err != nil || lo != 5 || hi != 5 {
+		t.Fatalf("ParseDocRange(5) = %d,%d,%v", lo, hi, err)
+	}
+	if lo, hi, err := ParseDocRange("3-7"); err != nil || lo != 3 || hi != 7 {
+		t.Fatalf("ParseDocRange(3-7) = %d,%d,%v", lo, hi, err)
+	}
+	for _, bad := range []string{"7-3", "x", "1-", "-2", ""} {
+		if _, _, err := ParseDocRange(bad); err == nil {
+			t.Errorf("ParseDocRange(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+// DocSet is the wire form of an explicit document selection: the docs=
+// request parameter a router sub-request pins a shard to, e.g.
+// "1-3,7,9-12". The router compresses each run's exact owned DocIds into
+// this form (FormatDocSet), so a sub-request never names a document its
+// shard does not own — which is what lets the shard side treat an
+// explicitly requested but unowned document as a misdirected request.
+
+import (
+	"sort"
+	"strings"
+)
+
+// DocRange is one inclusive DocId interval of a DocSet.
+type DocRange struct {
+	Lo, Hi uint32
+}
+
+// ParseDocSet parses a comma-separated list of DocId ranges ("1-3,7").
+// The result is sorted by Lo; ranges may touch but are kept as given.
+func ParseDocSet(s string) ([]DocRange, error) {
+	parts := strings.Split(s, ",")
+	set := make([]DocRange, 0, len(parts))
+	for _, part := range parts {
+		lo, hi, err := ParseDocRange(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, DocRange{Lo: lo, Hi: hi})
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i].Lo < set[j].Lo })
+	return set, nil
+}
+
+// DocSetContains reports whether id falls in any range of a sorted set.
+func DocSetContains(set []DocRange, id uint32) bool {
+	i := sort.Search(len(set), func(i int) bool { return set[i].Lo > id })
+	return i > 0 && id <= set[i-1].Hi
+}
+
+// FormatDocSet compresses an ascending DocId list into the docs= wire
+// form, merging numerically consecutive ids into ranges.
+func FormatDocSet(ids []uint32) string {
+	var b strings.Builder
+	for i := 0; i < len(ids); {
+		j := i
+		for j+1 < len(ids) && ids[j+1] == ids[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		writeUint(&b, ids[i])
+		if j > i {
+			b.WriteByte('-')
+			writeUint(&b, ids[j])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+func writeUint(b *strings.Builder, v uint32) {
+	var buf [10]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	b.Write(buf[i:])
+}

@@ -1,0 +1,174 @@
+package cluster
+
+// Per-shard health probing. One goroutine polls every shard's /healthz on
+// a fixed cadence and runs a small up/down state machine per shard:
+// probeFailThreshold consecutive failures mark a shard down,
+// probeOkThreshold consecutive successes bring it back. The coordinator
+// also feeds passive observations in (a connection-refused sub-request is
+// as good a signal as a failed probe), so a killed shard is detected at
+// request speed, not probe speed — the property that keeps degraded-mode
+// requests from hanging on a dead node.
+//
+// Shards start optimistically up: a router booting ahead of its shards
+// must try them rather than reject everything until the first probe round.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+const (
+	probeFailThreshold = 2
+	probeOkThreshold   = 1
+)
+
+type probeState struct {
+	addr  string
+	up    bool
+	fails int
+	oks   int
+}
+
+// Prober owns the shard up/down state. Start launches the polling loop;
+// Observe feeds passive results from the request path.
+type Prober struct {
+	interval time.Duration
+	timeout  time.Duration
+	client   *http.Client
+	onChange func(name string, up bool)
+
+	mu     sync.Mutex
+	states map[string]*probeState
+	order  []string
+
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewProber creates a prober over the config's shards. onChange fires on
+// every state transition (metrics gauge updates); it may be nil.
+func NewProber(cfg *Config, interval, timeout time.Duration, client *http.Client, onChange func(string, bool)) *Prober {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if timeout <= 0 {
+		timeout = interval
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+	p := &Prober{
+		interval: interval,
+		timeout:  timeout,
+		client:   client,
+		onChange: onChange,
+		states:   make(map[string]*probeState, len(cfg.Shards)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, s := range cfg.Shards {
+		p.states[s.Name] = &probeState{addr: s.Addr, up: true}
+		p.order = append(p.order, s.Name)
+	}
+	return p
+}
+
+// Start launches the probe loop; Close stops it.
+func (p *Prober) Start() {
+	p.started = true
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop and waits for it to exit. Closing a prober
+// that was never started is a no-op.
+func (p *Prober) Close() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	if p.started {
+		<-p.done
+	}
+}
+
+func (p *Prober) probeAll() {
+	p.mu.Lock()
+	targets := make([]struct{ name, addr string }, 0, len(p.order))
+	for _, name := range p.order {
+		targets = append(targets, struct{ name, addr string }{name, p.states[name].addr})
+	}
+	p.mu.Unlock()
+	for _, t := range targets {
+		p.Observe(t.name, p.probeOne(t.addr))
+	}
+}
+
+func (p *Prober) probeOne(addr string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Up reports the shard's current state; unknown shards are down.
+func (p *Prober) Up(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.states[name]
+	return ok && st.up
+}
+
+// Observe feeds one health observation (active probe or passive
+// sub-request outcome) into the state machine.
+func (p *Prober) Observe(name string, ok bool) {
+	p.mu.Lock()
+	st, found := p.states[name]
+	if !found {
+		p.mu.Unlock()
+		return
+	}
+	var changed, nowUp bool
+	if ok {
+		st.oks++
+		st.fails = 0
+		if !st.up && st.oks >= probeOkThreshold {
+			st.up, changed, nowUp = true, true, true
+		}
+	} else {
+		st.fails++
+		st.oks = 0
+		if st.up && st.fails >= probeFailThreshold {
+			st.up, changed, nowUp = false, true, false
+		}
+	}
+	p.mu.Unlock()
+	if changed && p.onChange != nil {
+		p.onChange(name, nowUp)
+	}
+}

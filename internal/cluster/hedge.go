@@ -1,0 +1,210 @@
+package cluster
+
+// Sub-request execution with tail-latency hedging and failover retry.
+//
+// One exec call owns one router→shard sub-request. It races at most two
+// HTTP attempts under a shared per-sub-request deadline:
+//
+//   - The primary attempt goes to the shard's address immediately.
+//   - If it has not answered after the hedge delay — a fixed -hedge-after,
+//     or clamp(1.5×p99, HedgeMin, HedgeMax) derived from the shard's own
+//     successful-attempt latency histogram once it holds enough samples —
+//     a hedged attempt fires at the replica (or the primary again when no
+//     replica is configured). First 200 wins; the loser is cancelled.
+//   - A retriable failure (transport error, 5xx, 429) with no other
+//     attempt in flight triggers an immediate failover retry to the next
+//     untried endpoint. Fatal failures (4xx, deadline) return at once.
+//
+// Only transport failures feed the passive health state machine — a slow
+// shard is not a dead shard — and only successes feed the latency
+// histogram, so a burst of instant connection-refused errors cannot
+// collapse the p99-derived hedge delay to zero.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"xrtree/internal/metrics"
+	"xrtree/internal/obs"
+)
+
+// hedgeMinSamples is the successful-attempt count a shard's histogram must
+// hold before its p99 is trusted to derive the hedge delay; below it the
+// conservative HedgeMax is used.
+const hedgeMinSamples = 16
+
+// errShardDown is the fail-fast error for sub-requests to a shard the
+// health state machine currently marks down.
+var errShardDown = errors.New("shard marked down")
+
+// ShardError is the typed failure of one shard's sub-request, carrying the
+// retriable-vs-fatal classification. Retriable errors (transport failures,
+// 5xx, 429) have already been retried by the time a ShardError escapes
+// exec; the flag records how the failure was classified.
+type ShardError struct {
+	Shard     string
+	Err       error
+	Retriable bool
+	Code      int // HTTP status of a failing response; 0 for transport errors
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %s: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// reqRecorder accumulates one scatter-gather request's hedge and retry
+// counts across its concurrent sub-requests.
+type reqRecorder struct {
+	hedges  atomic.Int64
+	retries atomic.Int64
+}
+
+type attemptResult struct {
+	body []byte
+	code int
+	dur  time.Duration
+	err  error
+}
+
+// hedgeDelay returns how long exec waits on the primary attempt before
+// firing the hedge.
+func (co *Coordinator) hedgeDelay(name string) time.Duration {
+	if co.opt.HedgeAfter > 0 {
+		return co.opt.HedgeAfter
+	}
+	p99, n := co.met.p99(name)
+	if n < hedgeMinSamples {
+		return co.opt.HedgeMax
+	}
+	d := time.Duration(p99 + p99/2)
+	if d < co.opt.HedgeMin {
+		d = co.opt.HedgeMin
+	}
+	if d > co.opt.HedgeMax {
+		d = co.opt.HedgeMax
+	}
+	return d
+}
+
+// attempt runs one HTTP GET and delivers its outcome; out is buffered for
+// every attempt exec can launch, so a losing attempt never blocks.
+func (co *Coordinator) attempt(ctx context.Context, addr, pathQuery, traceparent string, out chan<- attemptResult) {
+	start := time.Now()
+	fail := func(err error) { out <- attemptResult{err: err, dur: time.Since(start)} }
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+pathQuery, nil)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := co.client.Do(req)
+	if err != nil {
+		fail(err)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fail(err)
+		return
+	}
+	out <- attemptResult{body: body, code: resp.StatusCode, dur: time.Since(start)}
+}
+
+// classify turns one attempt's outcome into the typed retriable-vs-fatal
+// error. Transport errors are retriable (the replica may be fine); 5xx and
+// 429 are retriable (overload or shard-local fault); other HTTP statuses
+// are fatal (the request itself is wrong and a replica will agree); hitting
+// the sub-request deadline is fatal (retrying would blow the budget again).
+func classify(shard string, r attemptResult) *ShardError {
+	if r.err != nil {
+		retriable := !errors.Is(r.err, context.DeadlineExceeded) && !errors.Is(r.err, context.Canceled)
+		return &ShardError{Shard: shard, Err: r.err, Retriable: retriable}
+	}
+	retriable := r.code >= 500 || r.code == http.StatusTooManyRequests
+	return &ShardError{Shard: shard, Err: fmt.Errorf("HTTP %d", r.code), Retriable: retriable, Code: r.code}
+}
+
+// exec performs one sub-request against the shard, hedging and retrying as
+// described in the package comment, and returns the winning 200 body.
+func (co *Coordinator) exec(ctx context.Context, spec ShardSpec, pathQuery, traceparent string, jc *metrics.Counters, rec *reqRecorder) ([]byte, error) {
+	name := spec.Name
+	if !co.probe.Up(name) {
+		// Fail fast: a down shard must cost nothing, not a timeout — this
+		// is what keeps degraded-mode requests from hanging on a dead node.
+		return nil, &ShardError{Shard: name, Err: errShardDown, Retriable: true}
+	}
+	actx, cancel := context.WithTimeout(ctx, co.opt.SubTimeout)
+	defer cancel()
+
+	endpoints := []string{spec.Addr}
+	if spec.Replica != "" && spec.Replica != spec.Addr {
+		endpoints = append(endpoints, spec.Replica)
+	}
+	const maxAttempts = 2
+	results := make(chan attemptResult, maxAttempts)
+	launched, inflight := 0, 0
+	launch := func() {
+		addr := endpoints[launched%len(endpoints)]
+		launched++
+		inflight++
+		go co.attempt(actx, addr, pathQuery, traceparent, results)
+	}
+	launch()
+
+	hedge := time.NewTimer(co.hedgeDelay(name))
+	defer hedge.Stop()
+
+	for {
+		select {
+		case <-hedge.C:
+			if inflight == 1 && launched < maxAttempts {
+				co.met.Hedge(name)
+				rec.hedges.Add(1)
+				if jc != nil {
+					jc.Emit(obs.EvClusterHedge, 1)
+				}
+				launch()
+			}
+		case r := <-results:
+			inflight--
+			if r.err == nil && r.code == http.StatusOK {
+				co.met.Attempt(name, r.dur, true)
+				co.probe.Observe(name, true)
+				if jc != nil {
+					jc.Emit(obs.EvClusterSub, r.dur.Nanoseconds())
+				}
+				return r.body, nil
+			}
+			se := classify(name, r)
+			co.met.Attempt(name, r.dur, false)
+			if r.err != nil && se.Retriable && actx.Err() == nil {
+				co.probe.Observe(name, false)
+			}
+			if inflight > 0 {
+				continue // the hedged attempt may still win
+			}
+			if se.Retriable && launched < maxAttempts && actx.Err() == nil {
+				co.met.Retry(name)
+				rec.retries.Add(1)
+				if jc != nil {
+					jc.Emit(obs.EvClusterRetry, 1)
+				}
+				launch()
+				continue
+			}
+			return nil, se
+		case <-actx.Done():
+			return nil, &ShardError{Shard: name, Err: actx.Err()}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import "testing"
+
+const ringTestDocs = 10000
+
+func ringConfig(names ...string) *Config {
+	cfg := &Config{}
+	for _, n := range names {
+		cfg.Shards = append(cfg.Shards, ShardSpec{Name: n, Addr: "http://" + n})
+	}
+	return cfg
+}
+
+// Placement is a pure function of the membership: two rings built from the
+// same config agree on every DocId.
+func TestRingDeterministic(t *testing.T) {
+	cfg := ringConfig("a", "b", "c")
+	r1, r2 := NewRing(cfg), NewRing(cfg)
+	for id := uint32(1); id <= ringTestDocs; id++ {
+		o1, ok1 := r1.Owner(id)
+		o2, ok2 := r2.Owner(id)
+		if o1 != o2 || ok1 != ok2 {
+			t.Fatalf("doc %d: %q/%v vs %q/%v", id, o1, ok1, o2, ok2)
+		}
+	}
+}
+
+// Every DocId maps to exactly one owner whenever an unranged shard anchors
+// the ring, and explicit range claims always win over the ring.
+func TestRingEveryDocOwned(t *testing.T) {
+	cfg := ringConfig("a", "b", "c")
+	cfg.Shards = append(cfg.Shards, ShardSpec{Name: "pinned", Addr: "http://pinned", Lo: 100, Hi: 199, HasRange: true})
+	r := NewRing(cfg)
+	counts := make(map[string]int)
+	for id := uint32(1); id <= ringTestDocs; id++ {
+		owner, ok := r.Owner(id)
+		if !ok {
+			t.Fatalf("doc %d: no owner", id)
+		}
+		if id >= 100 && id <= 199 {
+			if owner != "pinned" {
+				t.Fatalf("doc %d inside the explicit claim owned by %q", id, owner)
+			}
+		} else if owner == "pinned" {
+			t.Fatalf("doc %d outside the claim landed on the ranged shard", id)
+		}
+		counts[owner]++
+	}
+	// The vnode count must spread load across all unranged shards; exact
+	// balance is not required, but no shard may be starved.
+	for _, n := range []string{"a", "b", "c"} {
+		if counts[n] == 0 {
+			t.Fatalf("shard %s owns nothing: %v", n, counts)
+		}
+	}
+
+	// With only ranged shards, DocIds outside every claim have no owner.
+	only := &Config{Shards: []ShardSpec{{Name: "x", Addr: "http://x", Lo: 1, Hi: 5, HasRange: true}}}
+	if _, ok := NewRing(only).Owner(6); ok {
+		t.Fatal("doc outside every claim with no ring should have no owner")
+	}
+	if owner, ok := NewRing(only).Owner(3); !ok || owner != "x" {
+		t.Fatalf("Owner(3) = %q,%v", owner, ok)
+	}
+}
+
+// Adding a fourth shard moves only a bounded fraction of the keys: the
+// consistent-hash property that makes resharding cheap. A modulo scheme
+// would move ~3/4 of them; the ring must stay under twice the ideal 1/4.
+func TestRingBoundedMovementOnAdd(t *testing.T) {
+	before := NewRing(ringConfig("a", "b", "c"))
+	after := NewRing(ringConfig("a", "b", "c", "d"))
+	moved := 0
+	for id := uint32(1); id <= ringTestDocs; id++ {
+		ob, _ := before.Owner(id)
+		oa, _ := after.Owner(id)
+		if ob != oa {
+			moved++
+			if oa != "d" {
+				t.Fatalf("doc %d moved %s→%s, not to the new shard", id, ob, oa)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new shard received no keys")
+	}
+	if limit := ringTestDocs * 2 / 4; moved > limit {
+		t.Fatalf("adding 1 of 4 shards moved %d/%d keys, want ≤ %d", moved, ringTestDocs, limit)
+	}
+}
+
+// Removing a shard only reassigns that shard's own keys; everything else
+// stays put.
+func TestRingBoundedMovementOnRemove(t *testing.T) {
+	before := NewRing(ringConfig("a", "b", "c"))
+	after := NewRing(ringConfig("a", "b"))
+	for id := uint32(1); id <= ringTestDocs; id++ {
+		ob, _ := before.Owner(id)
+		oa, _ := after.Owner(id)
+		if ob != "c" && oa != ob {
+			t.Fatalf("doc %d owned by surviving shard %s moved to %s", id, ob, oa)
+		}
+		if ob == "c" && (oa != "a" && oa != "b") {
+			t.Fatalf("doc %d orphaned: owner %q", id, oa)
+		}
+	}
+}

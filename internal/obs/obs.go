@@ -81,6 +81,19 @@ const (
 	// EvServeTimeout is one request that hit its deadline, either waiting
 	// for a slot or mid-query (value: 1).
 	EvServeTimeout
+	// EvClusterSub closes one successful router→shard sub-request in the
+	// cluster coordinator (value: elapsed nanoseconds) — the per-shard
+	// sub-request latency histogram the hedge delay derives its p99 from.
+	EvClusterSub
+	// EvClusterHedge is one hedged sub-request fired after the p99-derived
+	// delay because the primary attempt had not answered (value: 1).
+	EvClusterHedge
+	// EvClusterRetry is one failover retry after a retriable sub-request
+	// error — connection refused, 5xx, 429 (value: 1).
+	EvClusterRetry
+	// EvClusterDegraded is one scatter-gather request answered degraded
+	// under the partial-result policy (value: shards failed).
+	EvClusterDegraded
 
 	// NumEvents bounds the event space; kinds ≥ NumEvents are dropped.
 	NumEvents
@@ -103,6 +116,10 @@ var eventNames = [NumEvents]string{
 	EvServeQueueDepth: "ServeQueueDepth",
 	EvServeReject:     "ServeReject",
 	EvServeTimeout:    "ServeTimeout",
+	EvClusterSub:      "ClusterSub",
+	EvClusterHedge:    "ClusterHedge",
+	EvClusterRetry:    "ClusterRetry",
+	EvClusterDegraded: "ClusterDegraded",
 }
 
 // String returns the event's canonical name (also its JSON key).

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"xrtree"
+	"xrtree/internal/cluster"
 	"xrtree/internal/obs"
 )
 
@@ -51,6 +52,15 @@ type Config struct {
 	// A fixed seed makes the sampling decision sequence deterministic for
 	// tests.
 	TraceSeed uint64
+	// ShardName identifies this node when it serves as one shard of a
+	// cluster; it only labels errors and logs, enforcement is Owns.
+	ShardName string
+	// Owns, when non-nil, restricts document backends to the DocIds this
+	// shard owns under the cluster placement: unowned documents are
+	// invisible to joins, queries and the /api/v1/backends inventory, and
+	// a docs= request explicitly naming a present-but-unowned document is
+	// refused with 421 Misdirected Request.
+	Owns func(docID uint32) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +144,7 @@ type Server struct {
 	rec     *obs.FlightRecorder
 	ids     *obs.IDSource
 	sampler *obs.Sampler
+	coord   *cluster.Coordinator // non-nil in router mode (NewRouter)
 
 	mu       sync.RWMutex
 	backends map[string]*backend
@@ -186,6 +197,10 @@ func (s *Server) AddDocuments(name string, st *xrtree.Store, docs ...*xrtree.Doc
 	if len(docs) == 0 {
 		return fmt.Errorf("server: backend %q: no documents", name)
 	}
+	// Ascending DocId is the emit order of every collection join and the
+	// document order the cluster router's merge assumes; sorting here makes
+	// it hold regardless of registration order.
+	sort.Slice(docs, func(i, j int) bool { return docs[i].DocID < docs[j].DocID })
 	coll := st.NewCollection()
 	tagSet := make(map[string]struct{})
 	for _, d := range docs {
@@ -418,6 +433,37 @@ func parseIntParam(raw string, def int, name string) (int, error) {
 	return n, nil
 }
 
+// docFilter resolves the docs= parameter and the shard ownership function
+// into a document filter for a collection backend (nil keeps everything).
+// With an explicit docs= set, naming a present document this shard does
+// not own is a misdirected request (421): the router only pins documents
+// to their owner, so a hit here means router and shard disagree about
+// placement and silently serving would risk double-counted results.
+func (s *Server) docFilter(b *backend, docsParam string) (func(uint32) bool, error) {
+	owns := s.cfg.Owns
+	if docsParam == "" {
+		return owns, nil
+	}
+	if b.coll == nil {
+		return nil, badRequest("docs parameter requires a document backend, %q serves catalogued sets", b.name)
+	}
+	set, err := cluster.ParseDocSet(docsParam)
+	if err != nil {
+		return nil, badRequest("bad docs %q: %v", docsParam, err)
+	}
+	if owns != nil {
+		for _, id := range b.coll.DocIDs() {
+			if cluster.DocSetContains(set, id) && !owns(id) {
+				return nil, &httpError{http.StatusMisdirectedRequest,
+					fmt.Sprintf("document %d is present but not owned by shard %q", id, s.cfg.ShardName)}
+			}
+		}
+	}
+	return func(id uint32) bool {
+		return cluster.DocSetContains(set, id) && (owns == nil || owns(id))
+	}, nil
+}
+
 // pairJSON is one sampled result pair.
 type pairJSON struct {
 	Anc  xrtree.Element `json:"anc"`
@@ -449,11 +495,22 @@ type joinResponse struct {
 	Stats     requestStats          `json:"stats"`
 	Phases    *xrtree.JoinPhases    `json:"phases,omitempty"`
 	Events    *xrtree.TraceSnapshot `json:"events,omitempty"`
+
+	// Cluster-mode fields, set only by the router (omitted on shards and
+	// single-node servers, keeping their responses byte-compatible).
+	Shards       int      `json:"shards,omitempty"`
+	ShardsFailed []string `json:"shards_failed,omitempty"`
+	Degraded     bool     `json:"degraded,omitempty"`
+	Hedges       int64    `json:"hedges,omitempty"`
+	Retries      int64    `json:"retries,omitempty"`
 }
 
 // handleJoin runs one structural join: GET /api/v1/join?backend=&anc=&
 // desc=&axis=&alg=&workers=&limit=&timeout=&stats=1.
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
+	if s.coord != nil {
+		return s.routeJoin(w, r)
+	}
 	q := r.URL.Query()
 	b, err := s.backend(q.Get("backend"))
 	if err != nil {
@@ -480,6 +537,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	withStats := q.Get("stats") == "1" || q.Get("stats") == "true"
+	keep, err := s.docFilter(b, q.Get("docs"))
+	if err != nil {
+		return err
+	}
 
 	axis := "//"
 	if mode == xrtree.ParentChild {
@@ -523,7 +584,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 	ctx := r.Context()
 	if b.coll != nil {
 		err = b.coll.ParallelJoinContext(ctx, alg, mode, anc, desc, emit, &st,
-			xrtree.ParallelJoinOptions{Workers: workers})
+			xrtree.ParallelJoinOptions{Workers: workers, Keep: keep})
 	} else {
 		var a, d *xrtree.ElementSet
 		if a, err = b.set(anc); err != nil {
@@ -578,11 +639,21 @@ type queryResponse struct {
 	Sample    []xrtree.Element `json:"sample,omitempty"`
 	Truncated bool             `json:"truncated,omitempty"`
 	Stats     requestStats     `json:"stats"`
+
+	// Cluster-mode fields, set only by the router.
+	Shards       int      `json:"shards,omitempty"`
+	ShardsFailed []string `json:"shards_failed,omitempty"`
+	Degraded     bool     `json:"degraded,omitempty"`
+	Hedges       int64    `json:"hedges,omitempty"`
+	Retries      int64    `json:"retries,omitempty"`
 }
 
 // handleQuery evaluates a path expression over a document backend:
 // GET /api/v1/query?backend=&path=&limit=&timeout=.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	if s.coord != nil {
+		return s.routeQuery(w, r)
+	}
 	q := r.URL.Query()
 	b, err := s.backend(q.Get("backend"))
 	if err != nil {
@@ -599,6 +670,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	keep, err := s.docFilter(b, q.Get("docs"))
+	if err != nil {
+		return err
+	}
 
 	var st xrtree.Stats
 	tr := traceFrom(r.Context())
@@ -609,7 +684,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		st.Tracer = querySpan
 	}
 	start := time.Now()
-	els, err := b.coll.QueryContext(r.Context(), path, &st)
+	els, err := b.coll.QueryContextDocs(r.Context(), path, keep, &st)
 	if err != nil {
 		var he *httpError
 		if errors.As(err, &he) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -648,23 +723,42 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// backendInfo is one entry of /api/v1/backends.
+// backendInfo is one entry of /api/v1/backends. In shard mode, Documents
+// and DocIDs cover only the documents this shard owns: the inventory is
+// the router's placement input, so advertising unowned copies would make
+// the router ask for documents the shard will refuse.
 type backendInfo struct {
 	Name      string   `json:"name"`
 	Kind      string   `json:"kind"` // "store" or "documents"
 	Sets      []string `json:"sets,omitempty"`
 	Tags      []string `json:"tags,omitempty"`
 	Documents int      `json:"documents,omitempty"`
+	DocIDs    []uint32 `json:"doc_ids,omitempty"`
 }
 
-func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	if s.coord != nil {
+		s.clusterBackends(w, r)
+		return
+	}
 	s.mu.RLock()
 	infos := make([]backendInfo, 0, len(s.order))
 	for _, name := range s.order {
 		b := s.backends[name]
 		info := backendInfo{Name: b.name, Kind: b.kind(), Sets: b.names, Tags: b.tags}
 		if b.coll != nil {
-			info.Documents = b.coll.Len()
+			ids := b.coll.DocIDs()
+			if owns := s.cfg.Owns; owns != nil {
+				owned := make([]uint32, 0, len(ids))
+				for _, id := range ids {
+					if owns(id) {
+						owned = append(owned, id)
+					}
+				}
+				ids = owned
+			}
+			info.Documents = len(ids)
+			info.DocIDs = ids
 		}
 		infos = append(infos, info)
 	}

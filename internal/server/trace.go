@@ -161,5 +161,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.Counter("xrtree_traces_recorded_total", "Request traces recorded by the flight recorder.", float64(rs.Recorded))
 	p.Counter("xrtree_traces_slow_total", "Recorded traces at or above the slow threshold.", float64(rs.Slow))
 	p.Gauge("xrtree_trace_buffer_capacity", "Flight-recorder ring capacity.", float64(rs.Capacity))
+	if s.coord != nil {
+		s.coord.Metrics().WriteProm(p)
+	}
 	_ = p.Err() // headers are sent; a broken client connection is not actionable
 }
