@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke microbench serve-smoke cluster-smoke examples experiments verify clean fmt-check lint vet test-debug fuzz-smoke crash-smoke ci
+.PHONY: all build test race bench bench-json bench-smoke microbench serve-smoke cluster-smoke examples experiments verify clean fmt-check lint vet vet-analyzers vet-run test-debug fuzz-smoke crash-smoke ci
 
 all: build test
 
@@ -59,10 +59,19 @@ serve-smoke:
 cluster-smoke:
 	GO="$(GO)" sh ./scripts/cluster_smoke.sh
 
-# Project-specific invariant checkers (cmd/xrvet): pin-leak, latch-order,
-# cancellation-poll, and Counters-threading analysis over the whole module.
-vet:
+# Project-specific invariant checkers (cmd/xrvet). vet-analyzers runs
+# the analyzers' own suites (per-analyzer `// want` testdata plus the
+# harness meta-tests); vet-run applies all eight checkers over the whole
+# module — repeat runs hit the per-(package, analyzer) cache under
+# ~/.cache/xrvet — and stock `go vet` (copylocks and friends) alongside.
+vet-analyzers:
+	$(GO) test ./internal/analysis/...
+
+vet-run:
 	$(GO) run ./cmd/xrvet ./...
+	$(GO) vet ./...
+
+vet: vet-analyzers vet-run
 
 # The whole test suite with the xrtreedebug runtime assertions compiled
 # in: resting-page checksums, the net-pin ledger, per-operation pin

@@ -9,10 +9,19 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
-	"testing"
 
 	"xrtree/internal/analysis"
 )
+
+// T is the subset of *testing.T the harness reports through. Meta-tests
+// (which check the harness's own failure messages) substitute a
+// recorder; ordinary callers pass their *testing.T unchanged.
+type T interface {
+	Helper()
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
 
 // TestData returns the absolute path of the calling test's testdata
 // directory, for passing to Run.
@@ -30,7 +39,7 @@ func TestData() string {
 // its line, and every want comment must be matched by a diagnostic. A
 // line may carry several expectations: // want "first" "second".
 // Patterns are regexps and may be double- or back-quoted.
-func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+func Run(t T, dir string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
@@ -88,7 +97,7 @@ var wantRe = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\")|(`[^`]*`)")
 
 // collectWants extracts the want expectations of every file in p, keyed
 // by (file, line) of the comment.
-func collectWants(t *testing.T, p *analysis.Package) map[lineKey][]*want {
+func collectWants(t T, p *analysis.Package) map[lineKey][]*want {
 	t.Helper()
 	wants := map[lineKey][]*want{}
 	for _, f := range p.Syntax {

@@ -1,0 +1,148 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xrtree/internal/analysis"
+	"xrtree/internal/analysis/analysistest"
+)
+
+// metaAnalyzer flags every call to a function literally named trigger —
+// just enough behavior to drive the harness meta-tests.
+var metaAnalyzer = &analysis.Analyzer{
+	Name: "meta",
+	Doc:  "report a finding at every call to trigger",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "trigger" {
+						pass.Reportf(call.Pos(), "finding: trigger call")
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// recorder satisfies analysistest.T and captures the harness's output
+// instead of failing the real test.
+type recorder struct {
+	errors []string
+	fatal  string
+}
+
+type metaFatal struct{}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatal(args ...any) {
+	r.fatal = fmt.Sprint(args...)
+	panic(metaFatal{})
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatal = fmt.Sprintf(format, args...)
+	panic(metaFatal{})
+}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+// TestHarnessReportsMismatches runs the harness over a fixture whose
+// want comments deliberately disagree with the analyzer and checks that
+// every mismatch — extra diagnostic, missing diagnostic, wrong position
+// — fails with a message carrying a readable file:line location.
+func TestHarnessReportsMismatches(t *testing.T) {
+	rec := &recorder{}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if _, ok := p.(metaFatal); !ok {
+					panic(p)
+				}
+			}
+		}()
+		analysistest.Run(rec, analysistest.TestData(), metaAnalyzer, "meta")
+	}()
+	if rec.fatal != "" {
+		t.Fatalf("harness died instead of reporting mismatches: %s", rec.fatal)
+	}
+
+	src := filepath.Join(analysistest.TestData(), "src", "meta", "meta.go")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	lineOf := func(marker string) int {
+		for i, l := range lines {
+			if strings.Contains(l, marker) {
+				return i + 1
+			}
+		}
+		t.Fatalf("marker %q not found in %s", marker, src)
+		return 0
+	}
+
+	// One error per mismatch half; the matched case contributes none.
+	if len(rec.errors) != 4 {
+		t.Fatalf("harness reported %d errors, want 4:\n%s", len(rec.errors), strings.Join(rec.errors, "\n"))
+	}
+	expect := func(wantLoc, wantText string) {
+		t.Helper()
+		for _, e := range rec.errors {
+			if strings.Contains(e, wantLoc) && strings.Contains(e, wantText) {
+				return
+			}
+		}
+		t.Errorf("no harness error at %q mentioning %q; got:\n%s", wantLoc, wantText, strings.Join(rec.errors, "\n"))
+	}
+	loc := func(line int) string { return fmt.Sprintf("meta.go:%d", line) }
+
+	expect(loc(lineOf("// extra: the harness")), "unexpected diagnostic: finding: trigger call")
+	expect(loc(lineOf("func missing()")), `no diagnostic matching "finding: trigger call"`)
+	expect(loc(lineOf("// wrongpos: diagnostic here")), "unexpected diagnostic: finding: trigger call")
+	expect(loc(lineOf(`"finding: trigger .all"`)), "no diagnostic matching")
+}
+
+// TestHarnessAcceptsAgreement runs the matched fixture shape through a
+// real *testing.T (the interface's production instantiation) with an
+// analyzer that agrees with no want comments at all: a package with
+// neither diagnostics nor wants passes silently.
+func TestHarnessAcceptsAgreement(t *testing.T) {
+	quiet := &analysis.Analyzer{
+		Name: "quiet",
+		Doc:  "never reports",
+		Run:  func(pass *analysis.Pass) (any, error) { return nil, nil },
+	}
+	rec := &recorder{}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if _, ok := p.(metaFatal); !ok {
+					panic(p)
+				}
+			}
+		}()
+		analysistest.Run(rec, analysistest.TestData(), quiet, "meta")
+	}()
+	if rec.fatal != "" {
+		t.Fatalf("unexpected fatal: %s", rec.fatal)
+	}
+	// The fixture's want comments are now all unmatched; the silent
+	// analyzer must trip every one of them but invent nothing.
+	for _, e := range rec.errors {
+		if strings.Contains(e, "unexpected diagnostic") {
+			t.Errorf("quiet analyzer produced a diagnostic: %s", e)
+		}
+	}
+	if len(rec.errors) != 3 {
+		t.Errorf("want 3 unmatched-want errors, got %d:\n%s", len(rec.errors), strings.Join(rec.errors, "\n"))
+	}
+}

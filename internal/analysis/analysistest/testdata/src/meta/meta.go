@@ -1,0 +1,29 @@
+// Package meta is fixture input for the analysistest meta-tests: its
+// want comments deliberately disagree with the meta analyzer (which
+// flags every call to trigger) so the tests can check the harness's own
+// failure messages.
+package meta
+
+func trigger() {}
+
+// matched is the only well-behaved case: diagnostic and want agree.
+func matched() {
+	trigger() // want "finding: trigger call"
+}
+
+// extra produces a diagnostic with no want comment on its line.
+func extra() {
+	trigger() // extra: the harness must flag this as unexpected
+}
+
+// missing carries a want comment on a line with no diagnostic.
+func missing() { // want "finding: trigger call"
+	_ = 0
+}
+
+// wrongpos puts the want one line below the diagnostic: the harness
+// must report both halves of the mismatch.
+func wrongpos() {
+	trigger() // wrongpos: diagnostic here, want below
+	// want "finding: trigger .all"
+}

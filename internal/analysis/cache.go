@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"go/build"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Cache memoizes per-(package, analyzer) rendered diagnostics on disk so
+// repeat `make vet` runs skip type-checking and re-analysis of unchanged
+// packages. Entries live under os.UserCacheDir()/xrvet and are keyed by
+//
+//   - the analyzer binary's content hash (new analyzer code invalidates
+//     everything),
+//   - the module's export-data surface (the gc export files `go list
+//     -export -deps` hands back live in the content-addressed build
+//     cache, so their paths change whenever any dependency's API
+//     changes), and
+//   - the package's own source files, by content.
+//
+// A hit replays the rendered diagnostics verbatim — findings stay
+// visible on every run, not just the first. All cache failures degrade
+// to a miss: a nil *Cache is valid and never hits.
+type Cache struct {
+	dir string
+	sig []byte // binary hash + module export surface
+}
+
+// OpenCache builds the cache for the running analyzer binary and the
+// loader's module.
+func OpenCache(l *Loader) (*Cache, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(base, "xrvet")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return nil, err
+	}
+	_, cerr := io.Copy(h, f)
+	f.Close()
+	if cerr != nil {
+		return nil, cerr
+	}
+	surface := make([]string, 0, len(l.exports))
+	for ip, file := range l.exports {
+		surface = append(surface, ip+"="+file)
+	}
+	sort.Strings(surface)
+	for _, s := range surface {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+	return &Cache{dir: dir, sig: h.Sum(nil)}, nil
+}
+
+// PackageKey derives the cache key for the package in dir from the cache
+// signature and the package's source file contents. It returns "" (never
+// cached) when the directory or a file cannot be read.
+func (c *Cache) PackageKey(dir string) string {
+	if c == nil {
+		return ""
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return ""
+	}
+	h := sha256.New()
+	h.Write(c.sig)
+	io.WriteString(h, dir)
+	names := append([]string{}, bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return ""
+		}
+		io.WriteString(h, name)
+		h.Write([]byte{0})
+		h.Write(data)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func (c *Cache) entry(pkgKey, analyzer string) string {
+	return filepath.Join(c.dir, pkgKey+"-"+analyzer)
+}
+
+// Get returns the cached rendered diagnostics for (pkgKey, analyzer).
+// The second result distinguishes "cached clean run" from "no entry".
+func (c *Cache) Get(pkgKey, analyzer string) ([]string, bool) {
+	if c == nil || pkgKey == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entry(pkgKey, analyzer))
+	if err != nil {
+		return nil, false
+	}
+	s := strings.TrimRight(string(data), "\n")
+	if s == "" {
+		return nil, true
+	}
+	return strings.Split(s, "\n"), true
+}
+
+// Put stores the rendered diagnostics for (pkgKey, analyzer). Failures
+// are dropped — the next run simply misses.
+func (c *Cache) Put(pkgKey, analyzer string, lines []string) {
+	if c == nil || pkgKey == "" {
+		return
+	}
+	var data string
+	if len(lines) > 0 {
+		data = strings.Join(lines, "\n") + "\n"
+	}
+	tmp := c.entry(pkgKey, analyzer) + ".tmp"
+	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, c.entry(pkgKey, analyzer))
+}

@@ -13,7 +13,9 @@
 // without the parameter have nothing to poll. Loops that are bounded by
 // construction (root-to-leaf descents bounded by tree height) are
 // annotated `//xrvet:bounded <reason>` at the loop, which both documents
-// and suppresses the finding.
+// and suppresses the finding. The reason is mandatory: a bare
+// `//xrvet:bounded` suppresses nothing and is flagged itself, so every
+// escape in the tree carries its audit trail.
 package ctxpoll
 
 import (
@@ -68,7 +70,13 @@ func run(pass *analysis.Pass) (any, error) {
 				if body == nil {
 					return true
 				}
-				if analysis.Annotated(pass.Fset, bounded, pos) {
+				if reason, ok := analysis.Annotation(pass.Fset, bounded, pos); ok {
+					// The escape documents as much as it suppresses: a
+					// bare //xrvet:bounded with no justification is
+					// itself a finding.
+					if reason == "" && containsCall(body, triggers) && !containsCall(body, polls) {
+						pass.Reportf(pos, "bare //xrvet:bounded escape: add a justification (//xrvet:bounded <reason>)")
+					}
 					return true
 				}
 				if containsCall(body, triggers) && !containsCall(body, polls) {

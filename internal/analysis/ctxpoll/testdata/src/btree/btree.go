@@ -116,6 +116,19 @@ func badCursorLoop(cu *cursor, c *Counters) {
 	}
 }
 
+// badBareBounded carries an escape with no justification: rejected, the
+// annotation must document why the loop is bounded.
+func badBareBounded(p *Pool, c *Counters, h int) error {
+	buf := make([]byte, 16)
+	//xrvet:bounded
+	for i := 0; i < h; i++ { // want `bare //xrvet:bounded escape: add a justification`
+		if err := p.FetchCopy(uint32(i), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func badChainWalk(p *Pool, c *Counters, id uint32) error {
 	for id != 0 { // want `loop fetches pages or advances a cursor but never polls Counters.Interrupted`
 		data, err := p.Fetch(id)

@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"xrtree/internal/analysis/analysistest"
+	"xrtree/internal/analysis/errclass"
+)
+
+func TestErrClass(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errclass.Analyzer, "a")
+}

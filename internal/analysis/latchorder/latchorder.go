@@ -1,24 +1,32 @@
 // Package latchorder enforces the repo's lock-acquisition order. The
-// concurrency design (PR 2) layers three lock classes:
+// concurrency design (PRs 2, 7, 8) layers six lock classes:
 //
 //	level 1: Tree.latch      — btree/core tree latch (RWMutex)
-//	level 2: shard.mu        — buffer-pool shard mutexes
-//	level 3: Pool.seriesMu   — buffer-pool series/stats mutex
+//	level 2: Pool.ckptGate   — WAL checkpoint gate (RWMutex, PR 7)
+//	level 3: shard.mu        — buffer-pool shard mutexes
+//	level 4: Pool.seriesMu   — buffer-pool series/stats mutex
+//	level 5: shardState.mu   — cluster coordinator inventory mutex (PR 8)
+//	level 6: Prober.mu       — cluster health prober mutex (PR 8)
 //
-// A goroutine may only acquire locks in strictly increasing level order:
-// tree latch before pool shard before series. Acquiring a lock at a level
-// at or below one already held — including a second lock of the same
-// class, which the sharded pool never nests — risks deadlock with a
-// writer queued on the RWMutex or with another goroutine locking in the
+// A goroutine may only acquire locks in strictly increasing level order.
+// Mutations hold the tree latch across the whole transaction and commit
+// takes the checkpoint gate's read side under it (CommitTx, BeginUnlogged
+// under BulkLoad), then per-shard mutexes, then the series mutex; the
+// cluster locks are router-side leaves never nested with pool locks or
+// each other. Acquiring a lock at a level at or below one already held —
+// including a second lock of the same class, which neither the sharded
+// pool nor the coordinator ever nests — risks deadlock with a writer
+// queued on the RWMutex or with another goroutine locking in the
 // documented order.
 //
 // The check is lexical and branch-aware within one function: it tracks
-// locks acquired via x.Lock()/x.RLock() on classified fields (releases
-// via Unlock/RUnlock and defers understood) and flags both direct
-// acquisitions and calls to methods that are known to acquire a level
-// (Pool.Fetch acquires a shard, Tree.Insert acquires the latch, and so
-// on). Same-package helpers inherit summaries from the locks their
-// bodies acquire, propagated to a fixpoint through same-package calls.
+// locks acquired via x.Lock()/x.RLock()/x.TryLock()/x.TryRLock() on
+// classified fields (releases via Unlock/RUnlock and defers understood)
+// and flags both direct acquisitions and calls to methods that are known
+// to acquire a level (Pool.Fetch acquires a shard, Tree.Insert acquires
+// the latch, Pool.CommitTx the checkpoint gate, and so on). Same-package
+// helpers inherit summaries from the locks their bodies acquire,
+// propagated to a fixpoint through same-package calls.
 // `//xrvet:latchorder-ignore` on a function declaration suppresses the
 // check for that function.
 package latchorder
@@ -33,7 +41,7 @@ import (
 // Analyzer is the latchorder analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "latchorder",
-	Doc:  "enforce btree-latch → pool-shard → pool-series lock acquisition order",
+	Doc:  "enforce tree-latch → ckpt-gate → pool-shard → pool-series → cluster lock acquisition order",
 	Run:  run,
 }
 
@@ -41,8 +49,11 @@ var Analyzer = &analysis.Analyzer{
 // its level.
 var lockClasses = map[[2]string]int{
 	{"Tree", "latch"}:    1,
-	{"shard", "mu"}:      2,
-	{"Pool", "seriesMu"}: 3,
+	{"Pool", "ckptGate"}: 2,
+	{"shard", "mu"}:      3,
+	{"Pool", "seriesMu"}: 4,
+	{"shardState", "mu"}: 5,
+	{"Prober", "mu"}:     6,
 }
 
 // methodLevels summarizes exported entry points of other packages: the
@@ -55,19 +66,36 @@ var methodLevels = map[[2]string]int{
 	{"Tree", "AppendAncestors"}: 1, {"Tree", "FindDescendants"}: 1,
 	{"Tree", "FindChildren"}: 1, {"Tree", "FindParent"}: 1,
 	{"Tree", "CheckInvariants"}: 1, {"Tree", "PrefetchGE"}: 1,
-	{"Pool", "Fetch"}: 2, {"Pool", "FetchCopy"}: 2, {"Pool", "FetchNew"}: 2,
-	{"Pool", "Unpin"}: 2, {"Pool", "Discard"}: 2, {"Pool", "FlushAll"}: 2,
-	{"Pool", "DropClean"}: 2, {"Pool", "PinnedCount"}: 2,
+	// The WAL protocol methods take the checkpoint gate: commits and
+	// unlogged bulk builds on the read side, checkpoints on the write side.
+	{"Pool", "CommitTx"}: 2, {"Pool", "BeginUnlogged"}: 2,
+	{"Pool", "Checkpoint"}: 2, {"Pool", "CheckpointWait"}: 2,
+	{"Pool", "Fetch"}: 3, {"Pool", "FetchTraced"}: 3,
+	{"Pool", "FetchCopy"}: 3, {"Pool", "FetchCopyTraced"}: 3,
+	{"Pool", "FetchNew"}:  3,
+	{"Pool", "FetchHeld"}: 3, {"Pool", "FetchHeldTraced"}: 3,
+	{"Pool", "FetchNewHeld"}: 3, {"Pool", "UnpinTx"}: 3,
+	{"Pool", "DiscardTx"}: 3, {"Pool", "FreeTx"}: 3,
+	{"Pool", "Unpin"}: 3, {"Pool", "Discard"}: 3, {"Pool", "FlushAll"}: 3,
+	{"Pool", "DropClean"}: 3, {"Pool", "PinnedCount"}: 3,
 	// TryFetchCopy locks the target shard like any fetch. Prefetch only
 	// enqueues, but its hints are consumed by workers that lock shards, and
-	// Close joins those workers — treating both as level 2 forbids hinting
+	// Close joins those workers — treating both as level 3 forbids hinting
 	// or shutting down the prefetcher while a shard mutex is held (Close
 	// would deadlock outright against a worker blocked on that shard).
-	{"Pool", "TryFetchCopy"}: 2, {"Pool", "Prefetch"}: 2, {"Pool", "Close"}: 2,
-	{"Pool", "EnableHitRateSeries"}: 3, {"Pool", "HitRateSeries"}: 3,
+	{"Pool", "TryFetchCopy"}: 3, {"Pool", "Prefetch"}: 3, {"Pool", "Close"}: 3,
+	{"Pool", "EnableHitRateSeries"}: 4, {"Pool", "HitRateSeries"}: 4,
+	// Cluster router-side leaves: the coordinator's per-shard inventory
+	// mutex and the health prober's state mutex. Prober.Start spawns the
+	// probe loop and Close joins it, so both count as acquisitions — Close
+	// while holding the mutex would deadlock against the loop.
+	{"Coordinator", "Gather"}: 5, {"Coordinator", "Status"}: 5,
+	{"Coordinator", "Backends"}: 5,
+	{"Prober", "Up"}:            6, {"Prober", "Observe"}: 6,
+	{"Prober", "Start"}: 6, {"Prober", "Close"}: 6,
 }
 
-const orderDoc = "required order: tree latch (1) → pool shard (2) → pool series (3)"
+const orderDoc = "required order: tree latch (1) → ckpt gate (2) → pool shard (3) → pool series (4) → cluster shard state (5) → prober (6)"
 
 func run(pass *analysis.Pass) (any, error) {
 	c := &checker{
@@ -160,7 +188,10 @@ func (c *checker) lockCall(call *ast.CallExpr) (*held, bool) {
 	}
 	var acquire bool
 	switch sel.Sel.Name {
-	case "Lock", "RLock":
+	// TryLock/TryRLock are acquisitions for ordering purposes: on the
+	// success branch the lock is held, and even attempting one out of
+	// order means the code was written against the wrong level.
+	case "Lock", "RLock", "TryLock", "TryRLock":
 		acquire = true
 	case "Unlock", "RUnlock":
 		acquire = false

@@ -1,11 +1,13 @@
-// Package a models the repo's three lock classes for the latchorder
-// analyzer tests: Tree.latch (level 1), shard.mu (level 2), and
-// Pool.seriesMu (level 3), with methods matching the summarized names.
+// Package a models the repo's six lock classes for the latchorder
+// analyzer tests: Tree.latch (level 1), Pool.ckptGate (level 2),
+// shard.mu (level 3), Pool.seriesMu (level 4), shardState.mu (level 5),
+// and Prober.mu (level 6), with methods matching the summarized names.
 package a
 
 import "sync"
 
 type Pool struct {
+	ckptGate sync.RWMutex
 	seriesMu sync.Mutex
 }
 
@@ -14,6 +16,8 @@ func (p *Pool) Unpin(id uint32, dirty bool) error       { return nil }
 func (p *Pool) Prefetch(ids ...uint32)                  {}
 func (p *Pool) TryFetchCopy(id uint32, dst []byte) bool { return false }
 func (p *Pool) Close()                                  {}
+func (p *Pool) CommitTx(tx any) error                   { return nil }
+func (p *Pool) FlushAll() error                         { return nil }
 
 type shard struct {
 	mu sync.Mutex
@@ -28,12 +32,22 @@ type Tree struct {
 func (t *Tree) Insert(k int)        {}
 func (t *Tree) PrefetchGE(k uint32) {}
 
+type shardState struct {
+	mu sync.Mutex
+}
+
+type Prober struct {
+	mu sync.Mutex
+}
+
+func (p *Prober) Up(name string) bool { return true }
+
 // ---- negative cases: acquisitions in increasing level order ----
 
 func goodOrder(t *Tree) {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
-	t.pool.Fetch(1) // latch (1) then pool shard (2): ok
+	t.pool.Fetch(1) // latch (1) then pool shard (3): ok
 }
 
 func goodSeriesLast(t *Tree) {
@@ -73,12 +87,31 @@ func goodGoroutine(t *Tree) {
 
 // goodPrefetchUnderLatch mirrors core.Tree.PrefetchGE: an advisory
 // readahead descent holds the tree latch (1) while probing residency and
-// publishing hints (2) — increasing order, allowed.
+// publishing hints (3) — increasing order, allowed.
 func goodPrefetchUnderLatch(t *Tree, buf []byte) {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
 	t.pool.TryFetchCopy(1, buf)
 	t.pool.Prefetch(2)
+}
+
+// goodCommitUnderLatch mirrors the WAL protocol: a mutation holds the
+// tree latch for its whole transaction and commits under it — the gate
+// (2) nests inside the latch (1).
+func goodCommitUnderLatch(t *Tree) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	t.pool.CommitTx(nil)
+}
+
+// goodCheckpointShape mirrors Pool.Checkpoint: the gate's write side via
+// TryLock, then the shard-level flush under it.
+func goodCheckpointShape(p *Pool) {
+	if !p.ckptGate.TryLock() {
+		return
+	}
+	defer p.ckptGate.Unlock()
+	p.FlushAll()
 }
 
 //xrvet:latchorder-ignore deliberate inversion exercised under test
@@ -93,14 +126,14 @@ func ignoredInversion(t *Tree) {
 
 func badPoolUnderShard(t *Tree) {
 	t.s.mu.Lock()
-	t.pool.Fetch(1) // want `latch order violation: calling t.pool.Fetch \(acquires level 2\) while holding t.s.mu \(level 2\)`
+	t.pool.Fetch(1) // want `latch order violation: calling t.pool.Fetch \(acquires level 3\) while holding t.s.mu \(level 3\)`
 	t.s.mu.Unlock()
 }
 
 func badLatchUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.s.mu \(level 2\)`
+	t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.s.mu \(level 3\)`
 	t.latch.RUnlock()
 }
 
@@ -113,9 +146,37 @@ func badRecursiveLatch(t *Tree) {
 
 func badSeriesFirst(t *Tree) {
 	t.pool.seriesMu.Lock()
-	t.s.mu.Lock() // want `latch order violation: acquiring t.s.mu \(level 2\) while holding t.pool.seriesMu \(level 3\)`
+	t.s.mu.Lock() // want `latch order violation: acquiring t.s.mu \(level 3\) while holding t.pool.seriesMu \(level 4\)`
 	t.s.mu.Unlock()
 	t.pool.seriesMu.Unlock()
+}
+
+// badGateUnderShard inverts the PR 7 commit protocol: the checkpoint
+// gate (2) must be taken before any shard mutex (3), the way CommitTx
+// does, never under one.
+func badGateUnderShard(t *Tree) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.pool.ckptGate.RLock() // want `latch order violation: acquiring t.pool.ckptGate \(level 2\) while holding t.s.mu \(level 3\)`
+	t.pool.ckptGate.RUnlock()
+}
+
+// badTryGateUnderShard is the same inversion through TryLock — trying
+// out of order is still ordered wrong.
+func badTryGateUnderShard(t *Tree) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.pool.ckptGate.TryLock() { // want `latch order violation: acquiring t.pool.ckptGate \(level 2\) while holding t.s.mu \(level 3\)`
+		t.pool.ckptGate.Unlock()
+	}
+}
+
+// badCommitUnderSeries commits while holding the series mutex (4): the
+// commit takes the gate (2) and shard mutexes (3) internally.
+func badCommitUnderSeries(t *Tree) {
+	t.pool.seriesMu.Lock()
+	defer t.pool.seriesMu.Unlock()
+	t.pool.CommitTx(nil) // want `latch order violation: calling t.pool.CommitTx \(acquires level 2\) while holding t.pool.seriesMu \(level 4\)`
 }
 
 // badNestedTreeOp re-enters a latching entry point while latched — the
@@ -132,7 +193,7 @@ func badNestedTreeOp(t, u *Tree) {
 func badPrefetchUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	t.pool.Prefetch(1) // want `latch order violation: calling t.pool.Prefetch \(acquires level 2\) while holding t.s.mu \(level 2\)`
+	t.pool.Prefetch(1) // want `latch order violation: calling t.pool.Prefetch \(acquires level 3\) while holding t.s.mu \(level 3\)`
 }
 
 // badCloseUnderShard joins the prefetch workers while holding a shard
@@ -140,7 +201,7 @@ func badPrefetchUnderShard(t *Tree) {
 func badCloseUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	t.pool.Close() // want `latch order violation: calling t.pool.Close \(acquires level 2\) while holding t.s.mu \(level 2\)`
+	t.pool.Close() // want `latch order violation: calling t.pool.Close \(acquires level 3\) while holding t.s.mu \(level 3\)`
 }
 
 // badPrefetchGEUnderLatch re-enters the latching advisory descent while
@@ -160,14 +221,37 @@ func lockHelper(t *Tree) {
 func badCallsHelperUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	lockHelper(t) // want `latch order violation: calling lockHelper \(acquires level 1\) while holding t.s.mu \(level 2\)`
+	lockHelper(t) // want `latch order violation: calling lockHelper \(acquires level 1\) while holding t.s.mu \(level 3\)`
 }
 
 func badGoroutineBody(t *Tree) {
 	go func() {
 		t.s.mu.Lock()
-		t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.s.mu \(level 2\)`
+		t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.s.mu \(level 3\)`
 		t.latch.RUnlock()
 		t.s.mu.Unlock()
 	}()
+}
+
+// ---- cluster lock classes (PR 8): router-side leaves ----
+
+func goodProberUnderInventory(st *shardState, pr *Prober) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pr.Up("s0") // shard state (5) then prober (6): ok
+}
+
+func badInventoryUnderProber(st *shardState, pr *Prober) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	st.mu.Lock() // want `latch order violation: acquiring st.mu \(level 5\) while holding pr.mu \(level 6\)`
+	st.mu.Unlock()
+}
+
+// badPoolUnderProber: cluster locks are leaves above every storage lock;
+// reaching back into the pool while holding one is ordered wrong.
+func badPoolUnderProber(pr *Prober, p *Pool) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	p.Fetch(1) // want `latch order violation: calling p.Fetch \(acquires level 3\) while holding pr.mu \(level 6\)`
 }

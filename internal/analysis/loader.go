@@ -55,7 +55,7 @@ func NewLoader(dir string) (*Loader, error) {
 		exports: map[string]string{},
 		pkgs:    map[string]*Package{},
 	}
-	out, err := goList(modDir, "-export", "-deps", "-f", "{{.ImportPath}}={{.Export}}", "./...")
+	out, _, err := goList(modDir, "-export", "-deps", "-f", "{{.ImportPath}}={{.Export}}", "./...")
 	if err != nil {
 		return nil, fmt.Errorf("analysis: listing export data: %w", err)
 	}
@@ -97,33 +97,55 @@ func findModule(dir string) (modDir, modPath string, err error) {
 	}
 }
 
-func goList(dir string, args ...string) (string, error) {
+func goList(dir string, args ...string) (out, warnings string, err error) {
 	cmd := exec.Command("go", append([]string{"list"}, args...)...)
 	cmd.Dir = dir
 	var stderr strings.Builder
 	cmd.Stderr = &stderr
-	out, err := cmd.Output()
+	outb, err := cmd.Output()
 	if err != nil {
-		return "", fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+		return "", stderr.String(), fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
 	}
-	return string(out), nil
+	return string(outb), stderr.String(), nil
 }
 
-// Packages expands go package patterns (for example "./...") relative to
-// the module root and loads each matched package.
-func (l *Loader) Packages(patterns []string) ([]*Package, error) {
+// PackageDirs expands go package patterns (for example "./...") relative
+// to the module root. A pattern set that matches no packages is an error,
+// not an empty result: `go list` exits 0 with only a stderr warning for a
+// typo'd path, and an analyzer run that silently checks nothing reports a
+// deceptive all-clear.
+func (l *Loader) PackageDirs(patterns []string) ([]string, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	out, err := goList(l.ModDir, append([]string{"-f", "{{.Dir}}"}, patterns...)...)
+	out, warn, err := goList(l.ModDir, append([]string{"-f", "{{.Dir}}"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, dir := range strings.Split(strings.TrimSpace(out), "\n") {
+		if dir != "" {
+			dirs = append(dirs, dir)
+		}
+	}
+	if len(dirs) == 0 {
+		if warn = strings.TrimSpace(warn); warn != "" {
+			return nil, fmt.Errorf("analysis: no packages matched %s: %s", strings.Join(patterns, " "), warn)
+		}
+		return nil, fmt.Errorf("analysis: no packages matched %s", strings.Join(patterns, " "))
+	}
+	return dirs, nil
+}
+
+// Packages expands patterns with PackageDirs and loads each matched
+// package.
+func (l *Loader) Packages(patterns []string) ([]*Package, error) {
+	dirs, err := l.PackageDirs(patterns)
 	if err != nil {
 		return nil, err
 	}
 	var pkgs []*Package
-	for _, dir := range strings.Split(strings.TrimSpace(out), "\n") {
-		if dir == "" {
-			continue
-		}
+	for _, dir := range dirs {
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
 			return nil, err

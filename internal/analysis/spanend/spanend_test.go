@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"xrtree/internal/analysis/analysistest"
+	"xrtree/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spanend.Analyzer, "a")
+}

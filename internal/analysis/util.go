@@ -101,10 +101,19 @@ func CommentLines(fset *token.FileSet, files []*ast.File, directive string) map[
 // Annotated reports whether pos's line or the line directly above carries
 // a directive collected by CommentLines.
 func Annotated(fset *token.FileSet, lines map[LineKey]string, pos token.Pos) bool {
-	p := fset.Position(pos)
-	if _, ok := lines[LineKey{File: p.Filename, Line: p.Line}]; ok {
-		return true
-	}
-	_, ok := lines[LineKey{File: p.Filename, Line: p.Line - 1}]
+	_, ok := Annotation(fset, lines, pos)
 	return ok
+}
+
+// Annotation returns the trailing justification text of the directive on
+// pos's line or the line directly above, and whether one is present. An
+// empty string with ok=true is a bare, unjustified escape — analyzers
+// that require justifications reject those.
+func Annotation(fset *token.FileSet, lines map[LineKey]string, pos token.Pos) (string, bool) {
+	p := fset.Position(pos)
+	if reason, ok := lines[LineKey{File: p.Filename, Line: p.Line}]; ok {
+		return reason, true
+	}
+	reason, ok := lines[LineKey{File: p.Filename, Line: p.Line - 1}]
+	return reason, ok
 }

@@ -1,0 +1,12 @@
+package walheld_test
+
+import (
+	"testing"
+
+	"xrtree/internal/analysis/analysistest"
+	"xrtree/internal/analysis/walheld"
+)
+
+func TestWalHeld(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), walheld.Analyzer, "a")
+}

@@ -391,6 +391,7 @@ func (co *Coordinator) Gather(ctx context.Context, req *Request, tracer obs.Trac
 	case "query":
 		path = "/api/v1/query"
 	default:
+		//xrvet:errclass-ok request validation maps to 400, not a shard 502
 		return nil, fmt.Errorf("cluster: unknown request kind %q", req.Kind)
 	}
 
@@ -423,6 +424,7 @@ func (co *Coordinator) Gather(ctx context.Context, req *Request, tracer obs.Trac
 			}
 		}
 		if len(names) != 1 {
+			//xrvet:errclass-ok ambiguous backend is a client-side request error (400)
 			return nil, fmt.Errorf("cluster: cannot infer backend (%d document backends in fleet); pass backend=", len(names))
 		}
 		for n := range names {
@@ -519,7 +521,20 @@ func (co *Coordinator) Gather(ctx context.Context, req *Request, tracer obs.Trac
 				}
 				return err
 			}
-			return decodeInto(req.Kind, body, emit, c)
+			if derr := decodeInto(req.Kind, body, emit, c); derr != nil {
+				// A malformed response is a shard failure, not a client
+				// error: it must cross the boundary typed so the router
+				// answers 502, and it must honor the partial-result
+				// policy like any other failed shard.
+				mu.Lock()
+				failed[r.sh.spec.Name] = true
+				mu.Unlock()
+				if req.Partial {
+					return nil
+				}
+				return &ShardError{Shard: r.sh.spec.Name, Err: derr}
+			}
+			return nil
 		}}
 	}
 

@@ -139,6 +139,59 @@ func TestGatherPartialResultPolicy(t *testing.T) {
 	}
 }
 
+// malformedShard answers health and inventory like a healthy shard but
+// returns 200 with an undecodable body for join sub-requests.
+func malformedShard(t *testing.T, docIDs []uint32) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/api/v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"backends": []BackendInfo{{Name: "docs", Kind: "documents", Documents: len(docIDs), DocIDs: docIDs}},
+		})
+	})
+	mux.HandleFunc("/api/v1/join", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{this is not json"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestGatherMalformedResponseIsShardFailure pins the errclass fix: a
+// shard answering 200 with garbage must fail like any other shard
+// failure — typed *ShardError without Partial, a degraded result with
+// the shard listed in ShardsFailed with it — instead of leaking a naked
+// decode error that reads as a client-side 400.
+func TestGatherMalformedResponseIsShardFailure(t *testing.T) {
+	a, _ := fakeShard(t, []uint32{1, 2}, 0)
+	b := malformedShard(t, []uint32{3, 4})
+	cfg := &Config{Shards: []ShardSpec{
+		{Name: "a", Addr: a.URL, Lo: 1, Hi: 2, HasRange: true},
+		{Name: "b", Addr: b.URL, Lo: 3, Hi: 4, HasRange: true},
+	}}
+	co := testCoord(t, cfg, Options{})
+
+	res, err := co.Gather(context.Background(), &Request{Kind: "join", Params: url.Values{}, Limit: 10, Partial: true}, nil)
+	if err != nil {
+		t.Fatalf("partial gather must degrade, not fail: %v", err)
+	}
+	if len(res.ShardsFailed) != 1 || res.ShardsFailed[0] != "b" {
+		t.Fatalf("ShardsFailed = %v, want [b]", res.ShardsFailed)
+	}
+	if res.Total != 2 || len(res.Pairs) != 2 || res.Pairs[0].A.DocID != 1 || res.Pairs[1].A.DocID != 2 {
+		t.Fatalf("healthy shard's results corrupted: %+v", res)
+	}
+
+	_, err = co.Gather(context.Background(), &Request{Kind: "join", Params: url.Values{}, Limit: 10}, nil)
+	var se *ShardError
+	if !errors.As(err, &se) || se.Shard != "b" {
+		t.Fatalf("err = %v, want *ShardError for shard b", err)
+	}
+}
+
 func TestExecHedgesToReplica(t *testing.T) {
 	slow, slowHits := fakeShard(t, []uint32{1}, 300*time.Millisecond)
 	fast, fastHits := fakeShard(t, []uint32{1}, 0)
