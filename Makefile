@@ -28,10 +28,15 @@ bench-json:
 
 # Bench-regression gate: a reduced-scale report diffed against the
 # committed baseline by shape (schema, sweeps, phase breakdowns, parallel,
-# serving, and storage rows) — never by timing, so it is safe on loaded CI
-# machines. Runs once under each buffer-replacement policy so both the LRU
-# default and the 2Q+readahead configuration stay green.
+# serving, storage, and mixed rows) — never by timing, so it is safe on
+# loaded CI machines, with one exception: the mixed read/write section
+# gates on B-link reader throughput beating the coarse-latch emulation,
+# a relative comparison within one run that holds on any hardware. Runs
+# once under each buffer-replacement policy so both the LRU default and
+# the 2Q+readahead configuration stay green, plus one human-readable
+# mixed run covering the 1-writer and 4-writer points.
 bench-smoke:
+	$(GO) run ./cmd/xrbench -exp mixed -writers 4 -readers 4
 	$(GO) run ./cmd/xrbench -json /tmp/xrtree_bench_smoke.json -scale 0.2
 	$(GO) run ./cmd/xrcheckbench -baseline BENCH_baseline.json /tmp/xrtree_bench_smoke.json
 	$(GO) run ./cmd/xrbench -json /tmp/xrtree_bench_smoke_2q.json -scale 0.2 -pool-policy 2q -prefetch

@@ -41,6 +41,9 @@ type BenchReport struct {
 	// Cluster is the distributed-serving study produced by cmd/xrblast in
 	// -cluster mode (additive, like Parallel).
 	Cluster *ClusterStudy `json:"cluster,omitempty"`
+	// Mixed is the concurrent read/write latching study: coarse-latch
+	// emulation vs the B-link per-page protocol (additive, like Parallel).
+	Mixed *MixedStudy `json:"mixed,omitempty"`
 	// PoolPolicy and Prefetch record the pool configuration the sweeps ran
 	// under (additive; empty/false means the LRU default).
 	PoolPolicy string `json:"pool_policy,omitempty"`
@@ -180,6 +183,15 @@ func BuildBenchReport(cfg ExperimentConfig) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.Storage = ss
+	// Like the storage study, the mixed read/write study keeps its own
+	// corpus and ingest floors instead of cfg.Scale: the coarse-vs-blink
+	// reader-throughput comparison needs an ingest window long enough to
+	// sample, even in scaled-down smoke runs.
+	ms, err := RunMixedStudy(MixedStudyConfig{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rep.Mixed = ms
 	return rep, nil
 }
 

@@ -14,6 +14,9 @@
 //	parallel — workers-speedup sweep of the parallel join driver
 //	storage  — storage-stack study: LRU vs 2Q+readahead on the mixed
 //	           probe/scan/join workload
+//	mixed    — concurrent read/write latching study: coarse-latch
+//	           emulation vs B-link per-page latching, -writers writers
+//	           against -readers readers
 //	all      — everything above
 //
 // Usage:
@@ -45,6 +48,8 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "corpus size multiplier")
 		buffers = flag.Int("buffers", 100, "buffer pool pages")
 		workers = flag.Int("workers", 4, "maximum worker count for the parallel experiment")
+		writers = flag.Int("writers", 4, "maximum concurrent writer count for the mixed experiment (sweeps 1 and this)")
+		readers = flag.Int("readers", 4, "concurrent reader count for the mixed experiment")
 		csvDir  = flag.String("csv", "", "also write each sweep as CSV files into this directory")
 		jsonOut = flag.String("json", "", "write the machine-readable benchmark report (schema xrtree-bench/1) to this file and exit")
 		policy  = flag.String("pool-policy", "lru", "buffer replacement policy for every measured store: lru or 2q")
@@ -141,6 +146,19 @@ func main() {
 			}))
 			fmt.Println("\nStorage stack — LRU baseline vs 2Q+readahead, mixed probe/scan/join workload")
 			check(xrtree.FormatStorageStudy(os.Stdout, s))
+		case "mixed":
+			ws := []int{1}
+			if *writers > 1 {
+				ws = append(ws, *writers)
+			}
+			s := must(xrtree.RunMixedStudy(xrtree.MixedStudyConfig{
+				Seed:     *seed,
+				Elements: int(20000 * *scale),
+				Writers:  ws,
+				Readers:  *readers,
+			}))
+			fmt.Println("\nMixed read/write — coarse-latch emulation vs B-link per-page latching")
+			check(xrtree.FormatMixedStudy(os.Stdout, s))
 		case "stablist":
 			rows := must(xrtree.RunStabListStudy(xrtree.StabStudyConfig{
 				Seed: *seed, Elements: int(20000 * *scale),
@@ -173,7 +191,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table2", "fig8ab", "table3", "fig8cd", "fig8ef", "stablist", "updates", "ops", "ablation", "pc", "parallel", "storage"} {
+		for _, id := range []string{"table2", "fig8ab", "table3", "fig8cd", "fig8ef", "stablist", "updates", "ops", "ablation", "pc", "parallel", "storage", "mixed"} {
 			fmt.Printf("\n==== %s ====\n", strings.ToUpper(id))
 			run(id)
 		}

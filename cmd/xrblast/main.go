@@ -15,6 +15,13 @@
 // the server traces them; the report ends with the server-assigned trace
 // ids of the slowest decile — handles for /debug/traces and xrtrace.
 //
+// With -ingest N, xrblast instead measures reader latency under write
+// load: a read-only baseline phase, then the same closed-loop read drive
+// with N workers batching inserts into POST /api/v1/insert, and
+// -max-p99-inflation asserts the readers' p99 stayed within a factor of
+// the baseline — the serve-side check that per-page latching keeps
+// queries flowing during inserts.
+//
 // Usage:
 //
 //	xrblast -url http://localhost:8080 -target '/api/v1/join?anc=employee&desc=name' \
@@ -23,12 +30,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
@@ -160,6 +169,13 @@ func main() {
 		shardList = flag.String("cluster", "", "comma-separated name=url shard list: adds the bench-JSON cluster section (router /api/v1/cluster scrape) plus a direct /healthz reachability probe per shard")
 		minDeg    = flag.Int64("min-degraded", -1, "assert at least this many degraded (shards_failed) responses")
 		minHedges = flag.Int64("min-hedges", -1, "assert the router reports at least this many hedged sub-requests")
+
+		ingest      = flag.Int("ingest", 0, "ingest mode: this many concurrent insert workers POST /api/v1/insert while readers drive; runs a read-only baseline phase first")
+		ingestSet   = flag.String("ingest-set", "employee", "catalogued set the ingest workers insert into")
+		ingestBack  = flag.String("ingest-backend", "", "backend for ingest inserts (empty: the sole registered backend)")
+		ingestBatch = flag.Int("ingest-batch", 16, "elements per insert request in ingest mode")
+		maxInfl     = flag.Float64("max-p99-inflation", 0, "ingest mode: assert reader p99 under ingest stays within this factor of the read-only baseline (0: no assertion)")
+		minInserted = flag.Int64("min-inserted", -1, "ingest mode: assert at least this many elements were inserted")
 	)
 	flag.Var(&targets, "target", "request path+query, must start with / (repeatable; workers round-robin)")
 	flag.Parse()
@@ -178,6 +194,15 @@ func main() {
 		if err := waitForReady(client, *baseURL, *waitReady); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *ingest > 0 {
+		if *rate > 0 {
+			log.Fatal("-ingest is a closed-loop mode; drop -rate")
+		}
+		runIngestMode(client, *baseURL, targets, *clients, *duration,
+			*ingest, *ingestBatch, *ingestSet, *ingestBack, *maxInfl, *minInserted, *noPins)
+		return
 	}
 
 	res := &results{col: obs.NewCollector()}
@@ -483,6 +508,153 @@ func clusterStudy(client *http.Client, base, shardList string, res *results) (*x
 		study.HedgeRate = float64(study.Hedges) / float64(study.Subrequests)
 	}
 	return study, nil
+}
+
+// runIngestMode measures reader-latency inflation under concurrent
+// writes: a read-only baseline phase of closed-loop readers, then the
+// identical read drive with -ingest insert workers batching elements into
+// /api/v1/insert. Both phases last -duration. With the tree's per-page
+// latching, inserts (including page splits on the shared upper levels)
+// must not stall the readers, so the p99 under ingest should stay within
+// a small factor of the baseline — -max-p99-inflation turns that bound
+// into a scripted assertion for the serve-smoke CI job.
+func runIngestMode(client *http.Client, baseURL string, targets []string, clients int,
+	dur time.Duration, workers, batch int, set, backend string,
+	maxInflation float64, minInserted int64, noPins bool) {
+	phase := func(withIngest bool) (lat []time.Duration, readErrs, inserted, insertErrs int64) {
+		deadline := time.Now().Add(dur)
+		var wg sync.WaitGroup
+		lats := make([][]time.Duration, clients)
+		var rerrs atomic.Int64
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; time.Now().Before(deadline); i++ {
+					t0 := time.Now()
+					code, _, err := get(client, baseURL+targets[(w+i)%len(targets)], "")
+					if err != nil || code != http.StatusOK {
+						rerrs.Add(1)
+						continue
+					}
+					lats[w] = append(lats[w], time.Since(t0))
+				}
+			}(w)
+		}
+		var ins, ierrs atomic.Int64
+		if withIngest {
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// Each worker owns a private flat key range far above any
+					// generated corpus, so batches never collide with the
+					// indexed document or with each other.
+					next := uint32(1)<<30 + uint32(w)<<24
+					for time.Now().Before(deadline) {
+						els := make([]xrtree.Element, batch)
+						for i := range els {
+							els[i] = xrtree.Element{Start: next, End: next + 2, Level: 1}
+							next += 4
+						}
+						if err := postInsert(client, baseURL, backend, set, els); err != nil {
+							ierrs.Add(1)
+							log.Printf("ingest: %v", err)
+							return
+						}
+						ins.Add(int64(batch))
+					}
+				}(w)
+			}
+		}
+		wg.Wait()
+		for _, ls := range lats {
+			lat = append(lat, ls...)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat, rerrs.Load(), ins.Load(), ierrs.Load()
+	}
+
+	base, baseRErrs, _, _ := phase(false)
+	ing, ingRErrs, inserted, insertErrs := phase(true)
+	bp50, bp99 := quantileMS(base, 0.50), quantileMS(base, 0.99)
+	ip50, ip99 := quantileMS(ing, 0.50), quantileMS(ing, 0.99)
+	sec := dur.Seconds()
+	fmt.Printf("baseline   reads=%d (%.1f/s) p50≤%.2fms p99≤%.2fms errors=%d\n",
+		len(base), float64(len(base))/sec, bp50, bp99, baseRErrs)
+	fmt.Printf("ingest     reads=%d (%.1f/s) p50≤%.2fms p99≤%.2fms errors=%d inserted=%d (%.1f/s) insert-errors=%d\n",
+		len(ing), float64(len(ing))/sec, ip50, ip99, ingRErrs, inserted, float64(inserted)/sec, insertErrs)
+	inflation := 0.0
+	if bp99 > 0 {
+		inflation = ip99 / bp99
+		fmt.Printf("ingest     reader p99 inflation %.2f×\n", inflation)
+	}
+
+	failed := false
+	check := func(cond bool, format string, args ...any) {
+		if !cond {
+			failed = true
+			log.Printf("ASSERTION FAILED: "+format, args...)
+		}
+	}
+	check(len(base) > 0, "baseline phase completed no reads")
+	check(len(ing) > 0, "ingest phase completed no reads")
+	check(baseRErrs == 0 && ingRErrs == 0, "read errors: baseline=%d ingest=%d", baseRErrs, ingRErrs)
+	check(insertErrs == 0, "insert errors: %d", insertErrs)
+	check(inserted > 0, "ingest workers inserted nothing")
+	if minInserted >= 0 {
+		check(inserted >= minInserted, "inserted=%d < min-inserted=%d", inserted, minInserted)
+	}
+	if maxInflation > 0 && bp99 > 0 {
+		check(inflation <= maxInflation,
+			"reader p99 inflated %.2f× under ingest (%.2fms → %.2fms), bound %.1f×",
+			inflation, bp99, ip99, maxInflation)
+	}
+	if noPins {
+		pins, err := pinnedPages(client, baseURL)
+		if err != nil {
+			failed = true
+			log.Printf("ASSERTION FAILED: stats fetch: %v", err)
+		} else {
+			check(pins == 0, "server reports %d pinned pages after the run", pins)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// quantileMS returns the q-quantile of sorted durations, in milliseconds.
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return float64(sorted[int(q*float64(len(sorted)-1))].Nanoseconds()) * 1e-6
+}
+
+// postInsert sends one element batch to /api/v1/insert.
+func postInsert(client *http.Client, base, backend, set string, els []xrtree.Element) error {
+	body, err := json.Marshal(struct {
+		Set      string           `json:"set"`
+		Elements []xrtree.Element `json:"elements"`
+	}{Set: set, Elements: els})
+	if err != nil {
+		return err
+	}
+	u := base + "/api/v1/insert"
+	if backend != "" {
+		u += "?backend=" + url.QueryEscape(backend)
+	}
+	resp, err := client.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/api/v1/insert: status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
 }
 
 // pinnedPages sums pinned_pages over every backend of /api/v1/stats.

@@ -67,6 +67,7 @@ func main() {
 	checkServing(addf, cand.Serving, base.Serving)
 	checkStorage(addf, cand.Storage, base.Storage)
 	checkCluster(addf, cand.Cluster, base.Cluster)
+	checkMixed(addf, cand.Mixed, base.Mixed)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -260,6 +261,63 @@ func checkStorage(addf func(string, ...any), c, b *xrtree.StorageStudy) {
 	}
 	if twoQ.PrefetchReads == 0 {
 		addf("storage row 2q: prefetch issued %d hints but read no pages", twoQ.PrefetchIssued)
+	}
+}
+
+// checkMixed guards the B-link write-concurrency claim: for every writer
+// count, the blink row's reader throughput — sampled strictly while
+// ingest was in flight — must beat the coarse-latch emulation's. That is
+// a ratio between two cells of the same run on the same machine, not an
+// absolute timing, so it is safe to gate CI on; everything else checked
+// here is shape (row pairing, non-empty measurement windows, latency
+// percentiles present wherever reads completed).
+func checkMixed(addf func(string, ...any), c, b *xrtree.MixedStudy) {
+	if b == nil {
+		return
+	}
+	if c == nil {
+		addf("mixed study missing from candidate")
+		return
+	}
+	if len(c.Rows) != len(b.Rows) {
+		addf("mixed study: %d rows, baseline %d", len(c.Rows), len(b.Rows))
+		return
+	}
+	cells := map[int]map[string]xrtree.MixedRow{}
+	for i, br := range b.Rows {
+		cr := c.Rows[i]
+		id := fmt.Sprintf("mixed row %d (%s, %d writers)", i, br.Mode, br.Writers)
+		if cr.Mode != br.Mode || cr.Writers != br.Writers {
+			addf("%s: candidate has (%s, %d writers) in its place", id, cr.Mode, cr.Writers)
+			continue
+		}
+		if cr.WriterOps == 0 || cr.WriterOpsPerSec == 0 {
+			addf("%s: no writer traffic", id)
+		}
+		if cr.ReaderOps == 0 {
+			addf("%s: no reader samples during ingest", id)
+			continue
+		}
+		if cr.ReaderP50US <= 0 || cr.ReaderP99US < cr.ReaderP50US {
+			addf("%s: broken latency percentiles (p50=%.1fµs p99=%.1fµs)",
+				id, cr.ReaderP50US, cr.ReaderP99US)
+		}
+		if cells[cr.Writers] == nil {
+			cells[cr.Writers] = map[string]xrtree.MixedRow{}
+		}
+		cells[cr.Writers][cr.Mode] = cr
+	}
+	for writers, byMode := range cells {
+		coarse, okC := byMode["coarse"]
+		blink, okB := byMode["blink"]
+		if !okC || !okB {
+			addf("mixed study: writer count %d lacks a coarse/blink row pair", writers)
+			continue
+		}
+		if blink.ReaderOpsPerSec <= coarse.ReaderOpsPerSec {
+			addf("mixed (%d writers): blink reader throughput %.0f/s does not beat coarse %.0f/s — per-page latching regressed",
+				writers, blink.ReaderOpsPerSec, coarse.ReaderOpsPerSec)
+		}
 	}
 }
 

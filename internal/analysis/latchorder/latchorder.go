@@ -1,30 +1,45 @@
 // Package latchorder enforces the repo's lock-acquisition order. The
-// concurrency design (PRs 2, 7, 8) layers six lock classes:
+// concurrency design (PRs 2, 7, 8, and the B-link protocol) layers seven
+// lock classes:
 //
-//	level 1: Tree.latch      — btree/core tree latch (RWMutex)
+//	level 1: Tree.wlatch     — btree/core writer mutex
 //	level 2: Pool.ckptGate   — WAL checkpoint gate (RWMutex, PR 7)
-//	level 3: shard.mu        — buffer-pool shard mutexes
-//	level 4: Pool.seriesMu   — buffer-pool series/stats mutex
-//	level 5: shardState.mu   — cluster coordinator inventory mutex (PR 8)
-//	level 6: Prober.mu       — cluster health prober mutex (PR 8)
+//	level 3: Tree.pl         — per-page latches (platch.Table)
+//	level 4: shard.mu        — buffer-pool shard mutexes
+//	level 5: Pool.seriesMu   — buffer-pool series/stats mutex
+//	level 6: shardState.mu   — cluster coordinator inventory mutex (PR 8)
+//	level 7: Prober.mu       — cluster health prober mutex (PR 8)
 //
-// A goroutine may only acquire locks in strictly increasing level order.
-// Mutations hold the tree latch across the whole transaction and commit
-// takes the checkpoint gate's read side under it (CommitTx, BeginUnlogged
-// under BulkLoad), then per-shard mutexes, then the series mutex; the
-// cluster locks are router-side leaves never nested with pool locks or
-// each other. Acquiring a lock at a level at or below one already held —
-// including a second lock of the same class, which neither the sharded
-// pool nor the coordinator ever nests — risks deadlock with a writer
-// queued on the RWMutex or with another goroutine locking in the
+// A goroutine may only acquire locks in strictly increasing level order,
+// with one deliberate exception: page latches nest with each other.
+// B-link latch coupling acquires a second (or third) page latch while
+// holding one, but ONLY rightward or downward — right sibling during a
+// split's prev-pointer fix, left-to-right sibling pair during a
+// rebalance, parent-then-children top-down. Those second same-level
+// acquisitions must go through platch's LockRight method; a plain
+// Lock/RLock while a page latch is held is flagged, because nothing then
+// distinguishes the safe rightward coupling from a left-or-upward
+// acquisition that deadlocks against a writer coupling in the documented
+// direction. (LockRight is operationally identical to Lock — the split
+// name exists exactly so this analyzer can audit coupling sites.)
+//
+// Mutations hold wlatch across the whole transaction and commit takes
+// the checkpoint gate's read side under it (CommitTx, BeginUnlogged
+// under BulkLoad); page latches nest inside both, pool shard and series
+// mutexes under those; the cluster locks are router-side leaves never
+// nested with pool locks or each other. Acquiring a lock at a level at
+// or below one already held — including a second lock of the same
+// non-page class, which neither the sharded pool nor the coordinator
+// ever nests — risks deadlock with another goroutine locking in the
 // documented order.
 //
 // The check is lexical and branch-aware within one function: it tracks
-// locks acquired via x.Lock()/x.RLock()/x.TryLock()/x.TryRLock() on
-// classified fields (releases via Unlock/RUnlock and defers understood)
+// locks acquired via x.Lock()/x.RLock()/x.TryLock()/x.TryRLock()/
+// x.LockRight() on classified fields (releases via Unlock/RUnlock and
+// defers understood; page-latch identity includes the page-ID argument)
 // and flags both direct acquisitions and calls to methods that are known
 // to acquire a level (Pool.Fetch acquires a shard, Tree.Insert acquires
-// the latch, Pool.CommitTx the checkpoint gate, and so on). Same-package
+// wlatch, Pool.CommitTx the checkpoint gate, and so on). Same-package
 // helpers inherit summaries from the locks their bodies acquire,
 // propagated to a fixpoint through same-package calls.
 // `//xrvet:latchorder-ignore` on a function declaration suppresses the
@@ -41,71 +56,100 @@ import (
 // Analyzer is the latchorder analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "latchorder",
-	Doc:  "enforce tree-latch → ckpt-gate → pool-shard → pool-series → cluster lock acquisition order",
+	Doc:  "enforce wlatch → ckpt-gate → page-latch (LockRight coupling) → pool-shard → pool-series → cluster lock acquisition order",
 	Run:  run,
 }
 
-// lockClasses maps (receiver type name, field name) of a mutex field to
-// its level.
+// lockClasses maps (receiver type name, field name) of a latch field to
+// its level. Tree.pl is not a mutex but a platch.Table; its Lock-family
+// methods take the page ID as the first argument, which the checker folds
+// into the lock identity.
 var lockClasses = map[[2]string]int{
-	{"Tree", "latch"}:    1,
+	{"Tree", "wlatch"}:   1,
 	{"Pool", "ckptGate"}: 2,
-	{"shard", "mu"}:      3,
-	{"Pool", "seriesMu"}: 4,
-	{"shardState", "mu"}: 5,
-	{"Prober", "mu"}:     6,
+	{"Tree", "pl"}:       pageLatchLevel,
+	{"shard", "mu"}:      4,
+	{"Pool", "seriesMu"}: 5,
+	{"shardState", "mu"}: 6,
+	{"Prober", "mu"}:     7,
+}
+
+// pageLatchLevel is the one level where same-level nesting is legal —
+// through LockRight only (B-link rightward/downward coupling).
+const pageLatchLevel = 3
+
+// summary is what the checker knows about a function: the lowest lock
+// level it acquires, and — when that includes the page-latch level —
+// whether every page latch it takes goes through LockRight, making it
+// safe to call while a page latch is already held (B-link coupling
+// delegated to a helper, e.g. a merge's prev-pointer fix).
+type summary struct {
+	level int
+	right bool
 }
 
 // methodLevels summarizes exported entry points of other packages: the
 // lowest lock level the method acquires internally. Matching is by
 // receiver type name, so btree.Tree and core.Tree share the Tree rows.
 var methodLevels = map[[2]string]int{
+	// Mutations take wlatch; so do the exact-answer fallback inside the
+	// ancestor probe, the full checker, and the space census.
 	{"Tree", "Insert"}: 1, {"Tree", "Delete"}: 1, {"Tree", "BulkLoad"}: 1,
-	{"Tree", "Lookup"}: 1, {"Tree", "SeekGE"}: 1, {"Tree", "Scan"}: 1,
-	{"Tree", "Range"}: 1, {"Tree", "FindAncestors"}: 1,
-	{"Tree", "AppendAncestors"}: 1, {"Tree", "FindDescendants"}: 1,
-	{"Tree", "FindChildren"}: 1, {"Tree", "FindParent"}: 1,
-	{"Tree", "CheckInvariants"}: 1, {"Tree", "PrefetchGE"}: 1,
+	{"Tree", "FindAncestors"}: 1, {"Tree", "AppendAncestors"}: 1,
+	{"Tree", "FindParent"}: 1, {"Tree", "CheckInvariants"}: 1,
+	{"Tree", "Space"}: 1,
+	// Pure B-link readers latch pages only: their lowest acquisition is a
+	// shared page latch (3). Calling one while a page latch is held risks
+	// self-deadlock on that same page's latch.
+	{"Tree", "Lookup"}: 3, {"Tree", "SeekGE"}: 3, {"Tree", "Scan"}: 3,
+	{"Tree", "Range"}: 3, {"Tree", "FindDescendants"}: 3,
+	{"Tree", "FindChildren"}: 3, {"Tree", "PrefetchGE"}: 3,
+	{"Tree", "MaxNesting"}: 3,
+	// platch.Table through a non-field receiver (a local alias); calls
+	// through a classified field (t.pl.Lock) are handled by lockCall.
+	{"Table", "Lock"}: pageLatchLevel, {"Table", "LockRight"}: pageLatchLevel,
+	{"Table", "RLock"}: pageLatchLevel, {"Table", "TryRLock"}: pageLatchLevel,
 	// The WAL protocol methods take the checkpoint gate: commits and
 	// unlogged bulk builds on the read side, checkpoints on the write side.
 	{"Pool", "CommitTx"}: 2, {"Pool", "BeginUnlogged"}: 2,
 	{"Pool", "Checkpoint"}: 2, {"Pool", "CheckpointWait"}: 2,
-	{"Pool", "Fetch"}: 3, {"Pool", "FetchTraced"}: 3,
-	{"Pool", "FetchCopy"}: 3, {"Pool", "FetchCopyTraced"}: 3,
-	{"Pool", "FetchNew"}:  3,
-	{"Pool", "FetchHeld"}: 3, {"Pool", "FetchHeldTraced"}: 3,
-	{"Pool", "FetchNewHeld"}: 3, {"Pool", "UnpinTx"}: 3,
-	{"Pool", "DiscardTx"}: 3, {"Pool", "FreeTx"}: 3,
-	{"Pool", "Unpin"}: 3, {"Pool", "Discard"}: 3, {"Pool", "FlushAll"}: 3,
-	{"Pool", "DropClean"}: 3, {"Pool", "PinnedCount"}: 3,
+	{"Pool", "Fetch"}: 4, {"Pool", "FetchTraced"}: 4,
+	{"Pool", "FetchCopy"}: 4, {"Pool", "FetchCopyTraced"}: 4,
+	{"Pool", "FetchNew"}:  4,
+	{"Pool", "FetchHeld"}: 4, {"Pool", "FetchHeldTraced"}: 4,
+	{"Pool", "FetchNewHeld"}: 4, {"Pool", "UnpinTx"}: 4,
+	{"Pool", "DiscardTx"}: 4, {"Pool", "FreeTx"}: 4,
+	{"Pool", "Unpin"}: 4, {"Pool", "Discard"}: 4, {"Pool", "FlushAll"}: 4,
+	{"Pool", "DropClean"}: 4, {"Pool", "PinnedCount"}: 4,
 	// TryFetchCopy locks the target shard like any fetch. Prefetch only
 	// enqueues, but its hints are consumed by workers that lock shards, and
-	// Close joins those workers — treating both as level 3 forbids hinting
+	// Close joins those workers — treating both as level 4 forbids hinting
 	// or shutting down the prefetcher while a shard mutex is held (Close
 	// would deadlock outright against a worker blocked on that shard).
-	{"Pool", "TryFetchCopy"}: 3, {"Pool", "Prefetch"}: 3, {"Pool", "Close"}: 3,
-	{"Pool", "EnableHitRateSeries"}: 4, {"Pool", "HitRateSeries"}: 4,
+	{"Pool", "TryFetchCopy"}: 4, {"Pool", "Prefetch"}: 4, {"Pool", "Close"}: 4,
+	{"Pool", "EnableHitRateSeries"}: 5, {"Pool", "HitRateSeries"}: 5,
 	// Cluster router-side leaves: the coordinator's per-shard inventory
 	// mutex and the health prober's state mutex. Prober.Start spawns the
 	// probe loop and Close joins it, so both count as acquisitions — Close
 	// while holding the mutex would deadlock against the loop.
-	{"Coordinator", "Gather"}: 5, {"Coordinator", "Status"}: 5,
-	{"Coordinator", "Backends"}: 5,
-	{"Prober", "Up"}:            6, {"Prober", "Observe"}: 6,
-	{"Prober", "Start"}: 6, {"Prober", "Close"}: 6,
+	{"Coordinator", "Gather"}: 6, {"Coordinator", "Status"}: 6,
+	{"Coordinator", "Backends"}: 6,
+	{"Prober", "Up"}:            7, {"Prober", "Observe"}: 7,
+	{"Prober", "Start"}: 7, {"Prober", "Close"}: 7,
 }
 
-const orderDoc = "required order: tree latch (1) → ckpt gate (2) → pool shard (3) → pool series (4) → cluster shard state (5) → prober (6)"
+const orderDoc = "required order: wlatch (1) → ckpt gate (2) → page latch (3, second acquisition must be LockRight) → pool shard (4) → pool series (5) → cluster shard state (6) → prober (7)"
 
 func run(pass *analysis.Pass) (any, error) {
 	c := &checker{
 		pass:      pass,
-		summaries: map[types.Object]int{},
+		summaries: map[types.Object]summary{},
 		ignore:    analysis.CommentLines(pass.Fset, pass.Files, "//xrvet:latchorder-ignore"),
 	}
-	// Fixpoint: derive a lock-level summary for every same-package
-	// function from the locks its body acquires and the summaries of the
-	// functions it calls.
+	// Fixpoint: derive a lock summary for every same-package function
+	// from the locks its body acquires and the summaries of the functions
+	// it calls. Both components are monotone (level only decreases, right
+	// only decays true→false), so the iteration terminates.
 	for {
 		changed := false
 		for _, f := range pass.Files {
@@ -114,13 +158,20 @@ func run(pass *analysis.Pass) (any, error) {
 				if !ok || fn.Body == nil {
 					continue
 				}
-				lvl := c.bodyMinLevel(fn.Body)
+				s := c.bodySummary(fn.Body)
 				obj := pass.TypesInfo.Defs[fn.Name]
-				if obj == nil || lvl == 0 {
+				if obj == nil || s.level == 0 {
 					continue
 				}
-				if old, ok := c.summaries[obj]; !ok || lvl < old {
-					c.summaries[obj] = lvl
+				old, seen := c.summaries[obj]
+				if !seen || s.level < old.level || (old.right && !s.right) {
+					if seen && s.level > old.level {
+						s.level = old.level
+					}
+					if seen && !old.right {
+						s.right = false
+					}
+					c.summaries[obj] = s
 					changed = true
 				}
 			}
@@ -146,7 +197,7 @@ func run(pass *analysis.Pass) (any, error) {
 
 type checker struct {
 	pass      *analysis.Pass
-	summaries map[types.Object]int
+	summaries map[types.Object]summary
 	ignore    map[analysis.LineKey]string
 }
 
@@ -156,13 +207,21 @@ type held struct {
 	key   string // source text of the lock expression, e.g. "t.latch"
 }
 
-// bodyMinLevel returns the lowest level fn's body acquires directly or
-// through already-summarized same-package calls (0 = none).
-func (c *checker) bodyMinLevel(body *ast.BlockStmt) int {
-	min := 0
-	record := func(lvl int) {
-		if lvl != 0 && (min == 0 || lvl < min) {
-			min = lvl
+// bodySummary returns the lowest level fn's body acquires directly or
+// through already-summarized same-package calls (level 0 = none), and
+// whether every page-latch acquisition it makes — direct or delegated —
+// goes through LockRight.
+func (c *checker) bodySummary(body *ast.BlockStmt) summary {
+	s := summary{right: true}
+	record := func(lvl int, right bool) {
+		if lvl == 0 {
+			return
+		}
+		if s.level == 0 || lvl < s.level {
+			s.level = lvl
+		}
+		if lvl == pageLatchLevel && !right {
+			s.right = false
 		}
 	}
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -170,55 +229,68 @@ func (c *checker) bodyMinLevel(body *ast.BlockStmt) int {
 		if !ok {
 			return true
 		}
-		if lock, _ := c.lockCall(call); lock != nil {
-			record(lock.level)
+		if lock, acquire, right := c.lockCall(call); lock != nil {
+			if acquire {
+				record(lock.level, right)
+			}
+			return true
 		}
-		record(c.callLevel(call))
+		cs := c.callSummary(call)
+		record(cs.level, cs.right)
 		return true
 	})
-	return min
+	return s
 }
 
-// lockCall classifies call as Lock/RLock (acquire=true) or
-// Unlock/RUnlock (acquire=false) on a classified mutex field.
-func (c *checker) lockCall(call *ast.CallExpr) (*held, bool) {
+// lockCall classifies call as Lock/RLock/LockRight (acquire=true) or
+// Unlock/RUnlock (acquire=false) on a classified latch field. right
+// reports an acquisition through LockRight — the only form allowed to
+// nest at the page-latch level. Page-latch identity folds in the page-ID
+// argument, so Lock(a)…Unlock(a) brackets balance per page.
+func (c *checker) lockCall(call *ast.CallExpr) (lock *held, acquire, right bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
-	var acquire bool
 	switch sel.Sel.Name {
 	// TryLock/TryRLock are acquisitions for ordering purposes: on the
 	// success branch the lock is held, and even attempting one out of
 	// order means the code was written against the wrong level.
 	case "Lock", "RLock", "TryLock", "TryRLock":
 		acquire = true
+	case "LockRight":
+		acquire, right = true, true
 	case "Unlock", "RUnlock":
-		acquire = false
 	default:
-		return nil, false
+		return nil, false, false
 	}
 	fieldSel, ok := sel.X.(*ast.SelectorExpr)
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
 	recv := analysis.NamedType(c.pass.TypesInfo.TypeOf(fieldSel.X))
 	if recv == nil {
-		return nil, false
+		return nil, false, false
 	}
 	lvl, ok := lockClasses[[2]string{recv.Obj().Name(), fieldSel.Sel.Name}]
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
-	return &held{level: lvl, key: types.ExprString(sel.X)}, acquire
+	key := types.ExprString(sel.X)
+	if lvl == pageLatchLevel && len(call.Args) > 0 {
+		key += "(" + types.ExprString(call.Args[0]) + ")"
+	}
+	return &held{level: lvl, key: key}, acquire, right
 }
 
-// callLevel returns the summarized lock level call acquires (0 = none).
-func (c *checker) callLevel(call *ast.CallExpr) int {
+// callSummary returns the summarized locks call acquires (level 0 =
+// none).
+func (c *checker) callSummary(call *ast.CallExpr) summary {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if recv := analysis.NamedType(c.pass.TypesInfo.TypeOf(sel.X)); recv != nil {
 			if lvl, ok := methodLevels[[2]string{recv.Obj().Name(), sel.Sel.Name}]; ok {
-				return lvl
+				// The only right-only row is the coupling method itself.
+				return summary{level: lvl, right: lvl == pageLatchLevel && sel.Sel.Name == "LockRight"}
 			}
 		}
 	}
@@ -229,10 +301,10 @@ func (c *checker) callLevel(call *ast.CallExpr) int {
 	case *ast.SelectorExpr:
 		obj = c.pass.TypesInfo.Uses[fun.Sel]
 	}
-	if lvl, ok := c.summaries[obj]; ok {
-		return lvl
+	if s, ok := c.summaries[obj]; ok {
+		return s
 	}
-	return 0
+	return summary{}
 }
 
 // walk processes a statement list with the current held set, recursing
@@ -264,7 +336,7 @@ func (c *checker) stmt(s ast.Stmt, hs []held) []held {
 		// remainder of the body, which is exactly what hs models, so a
 		// deferred release changes nothing. Deferred acquisitions or
 		// level-acquiring calls are checked against the current set.
-		if lock, acquire := c.lockCall(s.Call); lock != nil && !acquire {
+		if lock, acquire, _ := c.lockCall(s.Call); lock != nil && !acquire {
 			return hs
 		}
 		return c.expr(s.Call, hs)
@@ -370,22 +442,29 @@ func (c *checker) expr(e ast.Expr, hs []held) []held {
 		if !ok {
 			return true
 		}
-		if lock, acquire := c.lockCall(call); lock != nil {
+		if lock, acquire, right := c.lockCall(call); lock != nil {
 			if acquire {
-				c.checkAcquire(call, *lock, hs)
+				c.checkAcquire(call, *lock, right, hs)
 				hs = append(clone(hs), *lock)
 			} else {
 				hs = release(hs, lock.key)
 			}
 			return true
 		}
-		if lvl := c.callLevel(call); lvl != 0 {
+		if cs := c.callSummary(call); cs.level != 0 {
 			for _, h := range hs {
-				if h.level >= lvl {
-					c.pass.Reportf(call.Pos(),
-						"latch order violation: calling %s (acquires level %d) while holding %s (level %d); %s",
-						types.ExprString(call.Fun), lvl, h.key, h.level, orderDoc)
+				if h.level < cs.level {
+					continue
 				}
+				// A callee whose only page latches are LockRight couplings
+				// may run under a held page latch (e.g. a rebalance helper
+				// doing a merge's prev-pointer fix).
+				if h.level == pageLatchLevel && cs.level == pageLatchLevel && cs.right {
+					continue
+				}
+				c.pass.Reportf(call.Pos(),
+					"latch order violation: calling %s (acquires level %d) while holding %s (level %d); %s",
+					types.ExprString(call.Fun), cs.level, h.key, h.level, orderDoc)
 			}
 		}
 		return true
@@ -393,13 +472,26 @@ func (c *checker) expr(e ast.Expr, hs []held) []held {
 	return hs
 }
 
-func (c *checker) checkAcquire(call *ast.CallExpr, lock held, hs []held) {
+func (c *checker) checkAcquire(call *ast.CallExpr, lock held, right bool, hs []held) {
 	for _, h := range hs {
-		if h.level >= lock.level {
-			c.pass.Reportf(call.Pos(),
-				"latch order violation: acquiring %s (level %d) while holding %s (level %d); %s",
-				lock.key, lock.level, h.key, h.level, orderDoc)
+		if h.level < lock.level {
+			continue
 		}
+		// B-link coupling: a second page latch is legal, but only through
+		// LockRight so the rightward/downward direction is explicit at the
+		// call site.
+		if h.level == pageLatchLevel && lock.level == pageLatchLevel {
+			if right {
+				continue
+			}
+			c.pass.Reportf(call.Pos(),
+				"latch order violation: acquiring page latch %s while holding %s; a second page latch must be taken with LockRight (right sibling or child only); %s",
+				lock.key, h.key, orderDoc)
+			continue
+		}
+		c.pass.Reportf(call.Pos(),
+			"latch order violation: acquiring %s (level %d) while holding %s (level %d); %s",
+			lock.key, lock.level, h.key, h.level, orderDoc)
 	}
 }
 

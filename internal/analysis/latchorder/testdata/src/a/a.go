@@ -1,7 +1,8 @@
-// Package a models the repo's six lock classes for the latchorder
-// analyzer tests: Tree.latch (level 1), Pool.ckptGate (level 2),
-// shard.mu (level 3), Pool.seriesMu (level 4), shardState.mu (level 5),
-// and Prober.mu (level 6), with methods matching the summarized names.
+// Package a models the repo's seven lock classes for the latchorder
+// analyzer tests: Tree.wlatch (level 1), Pool.ckptGate (level 2),
+// Tree.pl page latches (level 3, LockRight coupling), shard.mu
+// (level 4), Pool.seriesMu (level 5), shardState.mu (level 6), and
+// Prober.mu (level 7), with methods matching the summarized names.
 package a
 
 import "sync"
@@ -23,13 +24,26 @@ type shard struct {
 	mu sync.Mutex
 }
 
+// Table stands in for platch.Table: per-page latches addressed by page
+// ID, with the LockRight spelling for B-link coupling acquisitions.
+type Table struct{}
+
+func (t *Table) Lock(id uint32)          {}
+func (t *Table) LockRight(id uint32)     {}
+func (t *Table) Unlock(id uint32)        {}
+func (t *Table) RLock(id uint32)         {}
+func (t *Table) TryRLock(id uint32) bool { return true }
+func (t *Table) RUnlock(id uint32)       {}
+
 type Tree struct {
-	latch sync.RWMutex
-	pool  *Pool
-	s     *shard
+	wlatch sync.Mutex
+	pl     *Table
+	pool   *Pool
+	s      *shard
 }
 
 func (t *Tree) Insert(k int)        {}
+func (t *Tree) Lookup(k uint32)     {}
 func (t *Tree) PrefetchGE(k uint32) {}
 
 type shardState struct {
@@ -45,62 +59,95 @@ func (p *Prober) Up(name string) bool { return true }
 // ---- negative cases: acquisitions in increasing level order ----
 
 func goodOrder(t *Tree) {
-	t.latch.RLock()
-	defer t.latch.RUnlock()
-	t.pool.Fetch(1) // latch (1) then pool shard (3): ok
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
+	t.pool.Fetch(1) // wlatch (1) then pool shard (4): ok
 }
 
 func goodSeriesLast(t *Tree) {
-	t.latch.RLock()
+	t.wlatch.Lock()
 	t.s.mu.Lock()
 	t.pool.seriesMu.Lock()
 	t.pool.seriesMu.Unlock()
 	t.s.mu.Unlock()
-	t.latch.RUnlock()
+	t.wlatch.Unlock()
 }
 
 func goodSequential(t *Tree) {
-	t.latch.RLock()
-	t.latch.RUnlock()
-	t.latch.Lock() // first latch released: not nested
-	t.latch.Unlock()
+	t.wlatch.Lock()
+	t.wlatch.Unlock()
+	t.wlatch.Lock() // first latch released: not nested
+	t.wlatch.Unlock()
 }
 
 func goodBranchRelease(t *Tree, cond bool) {
-	t.latch.Lock()
+	t.wlatch.Lock()
 	if cond {
-		t.latch.Unlock()
+		t.wlatch.Unlock()
 		return
 	}
 	t.pool.Fetch(1)
-	t.latch.Unlock()
+	t.wlatch.Unlock()
 }
 
 func goodGoroutine(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
 	go func() {
-		t.latch.RLock() // fresh goroutine: empty held set
-		t.latch.RUnlock()
+		t.wlatch.Lock() // fresh goroutine: empty held set
+		t.wlatch.Unlock()
 	}()
 }
 
-// goodPrefetchUnderLatch mirrors core.Tree.PrefetchGE: an advisory
-// readahead descent holds the tree latch (1) while probing residency and
-// publishing hints (3) — increasing order, allowed.
-func goodPrefetchUnderLatch(t *Tree, buf []byte) {
-	t.latch.RLock()
-	defer t.latch.RUnlock()
-	t.pool.TryFetchCopy(1, buf)
-	t.pool.Prefetch(2)
+// goodWriterBracket mirrors a B-link mutation: wlatch for the whole
+// operation, an exclusive page latch around the one reader-visible
+// write, the pool fetch (4) under that latch.
+func goodWriterBracket(t *Tree) {
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
+	t.pl.Lock(7)
+	t.pool.Fetch(7)
+	t.pl.Unlock(7)
 }
 
-// goodCommitUnderLatch mirrors the WAL protocol: a mutation holds the
-// tree latch for its whole transaction and commits under it — the gate
-// (2) nests inside the latch (1).
+// goodLatchCoupling mirrors rebalancePair: parent first, then the two
+// children left-to-right — the second and third page latches go through
+// LockRight, making the rightward/downward direction auditable.
+func goodLatchCoupling(t *Tree) {
+	t.pl.Lock(1)
+	t.pl.LockRight(2)
+	t.pl.LockRight(3)
+	t.pl.Unlock(3)
+	t.pl.Unlock(2)
+	t.pl.Unlock(1)
+}
+
+// goodReaderHop mirrors a B-link descent: one shared page latch at a
+// time, released before the next is taken.
+func goodReaderHop(t *Tree) {
+	t.pl.RLock(1)
+	t.pl.RUnlock(1)
+	t.pl.RLock(2)
+	t.pl.RUnlock(2)
+}
+
+// goodTryReaderProbe mirrors PrefetchGE: an advisory residency probe
+// under a shared page latch taken with TryRLock.
+func goodTryReaderProbe(t *Tree, buf []byte) {
+	if !t.pl.TryRLock(5) {
+		return
+	}
+	t.pool.TryFetchCopy(5, buf)
+	t.pool.Prefetch(6)
+	t.pl.RUnlock(5)
+}
+
+// goodCommitUnderLatch mirrors the WAL protocol: a mutation holds
+// wlatch for its whole transaction and commits under it — the gate (2)
+// nests inside wlatch (1).
 func goodCommitUnderLatch(t *Tree) {
-	t.latch.Lock()
-	defer t.latch.Unlock()
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
 	t.pool.CommitTx(nil)
 }
 
@@ -117,8 +164,8 @@ func goodCheckpointShape(p *Pool) {
 //xrvet:latchorder-ignore deliberate inversion exercised under test
 func ignoredInversion(t *Tree) {
 	t.s.mu.Lock()
-	t.latch.RLock()
-	t.latch.RUnlock()
+	t.wlatch.Lock()
+	t.wlatch.Unlock()
 	t.s.mu.Unlock()
 }
 
@@ -126,38 +173,95 @@ func ignoredInversion(t *Tree) {
 
 func badPoolUnderShard(t *Tree) {
 	t.s.mu.Lock()
-	t.pool.Fetch(1) // want `latch order violation: calling t.pool.Fetch \(acquires level 3\) while holding t.s.mu \(level 3\)`
+	t.pool.Fetch(1) // want `latch order violation: calling t.pool.Fetch \(acquires level 4\) while holding t.s.mu \(level 4\)`
 	t.s.mu.Unlock()
 }
 
 func badLatchUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.s.mu \(level 3\)`
-	t.latch.RUnlock()
+	t.wlatch.Lock() // want `latch order violation: acquiring t.wlatch \(level 1\) while holding t.s.mu \(level 4\)`
+	t.wlatch.Unlock()
 }
 
 func badRecursiveLatch(t *Tree) {
-	t.latch.RLock()
-	t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.latch \(level 1\)`
-	t.latch.RUnlock()
-	t.latch.RUnlock()
+	t.wlatch.Lock()
+	t.wlatch.Lock() // want `latch order violation: acquiring t.wlatch \(level 1\) while holding t.wlatch \(level 1\)`
+	t.wlatch.Unlock()
+	t.wlatch.Unlock()
 }
 
 func badSeriesFirst(t *Tree) {
 	t.pool.seriesMu.Lock()
-	t.s.mu.Lock() // want `latch order violation: acquiring t.s.mu \(level 3\) while holding t.pool.seriesMu \(level 4\)`
+	t.s.mu.Lock() // want `latch order violation: acquiring t.s.mu \(level 4\) while holding t.pool.seriesMu \(level 5\)`
 	t.s.mu.Unlock()
 	t.pool.seriesMu.Unlock()
 }
 
+// badSecondPageLatchPlain couples two page latches with a plain Lock:
+// nothing marks the direction, so it is indistinguishable from a
+// left-or-upward acquisition that deadlocks against a writer coupling
+// rightward.
+func badSecondPageLatchPlain(t *Tree) {
+	t.pl.Lock(1)
+	t.pl.Lock(2) // want `latch order violation: acquiring page latch t.pl\(2\) while holding t.pl\(1\); a second page latch must be taken with LockRight`
+	t.pl.Unlock(2)
+	t.pl.Unlock(1)
+}
+
+// badSecondPageLatchShared is the same mistake on the read side — a
+// descent must release before hopping, never hold two shared latches.
+func badSecondPageLatchShared(t *Tree) {
+	t.pl.RLock(1)
+	t.pl.RLock(2) // want `latch order violation: acquiring page latch t.pl\(2\) while holding t.pl\(1\); a second page latch must be taken with LockRight`
+	t.pl.RUnlock(2)
+	t.pl.RUnlock(1)
+}
+
+// badPageLatchUnderShard takes a page latch under a pool shard mutex:
+// the fetch inside the latched region would re-enter the shard.
+func badPageLatchUnderShard(t *Tree) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.pl.Lock(1) // want `latch order violation: acquiring t.pl\(1\) \(level 3\) while holding t.s.mu \(level 4\)`
+	t.pl.Unlock(1)
+}
+
+// badLockRightUnderShard: LockRight only licenses same-level coupling;
+// it does not excuse acquiring below a higher held level.
+func badLockRightUnderShard(t *Tree) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.pl.LockRight(1) // want `latch order violation: acquiring t.pl\(1\) \(level 3\) while holding t.s.mu \(level 4\)`
+	t.pl.Unlock(1)
+}
+
+// badWlatchUnderPageLatch reaches back up to the writer mutex while a
+// page latch is held — the shape of calling the exact-answer fallback
+// from inside a latched probe.
+func badWlatchUnderPageLatch(t *Tree) {
+	t.pl.RLock(1)
+	t.wlatch.Lock() // want `latch order violation: acquiring t.wlatch \(level 1\) while holding t.pl\(1\) \(level 3\)`
+	t.wlatch.Unlock()
+	t.pl.RUnlock(1)
+}
+
+// badReaderReentry re-enters a page-latching read entry point while a
+// page latch is held — self-deadlock if the descent reaches the same
+// page.
+func badReaderReentry(t, u *Tree) {
+	t.pl.RLock(1)
+	u.Lookup(7) // want `latch order violation: calling u.Lookup \(acquires level 3\) while holding t.pl\(1\) \(level 3\)`
+	t.pl.RUnlock(1)
+}
+
 // badGateUnderShard inverts the PR 7 commit protocol: the checkpoint
-// gate (2) must be taken before any shard mutex (3), the way CommitTx
+// gate (2) must be taken before any shard mutex (4), the way CommitTx
 // does, never under one.
 func badGateUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	t.pool.ckptGate.RLock() // want `latch order violation: acquiring t.pool.ckptGate \(level 2\) while holding t.s.mu \(level 3\)`
+	t.pool.ckptGate.RLock() // want `latch order violation: acquiring t.pool.ckptGate \(level 2\) while holding t.s.mu \(level 4\)`
 	t.pool.ckptGate.RUnlock()
 }
 
@@ -166,25 +270,25 @@ func badGateUnderShard(t *Tree) {
 func badTryGateUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	if t.pool.ckptGate.TryLock() { // want `latch order violation: acquiring t.pool.ckptGate \(level 2\) while holding t.s.mu \(level 3\)`
+	if t.pool.ckptGate.TryLock() { // want `latch order violation: acquiring t.pool.ckptGate \(level 2\) while holding t.s.mu \(level 4\)`
 		t.pool.ckptGate.Unlock()
 	}
 }
 
-// badCommitUnderSeries commits while holding the series mutex (4): the
-// commit takes the gate (2) and shard mutexes (3) internally.
+// badCommitUnderSeries commits while holding the series mutex (5): the
+// commit takes the gate (2) and shard mutexes (4) internally.
 func badCommitUnderSeries(t *Tree) {
 	t.pool.seriesMu.Lock()
 	defer t.pool.seriesMu.Unlock()
-	t.pool.CommitTx(nil) // want `latch order violation: calling t.pool.CommitTx \(acquires level 2\) while holding t.pool.seriesMu \(level 4\)`
+	t.pool.CommitTx(nil) // want `latch order violation: calling t.pool.CommitTx \(acquires level 2\) while holding t.pool.seriesMu \(level 5\)`
 }
 
-// badNestedTreeOp re-enters a latching entry point while latched — the
-// self-deadlock shape CheckInvariants-under-write-latch would have.
+// badNestedTreeOp re-enters a wlatch entry point while write-latched —
+// the self-deadlock shape CheckInvariants-under-wlatch would have.
 func badNestedTreeOp(t, u *Tree) {
-	t.latch.RLock()
-	defer t.latch.RUnlock()
-	u.Insert(1) // want `latch order violation: calling u.Insert \(acquires level 1\) while holding t.latch \(level 1\)`
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
+	u.Insert(1) // want `latch order violation: calling u.Insert \(acquires level 1\) while holding t.wlatch \(level 1\)`
 }
 
 // badPrefetchUnderShard publishes a readahead hint while holding a shard
@@ -193,7 +297,7 @@ func badNestedTreeOp(t, u *Tree) {
 func badPrefetchUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	t.pool.Prefetch(1) // want `latch order violation: calling t.pool.Prefetch \(acquires level 3\) while holding t.s.mu \(level 3\)`
+	t.pool.Prefetch(1) // want `latch order violation: calling t.pool.Prefetch \(acquires level 4\) while holding t.s.mu \(level 4\)`
 }
 
 // badCloseUnderShard joins the prefetch workers while holding a shard
@@ -201,34 +305,52 @@ func badPrefetchUnderShard(t *Tree) {
 func badCloseUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	t.pool.Close() // want `latch order violation: calling t.pool.Close \(acquires level 3\) while holding t.s.mu \(level 3\)`
-}
-
-// badPrefetchGEUnderLatch re-enters the latching advisory descent while
-// already latched — the same self-deadlock shape as badNestedTreeOp.
-func badPrefetchGEUnderLatch(t, u *Tree) {
-	t.latch.RLock()
-	defer t.latch.RUnlock()
-	u.PrefetchGE(7) // want `latch order violation: calling u.PrefetchGE \(acquires level 1\) while holding t.latch \(level 1\)`
+	t.pool.Close() // want `latch order violation: calling t.pool.Close \(acquires level 4\) while holding t.s.mu \(level 4\)`
 }
 
 // lockHelper gives the fixpoint a same-package summary to propagate.
 func lockHelper(t *Tree) {
-	t.latch.Lock()
-	t.latch.Unlock()
+	t.wlatch.Lock()
+	t.wlatch.Unlock()
 }
 
 func badCallsHelperUnderShard(t *Tree) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	lockHelper(t) // want `latch order violation: calling lockHelper \(acquires level 1\) while holding t.s.mu \(level 3\)`
+	lockHelper(t) // want `latch order violation: calling lockHelper \(acquires level 1\) while holding t.s.mu \(level 4\)`
+}
+
+// rightHelper couples rightward only: its fixpoint summary is marked
+// right-only, so calling it under a held page latch is legal — the
+// shape of a rebalance helper doing a merge's prev-pointer fix.
+func rightHelper(t *Tree) {
+	t.pl.LockRight(8)
+	t.pl.Unlock(8)
+}
+
+func goodCallsRightHelperLatched(t *Tree) {
+	t.pl.Lock(1)
+	defer t.pl.Unlock(1)
+	rightHelper(t)
+}
+
+// latchHelper summarizes to the page-latch level through the fixpoint.
+func latchHelper(t *Tree) {
+	t.pl.RLock(9)
+	t.pl.RUnlock(9)
+}
+
+func badCallsLatchHelperLatched(t *Tree) {
+	t.pl.Lock(1)
+	defer t.pl.Unlock(1)
+	latchHelper(t) // want `latch order violation: calling latchHelper \(acquires level 3\) while holding t.pl\(1\) \(level 3\)`
 }
 
 func badGoroutineBody(t *Tree) {
 	go func() {
 		t.s.mu.Lock()
-		t.latch.RLock() // want `latch order violation: acquiring t.latch \(level 1\) while holding t.s.mu \(level 3\)`
-		t.latch.RUnlock()
+		t.wlatch.Lock() // want `latch order violation: acquiring t.wlatch \(level 1\) while holding t.s.mu \(level 4\)`
+		t.wlatch.Unlock()
 		t.s.mu.Unlock()
 	}()
 }
@@ -238,13 +360,13 @@ func badGoroutineBody(t *Tree) {
 func goodProberUnderInventory(st *shardState, pr *Prober) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	pr.Up("s0") // shard state (5) then prober (6): ok
+	pr.Up("s0") // shard state (6) then prober (7): ok
 }
 
 func badInventoryUnderProber(st *shardState, pr *Prober) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
-	st.mu.Lock() // want `latch order violation: acquiring st.mu \(level 5\) while holding pr.mu \(level 6\)`
+	st.mu.Lock() // want `latch order violation: acquiring st.mu \(level 6\) while holding pr.mu \(level 7\)`
 	st.mu.Unlock()
 }
 
@@ -253,5 +375,5 @@ func badInventoryUnderProber(st *shardState, pr *Prober) {
 func badPoolUnderProber(pr *Prober, p *Pool) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
-	p.Fetch(1) // want `latch order violation: calling p.Fetch \(acquires level 3\) while holding pr.mu \(level 6\)`
+	p.Fetch(1) // want `latch order violation: calling p.Fetch \(acquires level 4\) while holding pr.mu \(level 7\)`
 }

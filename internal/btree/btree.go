@@ -13,23 +13,34 @@
 //
 // # Concurrency
 //
-// A Tree carries a coarse read/write latch: Insert, Delete and BulkLoad
-// hold it exclusively; Lookup and SeekGE hold it shared for the duration of
-// one descent. Iterators release the latch between calls by working on a
-// private copy of the current leaf (see Iterator), so readers — including
-// multiple iterators per goroutine — never deadlock against queued
-// writers. Query paths attribute costs to caller-supplied counters, never
-// to the shared tree sink.
+// The tree uses the B-link protocol (Lehman–Yao): every index page
+// carries a high key (the lowest key of its right sibling; 0 = +∞) and a
+// right-sibling link in its header. Readers never take a tree-wide latch:
+// a descent holds one per-page shared latch at a time (see
+// internal/platch) just long enough to copy the page, and recovers from
+// a concurrent split by moving right whenever the search key is at or
+// beyond the page's high key. Writers serialize against each other on
+// wlatch (the WAL transaction state is per-tree) but block readers only
+// page by page: every byte mutation of a reader-reachable page happens
+// inside that page's exclusive latch, and a split populates the new
+// right sibling before the one latched write that shrinks the left page
+// and installs its right-link — so readers observe either the pre-split
+// page or a well-formed left half whose high key sends them right, never
+// a torn page. Iterators work on private leaf copies and re-latch only
+// for the hop to the next leaf. Query paths attribute costs to
+// caller-supplied counters, never to the shared tree sink.
 package btree
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xrtree/internal/bufferpool"
 	"xrtree/internal/metrics"
 	"xrtree/internal/pagefile"
+	"xrtree/internal/platch"
 	"xrtree/internal/xmldoc"
 )
 
@@ -42,27 +53,36 @@ import (
 // Leaf page:
 //
 //	0: type u8 (=leafType) | 2: count u16 | 4: next u32 | 8: prev u32
-//	12: entries, count × xmldoc.EncodedSize, sorted by start
+//	12: highKey u32 (lowest key of the right sibling; 0 = +∞)
+//	16: entries, count × xmldoc.EncodedSize, sorted by start
 //
 // Internal page:
 //
 //	0: type u8 (=internalType) | 2: count u16 (number of keys m)
-//	4: child0 u32
-//	8: entries, m × 8 bytes: key u32 | child u32
+//	4: child0 u32 | 8: next u32 (right sibling) | 12: highKey u32
+//	16: entries, m × 8 bytes: key u32 | child u32
 //	    (child of entry i is the subtree with keys ≥ key i)
+//
+// The high key and right link are the B-link fields: a page covers keys
+// strictly below its high key, and a reader finding its search key at or
+// beyond the high key follows the right link (for leaves, the existing
+// chain's next pointer doubles as the right link).
 const (
 	metaMagic = 0x42545230 // "BTR0"
 
 	leafType     = 1
 	internalType = 2
 
-	leafHeader     = 12
+	leafHeader     = 16
 	offLeafCount   = 2
 	offLeafNext    = 4
 	offLeafPrev    = 8
-	internalHeader = 8
+	offLeafHigh    = 12
+	internalHeader = 16
 	offIntCount    = 2
 	offIntChild0   = 4
+	offIntNext     = 8
+	offIntHigh     = 12
 	intEntrySize   = 8
 )
 
@@ -77,24 +97,47 @@ var (
 type Tree struct {
 	pool  *bufferpool.Pool
 	meta  pagefile.PageID
-	root  pagefile.PageID
-	h     int // height: 1 = root is a leaf
-	count int
 	docID uint32
+
+	// rootH packs the root page id (high 32 bits) and the tree height
+	// (low 32 bits; 1 = root is a leaf) into one word so lock-free
+	// readers start every descent from a consistent pair. Stale values
+	// are safe: an old root still reaches every key via right-links.
+	rootH atomic.Uint64
+
+	count atomic.Int64
 
 	leafCap int // max elements per leaf
 	intCap  int // max keys per internal node
 
-	// latch is the tree's coarse reader/writer latch: writers (Insert,
-	// Delete, BulkLoad) hold it exclusively, readers take it shared per
-	// descent or per leaf hop.
-	latch sync.RWMutex
+	// wlatch serializes writers (Insert, Delete, BulkLoad) against each
+	// other; the per-mutation WAL transaction state below is per-tree.
+	// Readers never take it — they synchronize with writers through the
+	// per-page latches in pl.
+	wlatch sync.Mutex
+
+	// pl holds the per-page latches of the B-link protocol: readers
+	// latch one page shared while copying it; writers latch a page
+	// exclusively for each byte mutation of a reader-reachable page.
+	pl *platch.Table
 
 	// tx is the WAL transaction of the mutation in flight, nil outside one.
-	// Guarded by the write latch (see the core package's twin for details).
+	// Guarded by wlatch (see the core package's twin for details).
 	tx *bufferpool.Tx
 
 	c *metrics.Counters // optional counter sink, used by write paths only
+}
+
+// loadRoot returns a consistent (root page, height) snapshot.
+func (t *Tree) loadRoot() (pagefile.PageID, int) {
+	v := t.rootH.Load()
+	return pagefile.PageID(v >> 32), int(uint32(v))
+}
+
+// setRoot publishes a new (root page, height) pair. Writer-only; the new
+// root must be fully populated before the call.
+func (t *Tree) setRoot(id pagefile.PageID, h int) {
+	t.rootH.Store(uint64(id)<<32 | uint64(uint32(h)))
 }
 
 // The fetch/unpin wrappers route page accesses through the in-flight WAL
@@ -135,7 +178,7 @@ func (t *Tree) beginTx() func(*error) {
 
 // New creates an empty tree whose pages come from pool's file.
 func New(pool *bufferpool.Pool, docID uint32) (*Tree, error) {
-	t := &Tree{pool: pool, docID: docID}
+	t := &Tree{pool: pool, docID: docID, pl: platch.NewTable()}
 	t.computeCaps()
 	metaID, metaData, err := pool.FetchNew()
 	if err != nil {
@@ -152,8 +195,7 @@ func New(pool *bufferpool.Pool, docID uint32) (*Tree, error) {
 		pool.Unpin(metaID, true) // best-effort: the first error propagates
 		return nil, err
 	}
-	t.root = rootID
-	t.h = 1
+	t.setRoot(rootID, 1)
 	putU32(metaData[0:], metaMagic)
 	t.writeMeta(metaData)
 	if err := pool.Unpin(metaID, true); err != nil {
@@ -164,7 +206,7 @@ func New(pool *bufferpool.Pool, docID uint32) (*Tree, error) {
 
 // Open reattaches to a tree previously created by New in pool's file.
 func Open(pool *bufferpool.Pool, meta pagefile.PageID) (*Tree, error) {
-	t := &Tree{pool: pool, meta: meta}
+	t := &Tree{pool: pool, meta: meta, pl: platch.NewTable()}
 	t.computeCaps()
 	data, err := pool.Fetch(meta)
 	if err != nil {
@@ -174,9 +216,8 @@ func Open(pool *bufferpool.Pool, meta pagefile.PageID) (*Tree, error) {
 	if getU32(data[0:]) != metaMagic {
 		return nil, fmt.Errorf("%w: bad meta magic", ErrCorrupt)
 	}
-	t.root = pagefile.PageID(getU32(data[4:]))
-	t.h = int(getU32(data[8:]))
-	t.count = int(getU32(data[12:]))
+	t.setRoot(pagefile.PageID(getU32(data[4:])), int(getU32(data[8:])))
+	t.count.Store(int64(getU32(data[12:])))
 	t.docID = getU32(data[16:])
 	return t, nil
 }
@@ -200,9 +241,10 @@ func (t *Tree) syncMeta() error {
 }
 
 func (t *Tree) writeMeta(data []byte) {
-	putU32(data[4:], uint32(t.root))
-	putU32(data[8:], uint32(t.h))
-	putU32(data[12:], uint32(t.count))
+	root, h := t.loadRoot()
+	putU32(data[4:], uint32(root))
+	putU32(data[8:], uint32(h))
+	putU32(data[12:], uint32(t.count.Load()))
 	putU32(data[16:], t.docID)
 }
 
@@ -210,10 +252,10 @@ func (t *Tree) writeMeta(data []byte) {
 func (t *Tree) Meta() pagefile.PageID { return t.meta }
 
 // Len returns the number of elements in the tree.
-func (t *Tree) Len() int { return t.count }
+func (t *Tree) Len() int { return int(t.count.Load()) }
 
 // Height returns the tree height (1 = root is a leaf).
-func (t *Tree) Height() int { return t.h }
+func (t *Tree) Height() int { _, h := t.loadRoot(); return h }
 
 // DocID returns the document id of the indexed set.
 func (t *Tree) DocID() uint32 { return t.docID }
@@ -276,6 +318,7 @@ func initInternal(data []byte) {
 		data[i] = 0
 	}
 	data[0] = internalType
+	putU32(data[offIntNext:], uint32(pagefile.InvalidPage))
 }
 
 func leafCount(data []byte) int    { return int(getU16(data[offLeafCount:])) }
@@ -300,6 +343,22 @@ func leafNext(data []byte) pagefile.PageID     { return pagefile.PageID(getU32(d
 func leafPrev(data []byte) pagefile.PageID     { return pagefile.PageID(getU32(data[offLeafPrev:])) }
 func setLeafNext(d []byte, id pagefile.PageID) { putU32(d[offLeafNext:], uint32(id)) }
 func setLeafPrev(d []byte, id pagefile.PageID) { putU32(d[offLeafPrev:], uint32(id)) }
+
+// The high key is the lowest key of the page's right sibling; 0 means +∞
+// (rightmost page at its level). A reader whose search key is ≥ the high
+// key moves right. For leaves the chain's next pointer is the right link.
+func leafHigh(data []byte) uint32             { return getU32(data[offLeafHigh:]) }
+func setLeafHigh(d []byte, k uint32)          { putU32(d[offLeafHigh:], k) }
+func intNext(data []byte) pagefile.PageID     { return pagefile.PageID(getU32(data[offIntNext:])) }
+func setIntNext(d []byte, id pagefile.PageID) { putU32(d[offIntNext:], uint32(id)) }
+func intHigh(data []byte) uint32              { return getU32(data[offIntHigh:]) }
+func setIntHigh(d []byte, k uint32)           { putU32(d[offIntHigh:], k) }
+
+// moveRight reports whether a B-link reader positioned at a page with the
+// given high key and right link must follow the link to find key.
+func moveRight(high uint32, next pagefile.PageID, key uint32) bool {
+	return high != 0 && key >= high && next != pagefile.InvalidPage
+}
 
 func intKey(data []byte, i int) uint32 {
 	return getU32(data[internalHeader+i*intEntrySize:])

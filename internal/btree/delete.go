@@ -9,35 +9,44 @@ import (
 
 // Delete removes the element with the given start key. It returns
 // ErrNotFound if no such element exists.
+//
+// Deletes follow the same per-page latching as Insert. Rebalancing latches
+// the parent and both siblings top-to-bottom, left-to-right (the B-link
+// order), so readers see either the pre-rebalance pair or the final one.
+// A merge frees the right page after its latch is released; a reader that
+// already resolved the freed id detects the recycled page by its type
+// byte and reports ErrCorrupt rather than returning wrong data — the same
+// contract leaf-chain scans have always had for racing merges.
 func (t *Tree) Delete(key uint32) (err error) {
-	t.latch.Lock()
-	defer t.latch.Unlock()
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
 	defer t.debugPinBalance()()
 	commit := t.beginTx()
 	defer commit(&err)
-	if _, err := t.deleteFrom(t.root, t.h, key); err != nil {
+	root, h := t.loadRoot()
+	if _, err := t.deleteFrom(root, h, key); err != nil {
 		return err
 	}
-	t.count--
+	t.count.Add(-1)
 	// Shrink the tree if the root is an internal node with a single child.
-	for t.h > 1 {
-		data, err := t.fetch(t.root)
+	for h > 1 {
+		data, err := t.fetch(root)
 		if err != nil {
 			return err
 		}
 		if intCount(data) > 0 {
-			if err := t.unpin(t.root, false); err != nil {
+			if err := t.unpin(root, false); err != nil {
 				return err
 			}
 			break
 		}
 		onlyChild := intChild(data, 0)
-		if err := t.unpin(t.root, false); err != nil {
+		if err := t.unpin(root, false); err != nil {
 			return err
 		}
-		old := t.root
-		t.root = onlyChild
-		t.h--
+		old := root
+		root, h = onlyChild, h-1
+		t.setRoot(root, h)
 		if err := t.free(old); err != nil {
 			return err
 		}
@@ -63,7 +72,9 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, key uint32) (bool, err
 			t.unpin(id, false)
 			return false, fmt.Errorf("%w: start %d", ErrNotFound, key)
 		}
+		t.pl.Lock(id)
 		removeLeafEntry(data, pos, n)
+		t.pl.Unlock(id)
 		under := leafCount(data) < t.leafMin()
 		return under, t.unpin(id, true)
 	}
@@ -79,7 +90,7 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, key uint32) (bool, err
 	if !childUnder {
 		return false, t.unpin(id, false)
 	}
-	if err := t.rebalanceChild(data, ci, height-1); err != nil {
+	if err := t.rebalanceChild(id, data, ci, height-1); err != nil {
 		t.unpin(id, true)
 		return false, err
 	}
@@ -88,16 +99,16 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, key uint32) (bool, err
 }
 
 // rebalanceChild restores minimum occupancy of the child at index ci of the
-// pinned internal page data, whose children live at childHeight.
-func (t *Tree) rebalanceChild(data []byte, ci int, childHeight int) error {
+// pinned internal page data (page id), whose children live at childHeight.
+func (t *Tree) rebalanceChild(id pagefile.PageID, data []byte, ci int, childHeight int) error {
 	m := intCount(data)
 	// Prefer borrowing from / merging with the left sibling; fall back to
 	// the right sibling when ci is the leftmost child.
 	if ci > 0 {
-		return t.rebalancePair(data, ci-1, childHeight)
+		return t.rebalancePair(id, data, ci-1, childHeight)
 	}
 	if ci < m {
-		return t.rebalancePair(data, ci, childHeight)
+		return t.rebalancePair(id, data, ci, childHeight)
 	}
 	// Single-child node: nothing to rebalance against (only possible at a
 	// root that is about to shrink).
@@ -105,8 +116,12 @@ func (t *Tree) rebalanceChild(data []byte, ci int, childHeight int) error {
 }
 
 // rebalancePair fixes the pair of children at indexes li and li+1 separated
-// by parent key li. One of them is known to be under minimum.
-func (t *Tree) rebalancePair(parent []byte, li int, childHeight int) error {
+// by parent key li. One of them is known to be under minimum. The whole
+// rebalance — parent separator rewrite included — happens inside one latch
+// bracket acquired parent, then left child, then right child, so a reader
+// descending through the parent never sees a separator pointing at a
+// half-rebalanced pair.
+func (t *Tree) rebalancePair(parentID pagefile.PageID, parent []byte, li int, childHeight int) error {
 	leftID := intChild(parent, li)
 	rightID := intChild(parent, li+1)
 	left, err := t.fetch(leftID)
@@ -119,53 +134,74 @@ func (t *Tree) rebalancePair(parent []byte, li int, childHeight int) error {
 		return err
 	}
 
+	t.pl.Lock(parentID)
+	t.pl.LockRight(leftID)
+	t.pl.LockRight(rightID)
+	var merged bool
 	if childHeight == 1 {
-		err = t.rebalanceLeaves(parent, li, leftID, left, rightID, right)
+		merged, err = t.rebalanceLeaves(parent, li, leftID, left, rightID, right)
 	} else {
-		err = t.rebalanceInternals(parent, li, leftID, left, rightID, right)
+		merged, err = t.rebalanceInternals(parent, li, left, right)
 	}
-	return err
+	t.pl.Unlock(rightID)
+	t.pl.Unlock(leftID)
+	t.pl.Unlock(parentID)
+
+	if err != nil {
+		t.unpin(leftID, true)
+		t.unpin(rightID, true)
+		return err
+	}
+	if err := t.unpin(leftID, true); err != nil {
+		t.unpin(rightID, true)
+		return err
+	}
+	if merged {
+		// The right page leaves the tree; free it only after its latch is
+		// released (a blocked reader re-checks the page type and errors).
+		return t.discard(rightID)
+	}
+	return t.unpin(rightID, true)
 }
 
-// rebalanceLeaves redistributes or merges two sibling leaves. Consumes both
-// pins.
-func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, left []byte, rightID pagefile.PageID, right []byte) error {
+// rebalanceLeaves redistributes or merges two sibling leaves, maintaining
+// their B-link high keys. Called with all three page latches held; reports
+// whether the right page was merged away. Pins stay with the caller.
+func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, left []byte, rightID pagefile.PageID, right []byte) (bool, error) {
 	ln, rn := leafCount(left), leafCount(right)
 	min := t.leafMin()
 	switch {
 	case ln+rn <= t.leafCap:
-		// Merge right into left.
+		// Merge right into left: left absorbs right's entries, chain link,
+		// and high key.
 		copy(left[leafHeader+ln*xmldoc.EncodedSize:], right[leafHeader:leafHeader+rn*xmldoc.EncodedSize])
 		setLeafCount(left, ln+rn)
 		next := leafNext(right)
 		setLeafNext(left, next)
+		setLeafHigh(left, leafHigh(right))
 		if next != pagefile.InvalidPage {
 			nd, err := t.fetch(next)
 			if err != nil {
-				t.unpin(leftID, true)
-				t.unpin(rightID, false)
-				return err
+				return false, err
 			}
+			t.pl.LockRight(next)
 			setLeafPrev(nd, leftID)
+			t.pl.Unlock(next)
 			if err := t.unpin(next, true); err != nil {
-				t.unpin(leftID, true)
-				t.unpin(rightID, false)
-				return err
+				return false, err
 			}
 		}
 		removeIntEntry(parent, li, intCount(parent))
-		if err := t.unpin(leftID, true); err != nil {
-			t.unpin(rightID, false)
-			return err
-		}
-		return t.discard(rightID)
+		return true, nil
 
 	case ln < min:
 		// Borrow the first entry of right.
 		e := leafElem(right, 0)
 		removeLeafEntry(right, 0, rn)
 		insertLeafEntry(left, ln, ln, e)
-		setIntKey(parent, li, leafKey(right, 0))
+		sep := leafKey(right, 0)
+		setIntKey(parent, li, sep)
+		setLeafHigh(left, sep)
 
 	default:
 		// Borrow the last entry of left.
@@ -173,23 +209,22 @@ func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, le
 		setLeafCount(left, ln-1)
 		insertLeafEntry(right, 0, rn, e)
 		setIntKey(parent, li, e.Start)
+		setLeafHigh(left, e.Start)
 	}
-	if err := t.unpin(leftID, true); err != nil {
-		t.unpin(rightID, true)
-		return err
-	}
-	return t.unpin(rightID, true)
+	return false, nil
 }
 
 // rebalanceInternals redistributes or merges two sibling internal nodes
-// through the parent separator at index li. Consumes both pins.
-func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID, left []byte, rightID pagefile.PageID, right []byte) error {
+// through the parent separator at index li, maintaining right links and
+// high keys. Called with all three page latches held; reports whether the
+// right page was merged away. Pins stay with the caller.
+func (t *Tree) rebalanceInternals(parent []byte, li int, left, right []byte) (bool, error) {
 	lm, rm := intCount(left), intCount(right)
 	sep := intKey(parent, li)
 	min := t.intMin()
 	switch {
 	case lm+rm+1 <= t.intCap:
-		// Merge: left ++ sep ++ right.
+		// Merge: left ++ sep ++ right; left absorbs right's link and high.
 		setIntKey(left, lm, sep)
 		setIntChild(left, lm+1, intChild(right, 0))
 		for i := 0; i < rm; i++ {
@@ -197,38 +232,36 @@ func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID,
 			setIntChild(left, lm+2+i, intChild(right, i+1))
 		}
 		setIntCount(left, lm+rm+1)
+		setIntNext(left, intNext(right))
+		setIntHigh(left, intHigh(right))
 		removeIntEntry(parent, li, intCount(parent))
-		if err := t.unpin(leftID, true); err != nil {
-			t.unpin(rightID, false)
-			return err
-		}
-		return t.discard(rightID)
+		return true, nil
 
 	case lm < min:
 		// Rotate left: sep moves down to left, right's first key moves up.
+		newSep := intKey(right, 0)
 		setIntKey(left, lm, sep)
 		setIntChild(left, lm+1, intChild(right, 0))
 		setIntCount(left, lm+1)
-		setIntKey(parent, li, intKey(right, 0))
+		setIntKey(parent, li, newSep)
 		setIntChild(right, 0, intChild(right, 1))
 		removeIntEntry(right, 0, rm)
+		setIntHigh(left, newSep)
 
 	default:
 		// Rotate right: left's last key moves up, sep moves down to right.
 		// shiftIntRight moves right's old child 0 into the child-1 slot and
 		// opens key 0 / child 0 for the incoming entry.
+		newSep := intKey(left, lm-1)
 		shiftIntRight(right, rm)
 		setIntKey(right, 0, sep)
 		setIntCount(right, rm+1)
-		setIntKey(parent, li, intKey(left, lm-1))
+		setIntKey(parent, li, newSep)
 		setIntChild(right, 0, intChild(left, lm))
 		setIntCount(left, lm-1)
+		setIntHigh(left, newSep)
 	}
-	if err := t.unpin(leftID, true); err != nil {
-		t.unpin(rightID, true)
-		return err
-	}
-	return t.unpin(rightID, true)
+	return false, nil
 }
 
 // removeLeafEntry deletes entry pos from a leaf with n entries.

@@ -10,42 +10,55 @@ import (
 // Insert adds e to the tree. The start position must be unique within the
 // indexed set (region starts of distinct elements are distinct by
 // construction); inserting a duplicate start returns ErrDuplicate.
+//
+// Writers serialize on wlatch but never block readers tree-wide: every
+// mutation of a reader-reachable page happens under that page's exclusive
+// latch, and structural changes follow the B-link split order (populate
+// the new right sibling while it is unreachable, then shrink the left
+// page and install its right link in one latched write, then update the
+// parent — readers that race the parent update recover by moving right).
 func (t *Tree) Insert(e xmldoc.Element) (err error) {
 	if e.DocID != t.docID {
 		return fmt.Errorf("btree: insert of DocID %d into tree for DocID %d", e.DocID, t.docID)
 	}
-	t.latch.Lock()
-	defer t.latch.Unlock()
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
 	defer t.debugPinBalance()()
 	commit := t.beginTx()
 	defer commit(&err)
-	promoKey, promoChild, err := t.insertInto(t.root, t.h, e)
+	root, h := t.loadRoot()
+	promoKey, promoChild, err := t.insertInto(root, h, e)
 	if err != nil {
 		return err
 	}
 	if promoChild != pagefile.InvalidPage {
-		// Root split: grow the tree.
+		// Root split: grow the tree. The new root is unreachable until
+		// setRoot publishes it, so it needs no latch while being built;
+		// readers still descending from the old root reach the new right
+		// half through its right link.
 		newRootID, data, err := t.fetchNew()
 		if err != nil {
 			return err
 		}
 		initInternal(data)
 		setIntCount(data, 1)
-		setIntChild(data, 0, t.root)
+		setIntChild(data, 0, root)
 		setIntKey(data, 0, promoKey)
 		setIntChild(data, 1, promoChild)
 		if err := t.unpin(newRootID, true); err != nil {
 			return err
 		}
-		t.root = newRootID
-		t.h++
+		t.setRoot(newRootID, h+1)
 	}
-	t.count++
+	t.count.Add(1)
 	return t.syncMeta()
 }
 
 // insertInto inserts e under page id at the given height (1 = leaf).
 // On split it returns the separator key and the new right sibling.
+// The writer's descent reads pages without latching: writers are
+// serialized, so no one else mutates pages, and concurrent readers only
+// copy them.
 func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element) (uint32, pagefile.PageID, error) {
 	data, err := t.fetch(id)
 	if err != nil {
@@ -86,11 +99,16 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element) (ui
 		return 0, pagefile.InvalidPage, fmt.Errorf("%w: start %d", ErrDuplicate, e.Start)
 	}
 	if n < t.leafCap {
+		t.pl.Lock(id)
 		insertLeafEntry(data, pos, n, e)
+		t.pl.Unlock(id)
 		return 0, pagefile.InvalidPage, t.unpin(id, true)
 	}
 
-	// Split: move the upper half to a new right sibling.
+	// Split: move the upper half to a new right sibling. The new page is
+	// unreachable until the left page's right link is installed, so it is
+	// populated completely — entries, chain pointers, high key, and e if e
+	// belongs in it — without a latch.
 	newID, newData, err := t.fetchNew()
 	if err != nil {
 		t.unpin(id, false)
@@ -101,17 +119,37 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element) (ui
 	moved := n - mid
 	copy(newData[leafHeader:], data[leafHeader+mid*xmldoc.EncodedSize:leafHeader+n*xmldoc.EncodedSize])
 	setLeafCount(newData, moved)
-	setLeafCount(data, mid)
-
-	// Link the new leaf into the chain.
 	oldNext := leafNext(data)
 	setLeafNext(newData, oldNext)
 	setLeafPrev(newData, id)
+	setLeafHigh(newData, leafHigh(data))
+	sep := leafKey(newData, 0)
+	if e.Start >= sep {
+		npos := leafSearch(newData, e.Start)
+		insertLeafEntry(newData, npos, moved, e)
+	}
+
+	// The one latched write that performs the split: shrink the left page,
+	// add e to it if it sorts left, and install the right link and high
+	// key together. A reader sees either the full pre-split page or a left
+	// half whose high key routes keys ≥ sep through the new right link.
+	t.pl.Lock(id)
+	setLeafCount(data, mid)
+	if e.Start < sep {
+		insertLeafEntry(data, pos, mid, e)
+	}
 	setLeafNext(data, newID)
+	setLeafHigh(data, sep)
+	t.pl.Unlock(id)
+
+	// Fix the old right neighbor's back pointer (scans only follow next,
+	// so this can be its own latched write after the split is visible).
 	if oldNext != pagefile.InvalidPage {
 		nd, err := t.fetch(oldNext)
 		if err == nil {
+			t.pl.Lock(oldNext)
 			setLeafPrev(nd, newID)
+			t.pl.Unlock(oldNext)
 			err = t.unpin(oldNext, true)
 		}
 		if err != nil {
@@ -119,15 +157,6 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element) (ui
 			t.unpin(id, true)
 			return 0, pagefile.InvalidPage, err
 		}
-	}
-
-	// Insert e into the proper half.
-	sep := leafKey(newData, 0)
-	if e.Start < sep {
-		insertLeafEntry(data, pos, mid, e)
-	} else {
-		npos := leafSearch(newData, e.Start)
-		insertLeafEntry(newData, npos, moved, e)
 	}
 	if err := t.unpin(newID, true); err != nil {
 		return 0, pagefile.InvalidPage, err
@@ -153,7 +182,9 @@ func insertLeafEntry(data []byte, pos, n int, e xmldoc.Element) {
 func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, key uint32, child pagefile.PageID) (uint32, pagefile.PageID, error) {
 	m := intCount(data)
 	if m < t.intCap {
+		t.pl.Lock(id)
 		insertIntEntry(data, ci, m, key, child)
+		t.pl.Unlock(id)
 		return 0, pagefile.InvalidPage, t.unpin(id, true)
 	}
 
@@ -174,21 +205,13 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, key 
 	mid := total / 2 // keys[mid] is promoted
 	promoted := keys[mid]
 
+	// Populate the new right node while unreachable (as in insertLeaf).
 	newID, newData, err := t.fetchNew()
 	if err != nil {
 		t.unpin(id, false)
 		return 0, pagefile.InvalidPage, err
 	}
 	initInternal(newData)
-
-	// Left node keeps keys[0:mid], children[0:mid+1].
-	setIntCount(data, mid)
-	setIntChild(data, 0, childs[0])
-	for i := 0; i < mid; i++ {
-		setIntKey(data, i, keys[i])
-		setIntChild(data, i+1, childs[i+1])
-	}
-	// Right node takes keys[mid+1:], children[mid+1:].
 	rightKeys := keys[mid+1:]
 	setIntCount(newData, len(rightKeys))
 	setIntChild(newData, 0, childs[mid+1])
@@ -196,6 +219,22 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, key 
 		setIntKey(newData, i, k)
 		setIntChild(newData, i+1, childs[mid+2+i])
 	}
+	setIntNext(newData, intNext(data))
+	setIntHigh(newData, intHigh(data))
+
+	// Latched split write: left node keeps keys[0:mid], children[0:mid+1];
+	// the promoted key becomes its high key and the right link points at
+	// the new node.
+	t.pl.Lock(id)
+	setIntCount(data, mid)
+	setIntChild(data, 0, childs[0])
+	for i := 0; i < mid; i++ {
+		setIntKey(data, i, keys[i])
+		setIntChild(data, i+1, childs[i+1])
+	}
+	setIntNext(data, newID)
+	setIntHigh(data, promoted)
+	t.pl.Unlock(id)
 
 	if err := t.unpin(newID, true); err != nil {
 		return 0, pagefile.InvalidPage, err
@@ -222,14 +261,14 @@ func insertIntEntry(data []byte, ci, m int, key uint32, child pagefile.PageID) {
 // must be empty. fill is the target leaf occupancy in (0,1]; 0 means 1.0
 // (fully packed, which is what the read-only join experiments use).
 func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
-	t.latch.Lock()
-	defer t.latch.Unlock()
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
 	defer t.debugPinBalance()()
 	// Unlogged bulk construction; durability comes from the store's save.
 	t.pool.BeginUnlogged()
 	defer t.pool.EndUnlogged()
-	if t.count != 0 {
-		return fmt.Errorf("btree: BulkLoad into non-empty tree (%d elements)", t.count)
+	if n := t.count.Load(); n != 0 {
+		return fmt.Errorf("btree: BulkLoad into non-empty tree (%d elements)", n)
 	}
 	if len(es) == 0 {
 		return nil
@@ -247,7 +286,11 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		}
 	}
 
-	// Build the leaf level, reusing the existing (empty) root as first leaf.
+	// Build the leaf level, reusing the existing (empty) root as first
+	// leaf. That page — and everything the leaf chain reaches from it — is
+	// visible to concurrent readers, so mutations of already-linked pages
+	// are latched; a fresh page is filled unlatched and only then linked.
+	root, _ := t.loadRoot()
 	type levelEntry struct {
 		firstKey uint32
 		id       pagefile.PageID
@@ -264,7 +307,7 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		var data []byte
 		var err error
 		if off == 0 {
-			id = t.root
+			id = root
 			data, err = t.fetch(id)
 		} else {
 			id, data, err = t.fetchNew()
@@ -272,14 +315,26 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		if err != nil {
 			return err
 		}
-		initLeaf(data)
-		for i := 0; i < n; i++ {
-			es[off+i].Encode(leafEntry(data, i), 0)
+		fillPage := func() {
+			initLeaf(data)
+			for i := 0; i < n; i++ {
+				es[off+i].Encode(leafEntry(data, i), 0)
+			}
+			setLeafCount(data, n)
 		}
-		setLeafCount(data, n)
-		if prevData != nil {
-			setLeafNext(prevData, id)
+		if off == 0 {
+			t.pl.Lock(id)
+			fillPage()
+			t.pl.Unlock(id)
+		} else {
+			fillPage()
 			setLeafPrev(data, prevID)
+		}
+		if prevData != nil {
+			t.pl.Lock(prevID)
+			setLeafNext(prevData, id)
+			setLeafHigh(prevData, es[off].Start)
+			t.pl.Unlock(prevID)
 			if err := t.unpin(prevID, true); err != nil {
 				return err
 			}
@@ -291,7 +346,10 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		return err
 	}
 
-	// Build internal levels until one node remains.
+	// Build internal levels until one node remains. These pages are
+	// unreachable until setRoot publishes the top one, so they are built
+	// unlatched; the previous node stays pinned so its right link and high
+	// key can be set once its right neighbor exists.
 	height := 1
 	perInt := int(float64(t.intCap) * fill)
 	if perInt < 2 {
@@ -299,6 +357,8 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 	}
 	for len(level) > 1 {
 		var next []levelEntry
+		prevID = pagefile.InvalidPage
+		prevData = nil
 		for off := 0; off < len(level); {
 			n := len(level) - off
 			if n > perInt+1 {
@@ -320,17 +380,24 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 				setIntChild(data, i, level[off+i].id)
 			}
 			setIntCount(data, n-1)
-			if err := t.unpin(id, true); err != nil {
-				return err
+			if prevData != nil {
+				setIntNext(prevData, id)
+				setIntHigh(prevData, level[off].firstKey)
+				if err := t.unpin(prevID, true); err != nil {
+					return err
+				}
 			}
 			next = append(next, levelEntry{firstKey: level[off].firstKey, id: id})
+			prevID, prevData = id, data
 			off += n
+		}
+		if err := t.unpin(prevID, true); err != nil {
+			return err
 		}
 		level = next
 		height++
 	}
-	t.root = level[0].id
-	t.h = height
-	t.count = len(es)
+	t.setRoot(level[0].id, height)
+	t.count.Store(int64(len(es)))
 	return t.syncMeta()
 }

@@ -29,15 +29,22 @@ func putPageBuf(b []byte) {
 	}
 }
 
+// readPage copies page id into buf under its shared page latch, so the
+// copy cannot be torn by a concurrent writer mutating the frame.
+func (t *Tree) readPage(id pagefile.PageID, buf []byte, c *metrics.Counters) error {
+	t.pl.RLock(id)
+	err := t.pool.FetchCopyTraced(id, buf, c.TraceSink())
+	t.pl.RUnlock(id)
+	return err
+}
+
 // Lookup returns the element whose start equals key, or ErrNotFound, with
-// costs attributed to c (nil discards them). Safe for concurrent readers.
+// costs attributed to c (nil discards them). Safe for concurrent readers
+// and concurrent writers: the descent takes no tree-wide latch.
 func (t *Tree) Lookup(key uint32, c *metrics.Counters) (xmldoc.Element, error) {
 	buf := getPageBuf(t.pool.File().PageSize())
 	defer putPageBuf(buf)
-	t.latch.RLock()
-	err := t.descendToLeafCopy(key, c, buf)
-	t.latch.RUnlock()
-	if err != nil {
+	if err := t.descendToLeafCopy(key, c, buf); err != nil {
 		return xmldoc.Element{}, err
 	}
 	pos := leafSearch(buf, key)
@@ -50,29 +57,47 @@ func (t *Tree) Lookup(key uint32, c *metrics.Counters) (xmldoc.Element, error) {
 	return xmldoc.Element{}, fmt.Errorf("%w: start %d", ErrNotFound, key)
 }
 
-// descendToLeafCopy walks from the root to the leaf that would contain key,
-// copying each visited page into buf through the pool (so nothing stays
-// pinned); on return buf holds the leaf. The caller must hold t.latch in at
-// least read mode.
+// descendToLeafCopy walks from the root to the leaf covering key, copying
+// each visited page into buf under its shared page latch; on return buf
+// holds the leaf. This is the B-link descent: it holds one page latch at
+// a time, never a tree latch, and recovers from concurrent splits by
+// following right links whenever key is at or beyond a page's high key —
+// including at the leaf level, where a stale parent may have sent us to a
+// freshly split left half. The root snapshot may be stale (a concurrent
+// root growth is invisible); that is safe because the old root still
+// reaches every key through right links.
 func (t *Tree) descendToLeafCopy(key uint32, c *metrics.Counters, buf []byte) error {
-	id := t.root
-	//xrvet:bounded root-to-leaf descent, at most t.h iterations
-	for level := t.h; ; level-- {
-		if err := t.pool.FetchCopyTraced(id, buf, c.TraceSink()); err != nil {
+	id, h := t.loadRoot()
+	//xrvet:bounded root-to-leaf descent: h levels plus one right move per
+	// concurrent split outrunning us; cancellation is polled per right move.
+	for {
+		if err := t.readPage(id, buf, c); err != nil {
 			return err
 		}
-		if level == 1 {
-			if !isLeaf(buf) {
-				return fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
+		if isLeaf(buf) {
+			if moveRight(leafHigh(buf), leafNext(buf), key) {
+				if err := c.Interrupted(); err != nil {
+					return err
+				}
+				addLeaf(c)
+				id = leafNext(buf)
+				continue
 			}
 			addLeaf(c)
-			c.Emit(obs.EvIndexDescend, int64(t.h))
+			c.Emit(obs.EvIndexDescend, int64(h))
 			return nil
 		}
-		if isLeaf(buf) {
-			return fmt.Errorf("%w: unexpected leaf at height %d", ErrCorrupt, level)
+		if buf[0] != internalType {
+			return fmt.Errorf("%w: page %d is neither leaf nor internal", ErrCorrupt, id)
 		}
 		addNode(c)
+		if moveRight(intHigh(buf), intNext(buf), key) {
+			if err := c.Interrupted(); err != nil {
+				return err
+			}
+			id = intNext(buf)
+			continue
+		}
 		id = intChild(buf, intSearch(buf, key))
 	}
 }
@@ -101,10 +126,7 @@ func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
 		return nil, err
 	}
 	buf := getPageBuf(t.pool.File().PageSize())
-	t.latch.RLock()
-	err := t.descendToLeafCopy(key, c, buf)
-	t.latch.RUnlock()
-	if err != nil {
+	if err := t.descendToLeafCopy(key, c, buf); err != nil {
 		putPageBuf(buf)
 		return nil, err
 	}
@@ -163,7 +185,7 @@ func (it *Iterator) Peek() (xmldoc.Element, bool) {
 }
 
 // advancePage replaces the iterator's leaf copy with the next leaf on the
-// chain, re-taking the tree latch for the hop.
+// chain, latching the next page for the hop.
 func (it *Iterator) advancePage() bool {
 	next := leafNext(it.buf)
 	if next == pagefile.InvalidPage {
@@ -176,10 +198,7 @@ func (it *Iterator) advancePage() bool {
 		return false
 	}
 	t := it.t
-	t.latch.RLock()
-	err := t.pool.FetchCopyTraced(next, it.buf, it.c.TraceSink())
-	t.latch.RUnlock()
-	if err != nil {
+	if err := t.readPage(next, it.buf, it.c); err != nil {
 		it.err = err
 		return false
 	}

@@ -1,0 +1,257 @@
+package core
+
+// B-link protocol oracles, meant for -race runs: scans that cross leaves
+// while those leaves split must see every committed element exactly once,
+// and a full insert/delete/query mix must leave a tree that passes the
+// exhaustive Definition-4 checker once writers quiesce. The debug build
+// (xrtreedebug) additionally runs the pin ledger and the sampled
+// post-mutation checker inside every write these tests issue.
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"xrtree/internal/metrics"
+	"xrtree/internal/xmldoc"
+)
+
+// TestScanExactlyOnceDuringSplits pins down the central B-link reader
+// guarantee: a leaf-chain scan concurrent with splits sees each element
+// that existed before the scan started exactly once, in order. A split
+// only moves entries right into a freshly linked page, and the iterator
+// works on private page copies, so a scan that copied the pre-split page
+// already holds both halves and one that copied the post-split page picks
+// the second half up through the right link — either way, exactly once.
+// The writer inserts into the middle of the scanned range so splits land
+// on pages scans are actively crossing.
+func TestScanExactlyOnceDuringSplits(t *testing.T) {
+	pool := newPool(t, 1024, 256)
+	tr, err := New(pool, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static flat siblings at starts 10, 20, 30, ...; the writer fills the
+	// odd multiples of 5 between them.
+	const nStatic = 1200
+	static := make([]xmldoc.Element, nStatic)
+	for i := range static {
+		s := uint32(10 + 10*i)
+		static[i] = xmldoc.Element{DocID: 1, Start: s, End: s + 2, Level: 1}
+	}
+	if err := tr.BulkLoad(static, 0.9); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var writerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nStatic; i++ {
+			s := uint32(15 + 10*i)
+			if err := tr.Insert(xmldoc.Element{DocID: 1, Start: s, End: s + 2, Level: 1}); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 30; round++ {
+				var c metrics.Counters
+				it, err := tr.Scan(&c)
+				if err != nil {
+					t.Errorf("Scan: %v", err)
+					return
+				}
+				seen := 0
+				prev := uint32(0)
+				for {
+					e, ok := it.Next()
+					if !ok {
+						break
+					}
+					if e.Start <= prev && seen > 0 {
+						t.Errorf("scan out of order: %d after %d", e.Start, prev)
+						it.Close()
+						return
+					}
+					if e.Start%10 == 0 {
+						// Static element: count it; the exactly-once check
+						// is the ordered count below.
+						if e.Start != uint32(10+10*seen) {
+							t.Errorf("scan skipped or repeated a static element: saw %d at static index %d", e.Start, seen)
+							it.Close()
+							return
+						}
+						seen++
+					}
+					prev = e.Start
+				}
+				if err := it.Close(); err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+				if seen != nStatic {
+					t.Errorf("scan saw %d static elements, want exactly %d", seen, nStatic)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if writerErr != nil {
+		t.Fatalf("writer: %v", writerErr)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInsertDeleteQuery mixes structural deletes into the write
+// stream. Merges recycle pages, so a racing reader may surface ErrCorrupt
+// (the documented detect-don't-block hazard); readers here retry on it and
+// must see exact results for the static region on every clean attempt.
+// After the writers quiesce the tree must pass the full checker and the
+// whole mutable region must read back exactly.
+func TestConcurrentInsertDeleteQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	static := genNested(rng, 900, 10)
+	pool := newPool(t, 1024, 512)
+	tr, err := New(pool, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(static, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	o := newOracle()
+	for _, e := range static {
+		o.insert(e)
+	}
+	maxPos := static[len(static)-1].End + 2
+
+	// Two writers over disjoint private key ranges above the static region:
+	// each churns its range with inserts and deletes, forcing splits and
+	// merges while readers probe the static region.
+	var wg sync.WaitGroup
+	writerErrs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := maxPos + 10 + uint32(w)*100000
+			r := rand.New(rand.NewSource(int64(w) + 7))
+			live := make([]uint32, 0, 512)
+			for i := 0; i < 1200; i++ {
+				if len(live) > 0 && r.Intn(3) == 0 {
+					j := r.Intn(len(live))
+					s := live[j]
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if err := tr.Delete(s); err != nil {
+						writerErrs[w] = err
+						return
+					}
+					continue
+				}
+				s := base + uint32(i)*3
+				if err := tr.Insert(xmldoc.Element{DocID: 1, Start: s, End: s + 1, Level: 1}); err != nil {
+					writerErrs[w] = err
+					return
+				}
+				live = append(live, s)
+			}
+			// Drain: delete everything this writer still owns, exercising
+			// merges all the way back down.
+			for _, s := range live {
+				if err := tr.Delete(s); err != nil {
+					writerErrs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g) + 31))
+			for i := 0; i < 200; i++ {
+				var c metrics.Counters
+				//xrvet:bounded retries are capped at 20 per operation
+				for attempt := 0; ; attempt++ {
+					var err error
+					switch i % 3 {
+					case 0:
+						sd := uint32(r.Intn(int(maxPos)-2) + 2)
+						var got []xmldoc.Element
+						got, err = tr.FindAncestors(sd, 0, &c)
+						if err == nil && len(got) != len(o.ancestors(sd, 0)) {
+							t.Errorf("FindAncestors(%d) wrong size during churn", sd)
+							return
+						}
+					case 1:
+						e := static[r.Intn(len(static))]
+						var got xmldoc.Element
+						got, err = tr.Lookup(e.Start, &c)
+						if err == nil && got.End != e.End {
+							t.Errorf("Lookup(%d) = %v, want %v", e.Start, got, e)
+							return
+						}
+					case 2:
+						a := static[r.Intn(len(static))]
+						var got []xmldoc.Element
+						got, err = tr.FindDescendants(a.Start, a.End, &c)
+						if err == nil && len(got) != len(o.descendants(a.Start, a.End)) {
+							t.Errorf("FindDescendants(%d,%d) wrong size during churn", a.Start, a.End)
+							return
+						}
+					}
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrCorrupt) || attempt >= 20 {
+						t.Errorf("reader op %d: %v (attempt %d)", i%3, err, attempt)
+						return
+					}
+					// A merge recycled a page under the probe: retry.
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for w, err := range writerErrs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-quiesce exactness: only the static elements remain.
+	var c metrics.Counters
+	it, err := tr.Scan(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := o.sorted()
+	for _, w := range want {
+		e, ok := it.Next()
+		if !ok || e.Start != w.Start || e.End != w.End {
+			t.Fatalf("post-quiesce scan: got (%v,%v), want %v", e, ok, w)
+		}
+	}
+	if e, ok := it.Next(); ok {
+		t.Fatalf("post-quiesce scan: unexpected trailing element %v", e)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,16 +16,17 @@ import (
 // be empty. fill is the target page occupancy in (0,1]; 0 means fully
 // packed.
 func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
-	t.latch.Lock()
-	defer t.latch.Unlock()
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
+	defer t.endStabMove()
 	defer t.debugPinBalance()()
 	// Bulk construction is unlogged: its durability point is the store's
 	// explicit save. The bracket keeps fuzzy WAL checkpoints from reading
 	// half-built frames.
 	t.pool.BeginUnlogged()
 	defer t.pool.EndUnlogged()
-	if t.count != 0 {
-		return fmt.Errorf("xrtree: BulkLoad into non-empty tree (%d elements)", t.count)
+	if n := t.count.Load(); n != 0 {
+		return fmt.Errorf("xrtree: BulkLoad into non-empty tree (%d elements)", n)
 	}
 	if len(es) == 0 {
 		return nil
@@ -47,7 +48,12 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 	}
 
 	// Leaf level. Separators between adjacent leaves use the §3.2 key
-	// choice so they stab as few elements as possible.
+	// choice so they stab as few elements as possible. The existing (empty)
+	// root page is reused as the first leaf; that page — and everything the
+	// chain reaches from it — is visible to concurrent readers, so
+	// mutations of already-linked pages take their exclusive latch; a fresh
+	// page is filled unlatched and only then linked.
+	root, _ := t.loadRoot()
 	type levelEntry struct {
 		sep uint32 // separator to the left of this child (unused for [0])
 		id  pagefile.PageID
@@ -65,7 +71,7 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		var data []byte
 		var err error
 		if off == 0 {
-			id = t.root
+			id = root
 			data, err = t.fetch(id)
 		} else {
 			id, data, err = t.fetchNew()
@@ -73,16 +79,28 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		if err != nil {
 			return err
 		}
-		initLeaf(data)
-		for i := 0; i < n; i++ {
-			es[off+i].Encode(leafEntry(data, i), 0)
+		fillPage := func() {
+			initLeaf(data)
+			for i := 0; i < n; i++ {
+				es[off+i].Encode(leafEntry(data, i), 0)
+			}
+			setLeafCount(data, n)
 		}
-		setLeafCount(data, n)
 		sep := uint32(0)
-		if off > 0 {
+		if off == 0 {
+			t.pl.Lock(id)
+			fillPage()
+			t.pl.Unlock(id)
+		} else {
+			fillPage()
 			sep = t.chooseSep(prevLast, es[off].Start)
-			setLeafNext(prevData, id)
 			setLeafPrev(data, prevID)
+		}
+		if prevData != nil {
+			t.pl.Lock(prevID)
+			setLeafNext(prevData, id)
+			setLeafHigh(prevData, sep)
+			t.pl.Unlock(prevID)
 			if err := t.unpin(prevID, true); err != nil {
 				return err
 			}
@@ -95,7 +113,10 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 		return err
 	}
 
-	// Internal levels.
+	// Internal levels. These pages are unreachable until setRoot publishes
+	// the top one, so they are built unlatched; the previous node stays
+	// pinned so its right link and high key can be set once its right
+	// neighbor exists.
 	height := 1
 	perInt := int(float64(t.intCap) * fill)
 	if perInt < 2 {
@@ -103,6 +124,8 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 	}
 	for len(level) > 1 {
 		var next []levelEntry
+		prevID = pagefile.InvalidPage
+		prevData = nil
 		for off := 0; off < len(level); {
 			n := len(level) - off
 			if n > perInt+1 {
@@ -125,21 +148,30 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 				})
 			}
 			setIntCount(data, n-1)
-			if err := t.unpin(id, true); err != nil {
-				return err
+			if prevData != nil {
+				setIntNext(prevData, id)
+				setIntHigh(prevData, level[off].sep)
+				if err := t.unpin(prevID, true); err != nil {
+					return err
+				}
 			}
 			next = append(next, levelEntry{sep: level[off].sep, id: id})
+			prevID, prevData = id, data
 			off += n
+		}
+		if err := t.unpin(prevID, true); err != nil {
+			return err
 		}
 		level = next
 		height++
 	}
-	t.root = level[0].id
-	t.h = height
-	t.count = len(es)
+	t.setRoot(level[0].id, height)
+	t.count.Store(int64(len(es)))
 
 	// Home every element: walk the start path from the root and stop at the
-	// first (highest) node with a stabbing key.
+	// first (highest) node with a stabbing key. The tree is published, so
+	// homing — flag raising plus chain inserts — is one long stab move.
+	t.beginStabMove()
 	for _, e := range es {
 		if err := t.homeElement(e); err != nil {
 			return err
@@ -153,18 +185,22 @@ func (t *Tree) BulkLoad(es []xmldoc.Element, fill float64) error {
 
 // homeElement inserts e into the stab list of the highest stabbing node on
 // its start path, setting the leaf InStabList flag when it does. The leaf
-// entry for e must already exist.
+// entry for e must already exist. The tree is already published, so every
+// mutation happens under the page's exclusive latch.
 func (t *Tree) homeElement(e xmldoc.Element) error {
-	id := t.root
+	id, h := t.loadRoot()
 	homed := false
-	for level := t.h; level > 1; level-- {
+	for level := h; level > 1; level-- {
 		data, err := t.fetch(id)
 		if err != nil {
 			return err
 		}
 		dirty := false
 		if !homed && primaryKeyIndex(data, e.Start, e.End) >= 0 {
-			if err := t.stabInsertElement(data, e); err != nil {
+			t.pl.Lock(id)
+			err := t.stabInsertElement(data, e)
+			t.pl.Unlock(id)
+			if err != nil {
 				t.unpin(id, true)
 				return err
 			}
@@ -189,7 +225,9 @@ func (t *Tree) homeElement(e xmldoc.Element) error {
 		t.unpin(id, false)
 		return fmt.Errorf("%w: bulk-loaded element %v missing from leaf", ErrCorrupt, e)
 	}
+	t.pl.Lock(id)
 	_, fl := leafElem(data, pos)
 	setLeafFlags(data, pos, fl|xmldoc.FlagInStabList)
+	t.pl.Unlock(id)
 	return t.unpin(id, true)
 }

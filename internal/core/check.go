@@ -22,28 +22,35 @@ import (
 //     exactly the highest node (on its start path) with a stabbing key, and
 //     its leaf InStabList flag mirrors that; elements in stab lists exist
 //     in leaves; the meta stab counters match reality.
+//  4. B-link structure: every page's high key equals its subtree's upper
+//     bound (0 on the rightmost spine), and right links chain each level
+//     left to right with no skips.
+//
+// CheckInvariants takes the write latch: it excludes writers for the whole
+// walk (readers never modify pages and may run alongside it).
 func (t *Tree) CheckInvariants() error {
-	t.latch.RLock()
-	defer t.latch.RUnlock()
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
 	return t.checkInvariantsLocked()
 }
 
 // checkInvariantsLocked is CheckInvariants for callers that already hold
-// the latch (in either mode) — taking RLock here would self-deadlock the
-// debug build's post-mutation sampling, which runs under the write latch.
+// the write latch — taking it here would self-deadlock the debug build's
+// post-mutation sampling, which runs under the write latch.
 func (t *Tree) checkInvariantsLocked() error {
-	ck := &checker{t: t}
-	if _, _, _, err := ck.walk(t.root, t.h, 0, ^uint32(0), nil); err != nil {
+	root, h := t.loadRoot()
+	ck := &checker{t: t, rootH: h}
+	if _, _, _, err := ck.walk(root, h, 0, ^uint32(0), nil); err != nil {
 		return err
 	}
-	if ck.elemCount != t.count {
-		return fmt.Errorf("xrtree: meta count %d but %d elements in leaves", t.count, ck.elemCount)
+	if int64(ck.elemCount) != t.count.Load() {
+		return fmt.Errorf("xrtree: meta count %d but %d elements in leaves", t.count.Load(), ck.elemCount)
 	}
-	if ck.stabEntries != t.stabCount {
-		return fmt.Errorf("xrtree: meta stabCount %d but %d stab entries", t.stabCount, ck.stabEntries)
+	if int64(ck.stabEntries) != t.stabCount.Load() {
+		return fmt.Errorf("xrtree: meta stabCount %d but %d stab entries", t.stabCount.Load(), ck.stabEntries)
 	}
-	if ck.stabPages != t.stabPages {
-		return fmt.Errorf("xrtree: meta stabPages %d but %d stab pages", t.stabPages, ck.stabPages)
+	if int64(ck.stabPages) != t.stabPages.Load() {
+		return fmt.Errorf("xrtree: meta stabPages %d but %d stab pages", t.stabPages.Load(), ck.stabPages)
 	}
 	if ck.flaggedLeaf != ck.stabEntries {
 		return fmt.Errorf("xrtree: %d flagged leaf entries but %d stab entries", ck.flaggedLeaf, ck.stabEntries)
@@ -53,12 +60,17 @@ func (t *Tree) checkInvariantsLocked() error {
 
 type checker struct {
 	t           *Tree
+	rootH       int
 	elemCount   int
 	stabEntries int
 	stabPages   int
 	flaggedLeaf int
 	prevLeaf    pagefile.PageID
 	prevLeafKey uint32
+	// nextAt records, per height, the right link of the previously visited
+	// page so the next page visited at that height can be checked against
+	// it — an in-order walk visits each level left to right.
+	nextAt map[int]pagefile.PageID
 	// elements maps start → (end, flagged) for the placement check.
 	elements []checkedElem
 	// stabbed maps start → node path info: each stab entry with the id of
@@ -87,6 +99,40 @@ func (ck *checker) walk(id pagefile.PageID, height int, lo, hi uint32, ancKeys [
 		return 0, 0, true, err
 	}
 	defer t.unpin(id, false)
+
+	// B-link invariants (shared by leaves and internal nodes): the high key
+	// mirrors the subtree's upper bound — 0, the +∞ sentinel, exactly on
+	// the rightmost spine where hi is unbounded — and right links chain the
+	// level with no skips.
+	var high uint32
+	var right pagefile.PageID
+	if height == 1 {
+		high, right = leafHigh(data), leafNext(data)
+	} else if !isLeaf(data) && data[0] == internalType {
+		high, right = intHigh(data), intNext(data)
+	}
+	if hi == ^uint32(0) {
+		if high != 0 {
+			return 0, 0, true, fmt.Errorf("xrtree: rightmost page %d (height %d) has high key %d, want 0", id, height, high)
+		}
+		if right != pagefile.InvalidPage {
+			return 0, 0, true, fmt.Errorf("xrtree: rightmost page %d (height %d) has right link %d", id, height, right)
+		}
+	} else {
+		if high != hi {
+			return 0, 0, true, fmt.Errorf("xrtree: page %d (height %d) high key %d, want %d", id, height, high, hi)
+		}
+		if right == pagefile.InvalidPage {
+			return 0, 0, true, fmt.Errorf("xrtree: non-rightmost page %d (height %d) has no right link", id, height)
+		}
+	}
+	if ck.nextAt == nil {
+		ck.nextAt = make(map[int]pagefile.PageID)
+	}
+	if want, ok := ck.nextAt[height]; ok && want != id {
+		return 0, 0, true, fmt.Errorf("xrtree: right link at height %d points at %d, next page in order is %d", height, want, id)
+	}
+	ck.nextAt[height] = right
 
 	if height == 1 {
 		if !isLeaf(data) {
@@ -145,7 +191,7 @@ func (ck *checker) walk(id pagefile.PageID, height int, lo, hi uint32, ancKeys [
 		return 0, 0, true, fmt.Errorf("xrtree: page %d: expected internal node at height %d", id, height)
 	}
 	m := intCount(data)
-	if m < 1 && height != ck.t.h {
+	if m < 1 && height != ck.rootH {
 		return 0, 0, true, fmt.Errorf("xrtree: non-root node %d has %d keys", id, m)
 	}
 	keys := make([]uint32, m)

@@ -151,9 +151,9 @@ func TestCheckerDetectsStabKeyMismatch(t *testing.T) {
 func TestCheckerDetectsCountDrift(t *testing.T) {
 	tr, pool := buildCorruptible(t)
 	_ = pool
-	tr.count++ // meta count no longer matches the leaves
+	tr.count.Add(1) // meta count no longer matches the leaves
 	expectViolation(t, tr, "count drift")
-	tr.count--
+	tr.count.Add(-1)
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatalf("restored tree should pass: %v", err)
 	}

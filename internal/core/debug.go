@@ -24,7 +24,7 @@ func (t *Tree) debugPostMutation() error {
 		return nil
 	}
 	t.debugOps++
-	if t.count > debugFullCheckBelow && t.debugOps%debugCheckStride != 0 {
+	if t.count.Load() > debugFullCheckBelow && t.debugOps%debugCheckStride != 0 {
 		return nil
 	}
 	err := t.checkInvariantsLocked()
@@ -32,19 +32,38 @@ func (t *Tree) debugPostMutation() error {
 	return nil
 }
 
+// debugReadEnter brackets a reader section that pins pool frames, for the
+// pin ledger below. Returns the exit func; a no-op in release builds.
+func (t *Tree) debugReadEnter() func() {
+	if !invariant.Enabled {
+		return func() {}
+	}
+	t.debugReadActive.Add(1)
+	t.debugReadEpoch.Add(1)
+	return func() { t.debugReadActive.Add(-1) }
+}
+
 // debugPinBalance snapshots the pool's pinned-frame count at operation
 // entry; the returned func asserts it is unchanged at exit. Registered
-// after the latch defer, it runs while the tree is still write-latched,
-// so no same-tree operation can be mid-flight; operations on other trees
-// sharing the pool must be quiescent too, which holds for every build and
-// mutation phase in the test suites.
+// after the latch defer, it runs while the tree is still write-latched, so
+// no other writer can be mid-flight — but readers latch pages, not the
+// tree, and hold pins of their own. The balance is only asserted when no
+// reader section overlapped the bracket (epoch unchanged, none active at
+// either end); otherwise the delta is not attributable and the check is
+// skipped. Operations on other trees sharing the pool must be quiescent,
+// which holds for every build and mutation phase in the test suites.
 func (t *Tree) debugPinBalance() func() {
 	if !invariant.Enabled {
 		return func() {}
 	}
 	before := t.pool.PinnedCount()
+	epoch := t.debugReadEpoch.Load()
+	activeBefore := t.debugReadActive.Load()
 	return func() {
 		after := t.pool.PinnedCount()
+		if activeBefore != 0 || t.debugReadActive.Load() != 0 || t.debugReadEpoch.Load() != epoch {
+			return
+		}
 		invariant.Assertf(after == before,
 			"pin balance: %d frames pinned at operation entry, %d at exit", before, after)
 	}

@@ -8,6 +8,14 @@ package core
 // replaced key are reinserted into the highest node that still stabs them
 // (possibly becoming plain leaf entries with InStabList = no), and elements
 // newly stabbed by a key that moved up join that node's stab list.
+//
+// Concurrency: simple removals are one latched write on the affected
+// page. Rebalancing latches the parent and both siblings top-to-bottom,
+// left-to-right (the B-link order) and performs the whole rebalance —
+// separator rewrite and stab re-homing included — inside that bracket. A
+// merge frees the right page only after its latch is released; a reader
+// that already resolved the freed id detects the recycled page by its
+// type byte and reports ErrCorrupt rather than returning wrong data.
 
 import (
 	"fmt"
@@ -21,46 +29,48 @@ import (
 // Delete removes the element whose region starts at start. It returns
 // ErrNotFound if no such element is indexed.
 func (t *Tree) Delete(start uint32) (err error) {
-	t.latch.Lock()
-	defer t.latch.Unlock()
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
+	defer t.endStabMove()
 	defer t.debugPinBalance()()
 	// Resolve the full region first so the destructive descent cannot fail
 	// halfway (the stab entry is keyed by the region, not just the start).
-	e, err := t.lookupLocked(start, t.c)
+	e, err := t.lookupWriter(start, t.c)
 	if err != nil {
 		return err
 	}
 	commit := t.beginTx()
 	defer commit(&err)
 	found := false
-	t.c.Emit(obs.EvIndexDescend, int64(t.h))
-	if _, err := t.deleteFrom(t.root, t.h, e, &found); err != nil {
+	root, h := t.loadRoot()
+	t.c.Emit(obs.EvIndexDescend, int64(h))
+	if _, err := t.deleteFrom(root, h, e, &found); err != nil {
 		return err
 	}
-	t.count--
+	t.count.Add(-1)
 	// D4: shrink the tree while the root is an internal node with one child.
-	for t.h > 1 {
-		data, err := t.fetch(t.root)
+	for h > 1 {
+		data, err := t.fetch(root)
 		if err != nil {
 			return err
 		}
 		if intCount(data) > 0 {
-			if err := t.unpin(t.root, false); err != nil {
+			if err := t.unpin(root, false); err != nil {
 				return err
 			}
 			break
 		}
 		onlyChild := intChild(data, 0)
 		if stabHead(data) != pagefile.InvalidPage {
-			t.unpin(t.root, false)
+			t.unpin(root, false)
 			return fmt.Errorf("%w: keyless root retains a stab list", ErrCorrupt)
 		}
-		if err := t.unpin(t.root, false); err != nil {
+		if err := t.unpin(root, false); err != nil {
 			return err
 		}
-		old := t.root
-		t.root = onlyChild
-		t.h--
+		old := root
+		root, h = onlyChild, h-1
+		t.setRoot(root, h)
 		if err := t.free(old); err != nil {
 			return err
 		}
@@ -72,19 +82,31 @@ func (t *Tree) Delete(start uint32) (err error) {
 }
 
 // Lookup returns the indexed element whose start equals start, attributing
-// costs to c (nil discards them). Safe for concurrent readers.
+// costs to c (nil discards them). Safe for concurrent readers and a
+// concurrent writer: it is a B-link descent over page copies.
 func (t *Tree) Lookup(start uint32, c *metrics.Counters) (xmldoc.Element, error) {
-	t.latch.RLock()
-	defer t.latch.RUnlock()
-	return t.lookupLocked(start, c)
+	buf := getPageBuf(t.pool.File().PageSize())
+	defer putPageBuf(buf)
+	if err := t.descendToLeafCopy(start, c, buf); err != nil {
+		return xmldoc.Element{}, err
+	}
+	pos := leafSearch(buf, start)
+	if pos < leafCount(buf) && leafKey(buf, pos) == start {
+		el, _ := leafElem(buf, pos)
+		el.DocID = t.docID
+		addScan(c, 1)
+		return el, nil
+	}
+	return xmldoc.Element{}, fmt.Errorf("%w: start %d", ErrNotFound, start)
 }
 
-// lookupLocked is Lookup's body; the caller holds t.latch in at least read
-// mode (Delete calls it under the write latch).
-func (t *Tree) lookupLocked(start uint32, c *metrics.Counters) (xmldoc.Element, error) {
-	id := t.root
-	//xrvet:bounded root-to-leaf descent, at most t.h iterations
-	for level := t.h; level > 1; level-- {
+// lookupWriter is the writer-side point lookup Delete uses to resolve the
+// full region before the destructive descent. The caller holds wlatch, so
+// the pages are stable and the descent needs no latches or right moves.
+func (t *Tree) lookupWriter(start uint32, c *metrics.Counters) (xmldoc.Element, error) {
+	id, h := t.loadRoot()
+	//xrvet:bounded root-to-leaf descent, at most h iterations
+	for level := h; level > 1; level-- {
 		data, err := t.fetch(id)
 		if err != nil {
 			return xmldoc.Element{}, err
@@ -128,14 +150,19 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, e xmldoc.Element, foun
 			t.unpin(id, false)
 			return false, fmt.Errorf("%w: start %d vanished mid-delete", ErrCorrupt, e.Start)
 		}
+		t.pl.Lock(id)
 		removeLeafEntry(data, pos, n)
+		t.pl.Unlock(id)
 		under := leafCount(data) < t.leafMin()
 		return under, t.unpin(id, true)
 	}
 
-	// D1: drop e from this node's stab list if it lives here.
+	// D1: drop e from this node's stab list if it lives here. The chain
+	// mutation is covered by the node's exclusive latch.
 	if !*foundInStab {
+		t.pl.Lock(id)
 		found, err := t.stabDeleteElement(data, e.Start, e.End)
+		t.pl.Unlock(id)
 		if err != nil {
 			t.unpin(id, true)
 			return false, err
@@ -152,7 +179,7 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, e xmldoc.Element, foun
 		return false, err
 	}
 	if childUnder {
-		if err := t.rebalanceChild(data, ci, height-1); err != nil {
+		if err := t.rebalanceChild(id, data, ci, height-1); err != nil {
 			t.unpin(id, true)
 			return false, err
 		}
@@ -161,9 +188,12 @@ func (t *Tree) deleteFrom(id pagefile.PageID, height int, e xmldoc.Element, foun
 	return under, t.unpin(id, true)
 }
 
-// rebalanceChild restores minimum occupancy of the child at index ci of the
-// pinned internal node.
-func (t *Tree) rebalanceChild(parent []byte, ci int, childHeight int) error {
+// rebalanceChild restores minimum occupancy of the child at index ci of
+// the pinned internal node (page parentID). The whole rebalance runs
+// inside one latch bracket acquired parent, then left child, then right
+// child, so a reader descending through the parent never sees a separator
+// pointing at a half-rebalanced pair — or a stab list mid-migration.
+func (t *Tree) rebalanceChild(parentID pagefile.PageID, parent []byte, ci int, childHeight int) error {
 	m := intCount(parent)
 	li := ci - 1
 	if ci == 0 {
@@ -183,10 +213,38 @@ func (t *Tree) rebalanceChild(parent []byte, ci int, childHeight int) error {
 		t.unpin(leftID, false)
 		return err
 	}
+
+	// Every rebalance variant moves stab content between the parent, the
+	// siblings, and plain leaf entries: a stab move in flight.
+	t.beginStabMove()
+	t.pl.Lock(parentID)
+	t.pl.LockRight(leftID)
+	t.pl.LockRight(rightID)
+	var merged bool
 	if childHeight == 1 {
-		return t.rebalanceLeaves(parent, li, leftID, left, rightID, right)
+		merged, err = t.rebalanceLeaves(parent, li, leftID, left, rightID, right)
+	} else {
+		merged, err = t.rebalanceInternals(parent, li, left, right)
 	}
-	return t.rebalanceInternals(parent, li, leftID, left, rightID, right)
+	t.pl.Unlock(rightID)
+	t.pl.Unlock(leftID)
+	t.pl.Unlock(parentID)
+
+	if err != nil {
+		t.unpin(leftID, true)
+		t.unpin(rightID, true)
+		return err
+	}
+	if err := t.unpin(leftID, true); err != nil {
+		t.unpin(rightID, true)
+		return err
+	}
+	if merged {
+		// The right page leaves the tree; free it only after its latch is
+		// released (a blocked reader re-checks the page type and errors).
+		return t.discard(rightID)
+	}
+	return t.unpin(rightID, true)
 }
 
 // chooseSep picks a separator strictly greater than lastLeft and ≤
@@ -242,56 +300,50 @@ func (t *Tree) promoteNewlyStabbed(parent, leaf []byte, sep uint32) error {
 }
 
 // rebalanceLeaves redistributes or merges two sibling leaves under the
-// pinned parent, consuming both child pins (D22/D23).
-func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, left []byte, rightID pagefile.PageID, right []byte) error {
+// parent, maintaining their B-link high keys (D22/D23). Called with all
+// three page latches held; reports whether the right page was merged
+// away. Pins stay with the caller.
+func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, left []byte, rightID pagefile.PageID, right []byte) (bool, error) {
 	ln, rn := leafCount(left), leafCount(right)
 
 	if ln+rn <= t.leafCap {
-		// D23: merge right into left and drop the separator from the parent.
+		// D23: merge right into left and drop the separator from the
+		// parent; left absorbs right's entries, chain link, and high key.
 		copy(left[leafHeader+ln*xmldoc.EncodedSize:], right[leafHeader:leafHeader+rn*xmldoc.EncodedSize])
 		setLeafCount(left, ln+rn)
 		next := leafNext(right)
 		setLeafNext(left, next)
+		setLeafHigh(left, leafHigh(right))
 		if next != pagefile.InvalidPage {
 			nd, err := t.fetch(next)
 			if err != nil {
-				t.unpin(leftID, true)
-				t.unpin(rightID, false)
-				return err
+				return false, err
 			}
+			t.pl.LockRight(next)
 			setLeafPrev(nd, leftID)
+			t.pl.Unlock(next)
 			if err := t.unpin(next, true); err != nil {
-				t.unpin(leftID, true)
-				t.unpin(rightID, false)
-				return err
+				return false, err
 			}
 		}
 		// Re-home the parent's elements primarily stabbed by the separator:
 		// back into the parent under another key, or down to a plain leaf
 		// entry (the children are leaves, so there is no lower stab list).
 		ext, err := t.extractPSL(parent, li)
-		if err == nil {
-			removeIntEntry(parent, li, intCount(parent))
-			var rejects []stabEntry
-			rejects, err = t.stabReinsertAll(parent, ext)
-			if err == nil {
-				for _, se := range rejects {
-					if err = clearFlagInLeaf(left, se.start); err != nil {
-						break
-					}
-				}
+		if err != nil {
+			return false, err
+		}
+		removeIntEntry(parent, li, intCount(parent))
+		rejects, err := t.stabReinsertAll(parent, ext)
+		if err != nil {
+			return false, err
+		}
+		for _, se := range rejects {
+			if err := clearFlagInLeaf(left, se.start); err != nil {
+				return false, err
 			}
 		}
-		if err != nil {
-			t.unpin(leftID, true)
-			t.unpin(rightID, false)
-			return err
-		}
-		if err := t.unpin(leftID, true); err != nil {
-			t.unpin(rightID, false)
-			return err
-		}
-		return t.discard(rightID)
+		return true, nil
 	}
 
 	// D22: redistribute one entry and replace the separator.
@@ -308,17 +360,8 @@ func (t *Tree) rebalanceLeaves(parent []byte, li int, leftID pagefile.PageID, le
 		insertLeafEntry(right, 0, rn, el, fl)
 	}
 	newSep := t.chooseSep(leafKey(left, leafCount(left)-1), leafKey(right, 0))
-	err := t.replaceLeafSeparator(parent, li, newSep, left, right)
-	if err != nil {
-		t.unpin(leftID, true)
-		t.unpin(rightID, true)
-		return err
-	}
-	if err := t.unpin(leftID, true); err != nil {
-		t.unpin(rightID, true)
-		return err
-	}
-	return t.unpin(rightID, true)
+	setLeafHigh(left, newSep)
+	return false, t.replaceLeafSeparator(parent, li, newSep, left, right)
 }
 
 // replaceLeafSeparator changes parent key li to newSep between two pinned
@@ -352,35 +395,33 @@ func (t *Tree) replaceLeafSeparator(parent []byte, li int, newSep uint32, left, 
 }
 
 // rebalanceInternals redistributes or merges two sibling internal nodes
-// through the pinned parent's separator li, consuming both child pins
-// (D32/D33).
-func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID, left []byte, rightID pagefile.PageID, right []byte) error {
+// through the parent's separator li, maintaining right links and high
+// keys (D32/D33). Called with all three page latches held; reports
+// whether the right page was merged away. Pins stay with the caller.
+func (t *Tree) rebalanceInternals(parent []byte, li int, left, right []byte) (bool, error) {
 	lm, rm := intCount(left), intCount(right)
 	sep := intKey(parent, li)
 
 	if lm+rm+1 <= t.intCap {
 		// D33: merge left ++ sep ++ right; the separator is pulled down into
-		// the merged node and the two stab chains are concatenated.
+		// the merged node and the two stab chains are concatenated. The
+		// merged node absorbs the right's link and high key.
 		extP, err := t.extractPSL(parent, li)
 		if err != nil {
-			t.unpin(leftID, true)
-			t.unpin(rightID, true)
-			return err
+			return false, err
 		}
 		if err := t.mergeStabChains(left, right); err != nil {
-			t.unpin(leftID, true)
-			t.unpin(rightID, true)
-			return err
+			return false, err
 		}
 		writeIntEntry(left, lm, intEntryMem{key: sep, child: intChild(right, 0), psl: pagefile.InvalidPage})
 		for i := 0; i < rm; i++ {
 			writeIntEntry(left, lm+1+i, readIntEntry(right, i))
 		}
 		setIntCount(left, lm+rm+1)
+		setIntNext(left, intNext(right))
+		setIntHigh(left, intHigh(right))
 		if err := t.rekeyStabbedPrefix(left, lm); err != nil {
-			t.unpin(leftID, true)
-			t.unpin(rightID, true)
-			return err
+			return false, err
 		}
 		removeIntEntry(parent, li, intCount(parent))
 
@@ -388,43 +429,25 @@ func (t *Tree) rebalanceInternals(parent []byte, li int, leftID pagefile.PageID,
 		// parent under another key or descend into the merged node, where
 		// sep still stabs them.
 		rejects, err := t.stabReinsertAll(parent, extP)
-		if err == nil {
-			var r2 []stabEntry
-			r2, err = t.stabReinsertAll(left, rejects)
-			if err == nil && len(r2) > 0 {
-				err = fmt.Errorf("%w: %d elements lost in internal merge", ErrCorrupt, len(r2))
-			}
-		}
 		if err != nil {
-			t.unpin(leftID, true)
-			t.unpin(rightID, true)
-			return err
+			return false, err
 		}
-		if err := t.unpin(leftID, true); err != nil {
-			t.unpin(rightID, false)
-			return err
+		r2, err := t.stabReinsertAll(left, rejects)
+		if err != nil {
+			return false, err
 		}
-		return t.discard(rightID)
+		if len(r2) > 0 {
+			return false, fmt.Errorf("%w: %d elements lost in internal merge", ErrCorrupt, len(r2))
+		}
+		return true, nil
 	}
 
 	// D32: rotate one key through the parent.
 	min := t.intMin()
-	var err error
 	if lm < min {
-		err = t.rotateLeft(parent, li, left, right)
-	} else {
-		err = t.rotateRight(parent, li, left, right)
+		return false, t.rotateLeft(parent, li, left, right)
 	}
-	if err != nil {
-		t.unpin(leftID, true)
-		t.unpin(rightID, true)
-		return err
-	}
-	if err := t.unpin(leftID, true); err != nil {
-		t.unpin(rightID, true)
-		return err
-	}
-	return t.unpin(rightID, true)
+	return false, t.rotateRight(parent, li, left, right)
 }
 
 // rotateLeft moves the right sibling's first key up to the parent and the
@@ -451,6 +474,7 @@ func (t *Tree) rotateLeft(parent []byte, li int, left, right []byte) error {
 	setIntChild(right, 0, intChild(right, 1))
 	removeIntEntry(right, 0, intCount(right))
 	setIntKey(parent, li, newSep)
+	setIntHigh(left, newSep)
 	if err := t.rekeyStabbedPrefix(parent, li); err != nil {
 		return err
 	}
@@ -502,6 +526,7 @@ func (t *Tree) rotateRight(parent []byte, li int, left, right []byte) error {
 	setIntChild(right, 0, lastChild)
 	setIntCount(left, lm-1)
 	setIntKey(parent, li, newSep)
+	setIntHigh(left, newSep)
 	if err := t.rekeyStabbedPrefix(right, 0); err != nil {
 		return err
 	}

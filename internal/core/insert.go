@@ -7,6 +7,15 @@ package core
 // (step I22); internal overflow splits the node and its stab-list chain and
 // likewise gives up the promoted key with the elements it stabs (step I32,
 // Figure 5). Split propagation that reaches the root grows the tree (I4).
+//
+// Concurrency: the writer holds wlatch throughout and takes per-page
+// exclusive latches only around mutations of reader-reachable pages. A
+// node's latch covers its stab chain, so every stab-mutating step (I1
+// homing, re-keying, chain splits) runs inside the owning node's latch
+// bracket; stab pages themselves are never latched. Splits follow the
+// B-link order: the new right sibling — page, entries, stab chain — is
+// fully populated while unreachable, then one latched write shrinks the
+// left node and installs its right link and high key.
 
 import (
 	"fmt"
@@ -60,25 +69,30 @@ func (t *Tree) Insert(e xmldoc.Element) (err error) {
 	if e.End <= e.Start {
 		return fmt.Errorf("xrtree: degenerate region %v", e)
 	}
-	t.latch.Lock()
-	defer t.latch.Unlock()
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
+	defer t.endStabMove()
 	defer t.debugPinBalance()()
 	commit := t.beginTx()
 	defer commit(&err)
-	t.c.Emit(obs.EvIndexDescend, int64(t.h))
-	res, err := t.insertInto(t.root, t.h, e, false)
+	root, h := t.loadRoot()
+	t.c.Emit(obs.EvIndexDescend, int64(h))
+	res, err := t.insertInto(root, h, e, false)
 	if err != nil {
 		return err
 	}
 	if res != nil {
-		// I4: grow the tree with a new root.
+		// I4: grow the tree with a new root. The new root — including its
+		// stab list — is built while unreachable and published by setRoot;
+		// readers still descending from the old root reach the new right
+		// half through its right link.
 		newRootID, data, err := t.fetchNew()
 		if err != nil {
 			return err
 		}
 		initInternal(data)
 		setIntCount(data, 1)
-		setIntChild(data, 0, t.root)
+		setIntChild(data, 0, root)
 		writeIntEntry(data, 0, intEntryMem{key: res.key, child: res.child, psl: pagefile.InvalidPage})
 		rejects, err := t.stabReinsertAll(data, res.stabSet)
 		if err != nil {
@@ -92,10 +106,9 @@ func (t *Tree) Insert(e xmldoc.Element) (err error) {
 		if err := t.unpin(newRootID, true); err != nil {
 			return err
 		}
-		t.root = newRootID
-		t.h++
+		t.setRoot(newRootID, h+1)
 	}
-	t.count++
+	t.count.Add(1)
 	if err := t.syncMeta(); err != nil {
 		return err
 	}
@@ -103,7 +116,9 @@ func (t *Tree) Insert(e xmldoc.Element) (err error) {
 }
 
 // insertInto inserts e under page id at the given height (1 = leaf). homed
-// reports whether e already joined a stab list higher up.
+// reports whether e already joined a stab list higher up. The writer's
+// descent reads pages without latching (writers are serialized; readers
+// only copy); mutations happen inside per-page latch brackets below.
 func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element, homed bool) (*splitResult, error) {
 	data, err := t.fetch(id)
 	if err != nil {
@@ -118,9 +133,13 @@ func (t *Tree) insertInto(id pagefile.PageID, height int, e xmldoc.Element, home
 	}
 
 	dirty := false
-	// I1: home e in the highest stabbing node.
+	// I1: home e in the highest stabbing node. The stab-chain mutation is
+	// covered by the node's exclusive latch.
 	if !homed && primaryKeyIndex(data, e.Start, e.End) >= 0 {
-		if err := t.stabInsertElement(data, e); err != nil {
+		t.pl.Lock(id)
+		err := t.stabInsertElement(data, e)
+		t.pl.Unlock(id)
+		if err != nil {
 			t.unpin(id, true)
 			return nil, err
 		}
@@ -154,11 +173,14 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element, hom
 		flags = xmldoc.FlagInStabList
 	}
 	if n < t.leafCap {
+		t.pl.Lock(id)
 		insertLeafEntry(data, pos, n, e, flags)
+		t.pl.Unlock(id)
 		return nil, t.unpin(id, true)
 	}
 
-	// I22: split the leaf.
+	// I22: split the leaf. The new right page is populated — upper half,
+	// chain pointers, inherited high key — while unreachable.
 	newID, newData, err := t.fetchNew()
 	if err != nil {
 		t.unpin(id, false)
@@ -169,25 +191,24 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element, hom
 	moved := n - mid
 	copy(newData[leafHeader:], data[leafHeader+mid*xmldoc.EncodedSize:leafHeader+n*xmldoc.EncodedSize])
 	setLeafCount(newData, moved)
-	setLeafCount(data, mid)
-
 	oldNext := leafNext(data)
 	setLeafNext(newData, oldNext)
 	setLeafPrev(newData, id)
-	setLeafNext(data, newID)
-	if oldNext != pagefile.InvalidPage {
-		nd, err := t.fetch(oldNext)
-		if err == nil {
-			setLeafPrev(nd, newID)
-			err = t.unpin(oldNext, true)
-		}
-		if err != nil {
-			t.unpin(newID, true)
-			t.unpin(id, true)
-			return nil, err
-		}
-	}
+	setLeafHigh(newData, leafHigh(data))
 
+	// The split raises StabSet' flags on elements that are not yet in the
+	// parent's chain: a stab move is now in flight until the enclosing
+	// Insert commits.
+	t.beginStabMove()
+
+	// The latched split write: shrink the left half, place e, choose the
+	// separator, raise the StabSet' flags in both halves, and install the
+	// right link and high key last — a reader sees the pre-split page or a
+	// left half whose high key routes keys ≥ sep through the new link. The
+	// right half is still private here, so its mutations ride inside the
+	// same bracket without a latch of their own.
+	t.pl.Lock(id)
+	setLeafCount(data, mid)
 	if e.Start < leafKey(newData, 0) {
 		insertLeafEntry(data, pos, mid, e, flags)
 	} else {
@@ -225,6 +246,26 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element, hom
 	}
 	collect(data)
 	collect(newData)
+	setLeafNext(data, newID)
+	setLeafHigh(data, sep)
+	t.pl.Unlock(id)
+
+	// Fix the old right neighbor's back pointer (scans only follow next,
+	// so this can be its own latched write after the split is visible).
+	if oldNext != pagefile.InvalidPage {
+		nd, err := t.fetch(oldNext)
+		if err == nil {
+			t.pl.Lock(oldNext)
+			setLeafPrev(nd, newID)
+			t.pl.Unlock(oldNext)
+			err = t.unpin(oldNext, true)
+		}
+		if err != nil {
+			t.unpin(newID, true)
+			t.unpin(id, true)
+			return nil, err
+		}
+	}
 
 	if err := t.unpin(newID, true); err != nil {
 		t.unpin(id, true)
@@ -238,18 +279,23 @@ func (t *Tree) insertLeaf(id pagefile.PageID, data []byte, e xmldoc.Element, hom
 
 // insertInternalEntry applies a child split's promotion to the pinned
 // internal node at child index ci, consuming the pin. It splits the node —
-// and its stab-list chain — on overflow (I32).
+// and its stab-list chain — on overflow (I32). The node's latch is held
+// for the whole mutation: the directory rewrite and every stab-chain
+// movement are invisible to readers until the latch drops, so a reader
+// never observes a stab list mid-migration.
 func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res *splitResult) (*splitResult, error) {
 	m := intCount(data)
 	if m < t.intCap {
+		t.pl.Lock(id)
 		insertIntEntry(data, ci, m, res.key, res.child)
 		// Existing stab entries now primarily stabbed by the new key move
 		// into its PSL (the successor PSL's stabbed prefix).
-		if err := t.rekeyStabbedPrefix(data, ci); err != nil {
-			t.unpin(id, true)
-			return nil, err
+		var rejects []stabEntry
+		err := t.rekeyStabbedPrefix(data, ci)
+		if err == nil {
+			rejects, err = t.stabReinsertAll(data, res.stabSet)
 		}
-		rejects, err := t.stabReinsertAll(data, res.stabSet)
+		t.pl.Unlock(id)
 		if err != nil {
 			t.unpin(id, true)
 			return nil, err
@@ -261,7 +307,7 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res 
 		return nil, t.unpin(id, true)
 	}
 
-	// Gather entries with the new one in place.
+	// Gather entries with the new one in place (reads only, no latch yet).
 	entries := make([]intEntryMem, 0, m+1)
 	for i := 0; i < m; i++ {
 		entries = append(entries, readIntEntry(data, i))
@@ -274,20 +320,8 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res 
 	promoted := entries[mid]
 	midKey := promoted.key
 
-	// Extract PSL(midKey) before rewriting the node: those elements rise
-	// with the promoted key. When the promoted key is the brand-new one its
-	// PSL is empty and the directory has nothing to extract.
-	var outSet []stabEntry
-	if j := keyIndex(data, midKey); j >= 0 {
-		ext, err := t.extractPSL(data, j)
-		if err != nil {
-			t.unpin(id, true)
-			return nil, err
-		}
-		outSet = append(outSet, ext...)
-	}
-
-	// Allocate the right node and lay out both halves.
+	// Allocate the right node before latching so the allocation error path
+	// needs no unlock.
 	newID, newData, err := t.fetchNew()
 	if err != nil {
 		t.unpin(id, true)
@@ -296,65 +330,87 @@ func (t *Tree) insertInternalEntry(id pagefile.PageID, data []byte, ci int, res 
 	initInternal(newData)
 	child0 := intChild(data, 0)
 
-	setIntCount(data, mid)
-	setIntChild(data, 0, child0)
-	for i := 0; i < mid; i++ {
-		writeIntEntry(data, i, entries[i])
-	}
-	right := entries[mid+1:]
-	setIntCount(newData, len(right))
-	setIntChild(newData, 0, promoted.child)
-	for i, en := range right {
-		writeIntEntry(newData, i, en)
-	}
-
-	// Split the stab chain between the halves (Figure 5(a)).
-	if err := t.splitStabChain(data, newData, midKey); err != nil {
-		t.unpin(newID, true)
-		t.unpin(id, true)
-		return nil, err
-	}
-
-	// Route the incoming StabSet' to the half holding the incoming key, and
-	// re-key that half's entries now primarily stabbed by it. If the
-	// incoming key itself was promoted, its stab set rises with it.
-	if res.key == midKey {
-		outSet = append(outSet, res.stabSet...)
-	} else {
-		half := data
-		if res.key > midKey {
-			half = newData
-		}
-		if ki := keyIndex(half, res.key); ki >= 0 {
-			if err := t.rekeyStabbedPrefix(half, ki); err != nil {
-				t.unpin(newID, true)
-				t.unpin(id, true)
+	// Splitting the node moves chain content between halves and extracts
+	// the promoted key's elements for the parent: a stab move in flight.
+	t.beginStabMove()
+	t.pl.Lock(id)
+	outSet, lerr := func() ([]stabEntry, error) {
+		// Extract PSL(midKey) before rewriting the node: those elements
+		// rise with the promoted key. When the promoted key is the
+		// brand-new one its PSL is empty and there is nothing to extract.
+		var outSet []stabEntry
+		if j := keyIndex(data, midKey); j >= 0 {
+			ext, err := t.extractPSL(data, j)
+			if err != nil {
 				return nil, err
 			}
+			outSet = append(outSet, ext...)
 		}
-		rejects, err := t.stabReinsertAll(half, res.stabSet)
-		if err != nil {
-			t.unpin(newID, true)
-			t.unpin(id, true)
-			return nil, err
-		}
-		if len(rejects) > 0 {
-			t.unpin(newID, true)
-			t.unpin(id, true)
-			return nil, fmt.Errorf("%w: %d StabSet' elements lost in split", ErrCorrupt, len(rejects))
-		}
-	}
 
-	// Elements of either half stabbed by the promoted key rise as well
-	// (Figure 5(b)): the stabbed prefixes of the remaining PSLs.
-	for _, half := range [][]byte{data, newData} {
-		ext, err := t.extractStabbedBy(half, midKey)
-		if err != nil {
-			t.unpin(newID, true)
-			t.unpin(id, true)
+		// Lay out both halves; the right node inherits the left's link and
+		// high key, the left's new high key is the promoted separator.
+		right := entries[mid+1:]
+		setIntCount(newData, len(right))
+		setIntChild(newData, 0, promoted.child)
+		for i, en := range right {
+			writeIntEntry(newData, i, en)
+		}
+		setIntNext(newData, intNext(data))
+		setIntHigh(newData, intHigh(data))
+
+		setIntCount(data, mid)
+		setIntChild(data, 0, child0)
+		for i := 0; i < mid; i++ {
+			writeIntEntry(data, i, entries[i])
+		}
+		setIntNext(data, newID)
+		setIntHigh(data, midKey)
+
+		// Split the stab chain between the halves (Figure 5(a)).
+		if err := t.splitStabChain(data, newData, midKey); err != nil {
 			return nil, err
 		}
-		outSet = append(outSet, ext...)
+
+		// Route the incoming StabSet' to the half holding the incoming
+		// key, and re-key that half's entries now primarily stabbed by it.
+		// If the incoming key itself was promoted, its stab set rises.
+		if res.key == midKey {
+			outSet = append(outSet, res.stabSet...)
+		} else {
+			half := data
+			if res.key > midKey {
+				half = newData
+			}
+			if ki := keyIndex(half, res.key); ki >= 0 {
+				if err := t.rekeyStabbedPrefix(half, ki); err != nil {
+					return nil, err
+				}
+			}
+			rejects, err := t.stabReinsertAll(half, res.stabSet)
+			if err != nil {
+				return nil, err
+			}
+			if len(rejects) > 0 {
+				return nil, fmt.Errorf("%w: %d StabSet' elements lost in split", ErrCorrupt, len(rejects))
+			}
+		}
+
+		// Elements of either half stabbed by the promoted key rise as well
+		// (Figure 5(b)): the stabbed prefixes of the remaining PSLs.
+		for _, half := range [][]byte{data, newData} {
+			ext, err := t.extractStabbedBy(half, midKey)
+			if err != nil {
+				return nil, err
+			}
+			outSet = append(outSet, ext...)
+		}
+		return outSet, nil
+	}()
+	t.pl.Unlock(id)
+	if lerr != nil {
+		t.unpin(newID, true)
+		t.unpin(id, true)
+		return nil, lerr
 	}
 
 	if err := t.unpin(newID, true); err != nil {

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -30,32 +31,117 @@ func (t *Tree) FindAncestors(sd uint32, minStart uint32, c *metrics.Counters) ([
 	return t.AppendAncestors(nil, sd, minStart, c)
 }
 
+// stabProbeRetries bounds the optimistic ancestor-probe attempts before a
+// probe serializes behind the writers for an exact answer.
+const stabProbeRetries = 8
+
 // AppendAncestors is FindAncestors appending into dst (reusing its
 // capacity), for callers that probe in a loop — the XR-stack join calls it
 // once per descendant group.
+//
+// Probes run latch-crabbing-free and validate the stab-move epoch
+// (seqlock style): page latches make each node+chain read atomic, but a
+// structural change can move stabbed elements upward between a node the
+// probe already visited and one it has not reached yet — no top-down
+// single-pass reader can latch that away. A probe overlapping such a move
+// discards its result and retries; moves only accompany splits and
+// rebalances, so retries are rare even under sustained ingest.
 func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32, c *metrics.Counters) ([]xmldoc.Element, error) {
 	if err := c.Interrupted(); err != nil {
 		return nil, err
 	}
-	t.latch.RLock()
-	defer t.latch.RUnlock()
-	out := dst
-	id := t.root
-	//xrvet:bounded root-to-leaf descent, at most t.h iterations
-	for level := t.h; level > 1; level-- {
-		data, err := t.pool.FetchTraced(id, c.TraceSink())
-		if err != nil {
+	//xrvet:bounded at most stabProbeRetries optimistic attempts
+	for attempt := 0; attempt < stabProbeRetries; attempt++ {
+		e1 := t.stabEpoch.Load()
+		if e1&1 == 1 {
+			// A writer is mid-move; its bracket closes at operation commit.
+			runtime.Gosched()
+			continue
+		}
+		out, err := t.appendAncestorsOnce(dst, sd, minStart, c)
+		if t.stabEpoch.Load() == e1 {
+			return out, err
+		}
+		// A move overlapped the probe (this also covers transient errors
+		// from pages recycled by a concurrent merge): discard and retry.
+		if err := c.Interrupted(); err != nil {
 			return nil, err
 		}
+	}
+	// Sustained churn: serialize behind the writers for an exact answer.
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
+	return t.appendAncestorsOnce(dst, sd, minStart, c)
+}
+
+// appendAncestorsOnce is one optimistic probe; see AppendAncestors.
+func (t *Tree) appendAncestorsOnce(dst []xmldoc.Element, sd uint32, minStart uint32, c *metrics.Counters) ([]xmldoc.Element, error) {
+	defer t.debugReadEnter()()
+	out := dst
+	id, h := t.loadRoot()
+	var data []byte
+	// B-link descent holding one shared page latch at a time. The node's
+	// latch covers its stab chain too (writers only mutate a chain under
+	// the owning node's exclusive latch), so S11 runs under the latch that
+	// the fetch below takes. A key ≥ the node's high key means a concurrent
+	// split moved its range right: follow the right link instead of a
+	// child — no restart, no tree-wide latch.
+	//xrvet:bounded root-to-leaf descent, h levels plus finitely many right hops
+	for {
+		t.pl.RLock(id)
+		d, err := t.pool.FetchTraced(id, c.TraceSink())
+		if err != nil {
+			t.pl.RUnlock(id)
+			return nil, err
+		}
+		if isLeaf(d) {
+			if moveRight(leafHigh(d), leafNext(d), sd) {
+				next := leafNext(d)
+				err := t.pool.Unpin(id, false)
+				t.pl.RUnlock(id)
+				if err != nil {
+					return nil, err
+				}
+				if err := c.Interrupted(); err != nil {
+					return nil, err
+				}
+				addLeaf(c)
+				id = next
+				continue
+			}
+			data = d // stays pinned and share-latched for the S2 scan
+			break
+		}
+		if d[0] != internalType {
+			t.pool.Unpin(id, false)
+			t.pl.RUnlock(id)
+			return nil, fmt.Errorf("%w: expected node at page %d", ErrCorrupt, id)
+		}
 		addNode(c)
+		if moveRight(intHigh(d), intNext(d), sd) {
+			next := intNext(d)
+			err := t.pool.Unpin(id, false)
+			t.pl.RUnlock(id)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.Interrupted(); err != nil {
+				return nil, err
+			}
+			id = next
+			continue
+		}
 		// S11: collect stabbed elements from this node's stab list.
-		if err := t.searchStabList(data, sd, minStart, c, &out); err != nil {
-			t.unpin(id, false)
+		if err := t.searchStabList(d, sd, minStart, c, &out); err != nil {
+			t.pool.Unpin(id, false)
+			t.pl.RUnlock(id)
 			return nil, err
 		}
 		// S12/S13: descend by the largest key ≤ sd.
-		child := intChild(data, intSearch(data, sd))
-		if err := t.unpin(id, false); err != nil {
+		child := intChild(d, intSearch(d, sd))
+		err = t.pool.Unpin(id, false)
+		t.pl.RUnlock(id)
+		if err != nil {
 			return nil, err
 		}
 		id = child
@@ -67,12 +153,8 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 	// stack top" variation of §5.2 that keeps the per-probe cost at
 	// O(new ancestors + elements between the stack top and sd in this leaf)
 	// rather than half a leaf.
-	data, err := t.pool.FetchTraced(id, c.TraceSink())
-	if err != nil {
-		return nil, err
-	}
 	addLeaf(c)
-	c.Emit(obs.EvIndexDescend, int64(t.h))
+	c.Emit(obs.EvIndexDescend, int64(h))
 	n := leafCount(data)
 	first := 0
 	if minStart > 0 {
@@ -107,7 +189,9 @@ func (t *Tree) AppendAncestors(dst []xmldoc.Element, sd uint32, minStart uint32,
 	}
 	c.Emit(obs.EvLeafScan, int64(examined))
 	c.Emit(obs.EvAncProbe, int64(len(out)-len(dst)))
-	if err := t.unpin(id, false); err != nil {
+	err := t.pool.Unpin(id, false)
+	t.pl.RUnlock(id)
+	if err != nil {
 		return nil, err
 	}
 	// Only the appended tail needs ordering; dst's prefix is untouched.
@@ -147,6 +231,12 @@ func (t *Tree) searchStabList(node []byte, sd uint32, minStart uint32, c *metric
 // PSL is start-sorted they can be jumped over with an in-page binary search
 // rather than scanned — the stabbed, still-unreported elements form a
 // contiguous run ending at the first non-stabbing entry.
+//
+// The caller holds the owning node's shared page latch, which is what makes
+// the chain walk safe against concurrent writers: stab pages carry no latch
+// of their own, and every chain mutation happens under the node's exclusive
+// latch. Fetches and unpins here are the plain pool calls — this is a
+// reader path and must not touch the writer's t.tx.
 func (t *Tree) scanPSL(node []byte, ki int, sd uint32, minStart uint32, c *metrics.Counters, out *[]xmldoc.Element) error {
 	kv := intKey(node, ki)
 	p := keyPSLPage(node, ki)
@@ -157,7 +247,7 @@ func (t *Tree) scanPSL(node []byte, ki int, sd uint32, minStart uint32, c *metri
 		if err := c.Interrupted(); err != nil {
 			return err
 		}
-		data, err := t.fetchStabTraced(p, c.TraceSink())
+		data, err := t.fetchStabRead(p, c.TraceSink())
 		if err != nil {
 			return err
 		}
@@ -167,17 +257,17 @@ func (t *Tree) scanPSL(node []byte, ki int, sd uint32, minStart uint32, c *metri
 		for ; i < n; i++ {
 			en := stabEntryAt(data, i)
 			if en.key != kv {
-				return t.unpin(p, false)
+				return t.pool.Unpin(p, false)
 			}
 			if !(en.start < sd && sd < en.end) {
 				// Terminal entry of the stabbed prefix: free, as in S2.
-				return t.unpin(p, false)
+				return t.pool.Unpin(p, false)
 			}
 			addScan(c, 1)
 			*out = append(*out, en.element(t.docID))
 		}
 		next := stabNext(data)
-		if err := t.unpin(p, false); err != nil {
+		if err := t.pool.Unpin(p, false); err != nil {
 			return err
 		}
 		p = next
@@ -252,6 +342,57 @@ type Iterator struct {
 	done bool
 }
 
+// readPage copies page id into buf under its shared page latch. The copy
+// decouples the caller from writers: once the latch is dropped the bytes
+// are private, so no pin or latch outlives the call.
+func (t *Tree) readPage(id pagefile.PageID, buf []byte, c *metrics.Counters) error {
+	defer t.debugReadEnter()()
+	t.pl.RLock(id)
+	err := t.pool.FetchCopyTraced(id, buf, c.TraceSink())
+	t.pl.RUnlock(id)
+	return err
+}
+
+// descendToLeafCopy runs the B-link root-to-leaf descent for key and
+// leaves a private copy of the leaf that covers key in buf. Each step
+// holds one shared page latch only while copying; a key at or beyond a
+// page's high key follows the right link (a concurrent split moved the
+// range) instead of restarting.
+func (t *Tree) descendToLeafCopy(key uint32, c *metrics.Counters, buf []byte) error {
+	id, h := t.loadRoot()
+	//xrvet:bounded root-to-leaf descent, h levels plus finitely many right hops
+	for {
+		if err := t.readPage(id, buf, c); err != nil {
+			return err
+		}
+		if isLeaf(buf) {
+			if moveRight(leafHigh(buf), leafNext(buf), key) {
+				if err := c.Interrupted(); err != nil {
+					return err
+				}
+				addLeaf(c)
+				id = leafNext(buf)
+				continue
+			}
+			addLeaf(c)
+			c.Emit(obs.EvIndexDescend, int64(h))
+			return nil
+		}
+		if buf[0] != internalType {
+			return fmt.Errorf("%w: expected node at page %d", ErrCorrupt, id)
+		}
+		addNode(c)
+		if moveRight(intHigh(buf), intNext(buf), key) {
+			if err := c.Interrupted(); err != nil {
+				return err
+			}
+			id = intNext(buf)
+			continue
+		}
+		id = intChild(buf, intSearch(buf, key))
+	}
+}
+
 // SeekGE returns an iterator positioned at the first element with
 // start ≥ key. FindDescendants and the XR-stack skip operations are built
 // on it.
@@ -260,28 +401,10 @@ func (t *Tree) SeekGE(key uint32, c *metrics.Counters) (*Iterator, error) {
 		return nil, err
 	}
 	buf := getPageBuf(t.pool.File().PageSize())
-	t.latch.RLock()
-	defer t.latch.RUnlock()
-	id := t.root
-	//xrvet:bounded root-to-leaf descent, at most t.h iterations
-	for level := t.h; level > 1; level-- {
-		if err := t.pool.FetchCopyTraced(id, buf, c.TraceSink()); err != nil {
-			putPageBuf(buf)
-			return nil, err
-		}
-		addNode(c)
-		id = intChild(buf, intSearch(buf, key))
-	}
-	if err := t.pool.FetchCopyTraced(id, buf, c.TraceSink()); err != nil {
+	if err := t.descendToLeafCopy(key, c, buf); err != nil {
 		putPageBuf(buf)
 		return nil, err
 	}
-	if !isLeaf(buf) {
-		putPageBuf(buf)
-		return nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorrupt, id)
-	}
-	addLeaf(c)
-	c.Emit(obs.EvIndexDescend, int64(t.h))
 	t.hintNextLeaf(c, buf)
 	return &Iterator{t: t, c: c, buf: buf, idx: leafSearch(buf, key)}, nil
 }
@@ -308,12 +431,17 @@ func (t *Tree) PrefetchGE(key uint32, c *metrics.Counters) {
 	}
 	buf := getPageBuf(t.pool.File().PageSize())
 	defer putPageBuf(buf)
-	t.latch.RLock()
-	defer t.latch.RUnlock()
-	id := t.root
-	//xrvet:bounded advisory root-to-leaf descent, at most t.h iterations
-	for level := t.h; level > 1; level-- {
+	defer t.debugReadEnter()()
+	id, h := t.loadRoot()
+	//xrvet:bounded advisory root-to-leaf descent, at most h iterations
+	for level := h; level > 1; level-- {
+		// Advisory path: on latch contention just hint the page reached so
+		// far rather than waiting behind a writer.
+		if !t.pl.TryRLock(id) {
+			break
+		}
 		ok, err := t.pool.TryFetchCopy(id, buf)
+		t.pl.RUnlock(id)
 		if err != nil || !ok || isLeaf(buf) {
 			break
 		}
@@ -362,7 +490,7 @@ func (it *Iterator) Peek() (xmldoc.Element, bool) {
 }
 
 // advancePage replaces the iterator's leaf copy with the next leaf on the
-// chain, re-taking the tree latch for the hop.
+// chain, taking only that page's shared latch for the hop.
 func (it *Iterator) advancePage() bool {
 	next := leafNext(it.buf)
 	if next == pagefile.InvalidPage {
@@ -374,11 +502,7 @@ func (it *Iterator) advancePage() bool {
 		it.err = err
 		return false
 	}
-	t := it.t
-	t.latch.RLock()
-	err := t.pool.FetchCopyTraced(next, it.buf, it.c.TraceSink())
-	t.latch.RUnlock()
-	if err != nil {
+	if err := it.t.readPage(next, it.buf, it.c); err != nil {
 		it.err = err
 		return false
 	}
@@ -387,7 +511,7 @@ func (it *Iterator) advancePage() bool {
 		it.err = fmt.Errorf("%w: leaf chain broken at page %d by a concurrent structural change", ErrCorrupt, next)
 		return false
 	}
-	t.hintNextLeaf(it.c, it.buf)
+	it.t.hintNextLeaf(it.c, it.buf)
 	it.idx = 0
 	if it.c != nil {
 		it.c.LeafReads++

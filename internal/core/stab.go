@@ -50,6 +50,22 @@ func (t *Tree) fetchStabTraced(id pagefile.PageID, tr obs.Tracer) ([]byte, error
 	return data, nil
 }
 
+// fetchStabRead is the reader-side twin of fetchStab: a plain pool fetch
+// that never consults t.tx (which belongs to a possibly concurrent
+// writer). Callers must hold the owning node's shared page latch, which
+// covers the whole stab chain.
+func (t *Tree) fetchStabRead(id pagefile.PageID, tr obs.Tracer) ([]byte, error) {
+	data, err := t.pool.FetchTraced(id, tr)
+	if err != nil {
+		return nil, err
+	}
+	if data[0] != stabType {
+		t.pool.Unpin(id, false)
+		return nil, fmt.Errorf("%w: page %d is not a stab page", ErrCorrupt, id)
+	}
+	return data, nil
+}
+
 // stabInsertElement inserts e into the stab list of the pinned internal
 // node, keyed by its primary stabbing key. The caller must guarantee that
 // at least one key of the node stabs e. Reports whether the node page was
@@ -79,7 +95,7 @@ func (t *Tree) stabInsertElement(node []byte, e xmldoc.Element) error {
 		// inserted, whose page insertAt recorded in t.lastInsertPage.
 		setKeyPSLPage(node, j, t.lastInsertPage)
 	}
-	t.stabCount++
+	t.stabCount.Add(1)
 	return nil
 }
 
@@ -182,7 +198,7 @@ func (t *Tree) insertAt(node []byte, loc stabLoc, se stabEntry) error {
 		}
 		setStabHead(node, id)
 		setStabTail(node, id)
-		t.stabPages++
+		t.stabPages.Add(1)
 		t.lastInsertPage = id
 		return nil
 	}
@@ -211,7 +227,7 @@ func (t *Tree) insertAt(node []byte, loc stabLoc, se stabEntry) error {
 		data[stabHeader+mid*stabEntrySize:stabHeader+n*stabEntrySize])
 	setStabCount(newData, moved)
 	setStabCount(data, mid)
-	t.stabPages++
+	t.stabPages.Add(1)
 
 	// Relink: P -> Q -> oldNext.
 	oldNext := stabNext(data)
@@ -307,7 +323,7 @@ func (t *Tree) popPSLHead(node []byte, j int) (stabEntry, error) {
 	if err := t.refreshHeadFromSucc(node, j, succ); err != nil {
 		return stabEntry{}, err
 	}
-	t.stabCount--
+	t.stabCount.Add(-1)
 	return head, nil
 }
 
@@ -356,7 +372,7 @@ func (t *Tree) removeAt(node []byte, p pagefile.PageID, data []byte, idx int) (s
 	} else {
 		setStabTail(node, prev)
 	}
-	t.stabPages--
+	t.stabPages.Add(-1)
 	return stabLoc{page: next, idx: 0}, t.discard(p)
 }
 
@@ -435,7 +451,7 @@ func (t *Tree) stabDeleteElement(node []byte, s, e uint32) (bool, error) {
 						return false, err
 					}
 				}
-				t.stabCount--
+				t.stabCount.Add(-1)
 				return true, nil
 			}
 		}
@@ -636,7 +652,7 @@ func (t *Tree) splitStabChain(left, right []byte, midKey uint32) error {
 		bData[stabHeader+idx*stabEntrySize:stabHeader+n*stabEntrySize])
 	setStabCount(qData, moved)
 	setStabCount(bData, idx)
-	t.stabPages++
+	t.stabPages.Add(1)
 
 	oldNext := stabNext(bData)
 	setStabNext(bData, pagefile.InvalidPage)

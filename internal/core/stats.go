@@ -28,12 +28,14 @@ func (s SpaceStats) AvgStabPages() float64 {
 	return float64(s.StabPages) / float64(s.InternalNodes)
 }
 
-// Space walks the tree and reports its page footprint. Read-only.
+// Space walks the tree and reports its page footprint. Read-only; it
+// takes the write latch so the walk sees a structurally quiescent tree.
 func (t *Tree) Space() (SpaceStats, error) {
-	t.latch.RLock()
-	defer t.latch.RUnlock()
+	t.wlatch.Lock()
+	defer t.wlatch.Unlock()
 	var st SpaceStats
-	if err := t.spaceWalk(t.root, t.h, &st); err != nil {
+	root, h := t.loadRoot()
+	if err := t.spaceWalk(root, h, &st); err != nil {
 		return SpaceStats{}, err
 	}
 	return st, nil

@@ -22,17 +22,31 @@
 //
 // # Concurrency
 //
-// A Tree carries a coarse reader/writer latch. Readers (FindAncestors,
+// The tree uses the B-link protocol (Lehman–Yao), extended to cover stab
+// lists. Every index page carries a high key (the lowest key of its right
+// sibling; 0 = +∞) and a right-sibling link; a page covers keys strictly
+// below its high key, and a reader finding its search key at or beyond
+// the high key follows the right link. Readers (FindAncestors,
 // FindDescendants, Lookup, SeekGE, Scan, FindParent, FindChildren, Space,
-// CheckInvariants) hold it shared for the duration of one descent and are
-// safe in any number of concurrent goroutines, including while a writer is
-// blocked waiting; writers (Insert, Delete, BulkLoad) hold it exclusively.
-// Iterators do not keep the latch (or any page pin) between calls: each
-// leaf hop re-takes the shared latch and copies the leaf into an
+// CheckInvariants) take no tree-wide latch: a descent holds one per-page
+// shared latch at a time (see internal/platch) and recovers from
+// concurrent splits by moving right. Writers (Insert, Delete, BulkLoad)
+// serialize against each other on wlatch (the WAL transaction state is
+// per-tree) but block readers only page by page: every byte mutation of a
+// reader-reachable page happens under that page's exclusive latch, and a
+// split populates the new right sibling before the one latched write that
+// shrinks the left page and installs its right link.
+//
+// A node's page latch also covers its stab chain: FindAncestors reads a
+// node's stab pages while still holding that node's shared latch, and
+// writers keep the owning node latched exclusively for the duration of
+// any stab-chain mutation, so stab pages need no latches of their own.
+// Iterators keep no latch (or page pin) between calls: each leaf hop
+// latches the next leaf only long enough to copy it into an
 // iterator-private buffer, so several iterators can live in one goroutine
-// (as self-joins require) without deadlocking against a queued writer.
-// Query paths attribute costs to the caller-supplied counter set and share
-// no mutable tree state; the SetCounters sink is consulted by write paths
+// (as self-joins require) without deadlocking against a writer. Query
+// paths attribute costs to the caller-supplied counter set and share no
+// mutable tree state; the SetCounters sink is consulted by write paths
 // only.
 package core
 
@@ -40,10 +54,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xrtree/internal/bufferpool"
 	"xrtree/internal/metrics"
 	"xrtree/internal/pagefile"
+	"xrtree/internal/platch"
 	"xrtree/internal/xmldoc"
 )
 
@@ -58,16 +74,21 @@ import (
 // Leaf page (identical to the B+-tree backbone):
 //
 //	0: type u8 (=leafType) | 2: count u16 | 4: next u32 | 8: prev u32
-//	12: entries, count × xmldoc.EncodedSize, sorted by start;
+//	12: highKey u32 (lowest key of the right sibling; 0 = +∞)
+//	16: entries, count × xmldoc.EncodedSize, sorted by start;
 //	    flags bit 0 = InStabList
 //
 // Internal page:
 //
 //	0: type u8 (=internalType) | 2: count u16 (number of keys m)
 //	4: child0 u32 | 8: stabHead u32 | 12: stabTail u32
-//	16: entries, m × 20 bytes:
+//	16: next u32 (right sibling) | 20: highKey u32
+//	24: entries, m × 20 bytes:
 //	    key u32 | child u32 (right child) | ps u32 | pe u32 | pslPage u32
 //	    ps == 0 encodes a nil (ps, pe): positions are ≥ 1 by construction.
+//
+// The high key and right link are the B-link fields (for leaves the chain
+// next pointer doubles as the right link).
 //
 // Stab-list page:
 //
@@ -82,16 +103,19 @@ const (
 	internalType = 3
 	stabType     = 4
 
-	leafHeader   = 12
+	leafHeader   = 16
 	offLeafCount = 2
 	offLeafNext  = 4
 	offLeafPrev  = 8
+	offLeafHigh  = 12
 
-	intHeader      = 16
+	intHeader      = 24
 	offIntCount    = 2
 	offIntChild0   = 4
 	offIntStabHead = 8
 	offIntStabTail = 12
+	offIntNext     = 16
+	offIntHigh     = 20
 	intEntrySize   = 20
 
 	stabHeader    = 12
@@ -120,16 +144,22 @@ type Options struct {
 type Tree struct {
 	pool  *bufferpool.Pool
 	meta  pagefile.PageID
-	root  pagefile.PageID
-	h     int // height: 1 = root is a leaf
-	count int
 	docID uint32
 	opts  Options
 
+	// rootH packs the root page id (high 32 bits) and the tree height
+	// (low 32 bits; 1 = root is a leaf) into one word so latch-free
+	// readers start every descent from a consistent pair. Stale values
+	// are safe: an old root still reaches every key via right links.
+	rootH atomic.Uint64
+
+	count atomic.Int64
+
 	// stab statistics, persisted in the meta page (used by the §3.3
-	// stab-list size experiment).
-	stabCount int // elements in stab lists
-	stabPages int // allocated stab-list pages
+	// stab-list size experiment). Mutated only under wlatch; atomic so
+	// StabStats can read them concurrently.
+	stabCount atomic.Int64 // elements in stab lists
+	stabPages atomic.Int64 // allocated stab-list pages
 
 	leafCap int
 	intCap  int
@@ -137,24 +167,84 @@ type Tree struct {
 
 	// lastInsertPage records where insertAt physically placed the most
 	// recent stab entry (after any page split); only meaningful right after
-	// the call. Tree mutation is single-threaded (under the write latch).
+	// the call. Tree mutation is single-threaded (under wlatch).
 	lastInsertPage pagefile.PageID
 
-	// latch is the tree's coarse reader/writer latch: writers hold it
-	// exclusively, readers take it shared per descent or per leaf hop.
-	latch sync.RWMutex
+	// wlatch serializes writers (Insert, Delete, BulkLoad) against each
+	// other; the per-mutation WAL transaction state is per-tree. Readers
+	// never take it — they synchronize with writers through the per-page
+	// latches in pl.
+	wlatch sync.Mutex
+
+	// pl holds the per-page latches of the B-link protocol. A node's
+	// latch also covers its stab chain (see the package doc).
+	pl *platch.Table
+
+	// stabEpoch is a seqlock-style generation counter around moves of
+	// existing stab content BETWEEN containers — promotions to a parent
+	// chain on splits, demotions to plain leaf entries and rotations on
+	// rebalances. Per-page latches cannot make such moves atomic for a
+	// top-down reader (content can move up behind it), so writers hold
+	// the epoch odd while a move is in flight and readers validate it
+	// around each ancestor probe, retrying on overlap. Moves happen only
+	// on structural changes, so validation failures are rare.
+	stabEpoch atomic.Uint64
+
+	// stabMoveOpen tracks whether the running mutation already opened a
+	// stab-move bracket. Guarded by wlatch.
+	stabMoveOpen bool
 
 	// debugOps counts mutations for the xrtreedebug sampled invariant
-	// check (see debug.go). Guarded by the write latch.
+	// check (see debug.go). Guarded by wlatch.
 	debugOps int
 
+	// debugReadEpoch counts reader sections that pin pool frames;
+	// debugReadActive counts those currently in flight. Only the
+	// xrtreedebug pin ledger reads them: the global pinned-frame balance
+	// is attributable to a writer only when no reader overlapped its
+	// bracket (see debugPinBalance).
+	debugReadEpoch  atomic.Int64
+	debugReadActive atomic.Int64
+
 	// tx is the WAL transaction of the mutation in flight, nil outside one
-	// (and always nil when the pool has no log attached). Guarded by the
-	// write latch: only Insert/Delete set it, and the page-access wrappers
-	// below read it.
+	// (and always nil when the pool has no log attached). Guarded by
+	// wlatch: only Insert/Delete set it, and the page-access wrappers
+	// below read it. Reader paths must not use the tx-routed wrappers.
 	tx *bufferpool.Tx
 
 	c *metrics.Counters
+}
+
+// beginStabMove opens the mutation's stab-move bracket (idempotent per
+// operation): the epoch turns odd, telling concurrent ancestor probes
+// that stab content is in flight between containers. Caller holds wlatch.
+func (t *Tree) beginStabMove() {
+	if !t.stabMoveOpen {
+		t.stabMoveOpen = true
+		t.stabEpoch.Add(1)
+	}
+}
+
+// endStabMove closes the bracket at operation exit: the epoch turns even
+// again once every moved element has reached its final container. A no-op
+// when the operation moved nothing. Caller holds wlatch.
+func (t *Tree) endStabMove() {
+	if t.stabMoveOpen {
+		t.stabMoveOpen = false
+		t.stabEpoch.Add(1)
+	}
+}
+
+// loadRoot returns a consistent (root page, height) snapshot.
+func (t *Tree) loadRoot() (pagefile.PageID, int) {
+	v := t.rootH.Load()
+	return pagefile.PageID(v >> 32), int(uint32(v))
+}
+
+// setRoot publishes a new (root page, height) pair. Writer-only; the new
+// root must be fully populated before the call.
+func (t *Tree) setRoot(id pagefile.PageID, h int) {
+	t.rootH.Store(uint64(id)<<32 | uint64(uint32(h)))
 }
 
 // The fetch/unpin wrappers route every page access through the in-flight
@@ -198,7 +288,7 @@ func (t *Tree) beginTx() func(*error) {
 
 // New creates an empty XR-tree whose pages come from pool's file.
 func New(pool *bufferpool.Pool, docID uint32, opts Options) (*Tree, error) {
-	t := &Tree{pool: pool, docID: docID, opts: opts}
+	t := &Tree{pool: pool, docID: docID, opts: opts, pl: platch.NewTable()}
 	t.computeCaps()
 	metaID, metaData, err := pool.FetchNew()
 	if err != nil {
@@ -215,8 +305,7 @@ func New(pool *bufferpool.Pool, docID uint32, opts Options) (*Tree, error) {
 		pool.Unpin(metaID, true) // best-effort: the first error propagates
 		return nil, err
 	}
-	t.root = rootID
-	t.h = 1
+	t.setRoot(rootID, 1)
 	putU32(metaData[0:], metaMagic)
 	t.writeMeta(metaData)
 	if err := pool.Unpin(metaID, true); err != nil {
@@ -227,7 +316,7 @@ func New(pool *bufferpool.Pool, docID uint32, opts Options) (*Tree, error) {
 
 // Open reattaches to an XR-tree previously created by New in pool's file.
 func Open(pool *bufferpool.Pool, meta pagefile.PageID, opts Options) (*Tree, error) {
-	t := &Tree{pool: pool, meta: meta, opts: opts}
+	t := &Tree{pool: pool, meta: meta, opts: opts, pl: platch.NewTable()}
 	t.computeCaps()
 	data, err := pool.Fetch(meta)
 	if err != nil {
@@ -237,12 +326,11 @@ func Open(pool *bufferpool.Pool, meta pagefile.PageID, opts Options) (*Tree, err
 	if getU32(data[0:]) != metaMagic {
 		return nil, fmt.Errorf("%w: bad meta magic", ErrCorrupt)
 	}
-	t.root = pagefile.PageID(getU32(data[4:]))
-	t.h = int(getU32(data[8:]))
-	t.count = int(getU32(data[12:]))
+	t.setRoot(pagefile.PageID(getU32(data[4:])), int(getU32(data[8:])))
+	t.count.Store(int64(getU32(data[12:])))
 	t.docID = getU32(data[16:])
-	t.stabCount = int(getU32(data[20:]))
-	t.stabPages = int(getU32(data[24:]))
+	t.stabCount.Store(int64(getU32(data[20:])))
+	t.stabPages.Store(int64(getU32(data[24:])))
 	return t, nil
 }
 
@@ -257,12 +345,13 @@ func (t *Tree) computeCaps() {
 }
 
 func (t *Tree) writeMeta(data []byte) {
-	putU32(data[4:], uint32(t.root))
-	putU32(data[8:], uint32(t.h))
-	putU32(data[12:], uint32(t.count))
+	root, h := t.loadRoot()
+	putU32(data[4:], uint32(root))
+	putU32(data[8:], uint32(h))
+	putU32(data[12:], uint32(t.count.Load()))
 	putU32(data[16:], t.docID)
-	putU32(data[20:], uint32(t.stabCount))
-	putU32(data[24:], uint32(t.stabPages))
+	putU32(data[20:], uint32(t.stabCount.Load()))
+	putU32(data[24:], uint32(t.stabPages.Load()))
 }
 
 func (t *Tree) syncMeta() error {
@@ -278,10 +367,10 @@ func (t *Tree) syncMeta() error {
 func (t *Tree) Meta() pagefile.PageID { return t.meta }
 
 // Len returns the number of indexed elements.
-func (t *Tree) Len() int { return t.count }
+func (t *Tree) Len() int { return int(t.count.Load()) }
 
 // Height returns the tree height (1 = the root is a leaf).
-func (t *Tree) Height() int { return t.h }
+func (t *Tree) Height() int { _, h := t.loadRoot(); return h }
 
 // DocID returns the document id of the indexed element set.
 func (t *Tree) DocID() uint32 { return t.docID }
@@ -289,7 +378,9 @@ func (t *Tree) DocID() uint32 { return t.docID }
 // StabStats returns the number of elements currently held in stab lists and
 // the number of stab-list pages allocated — the quantities measured by the
 // §3.3 stab-list size study.
-func (t *Tree) StabStats() (elements, pages int) { return t.stabCount, t.stabPages }
+func (t *Tree) StabStats() (elements, pages int) {
+	return int(t.stabCount.Load()), int(t.stabPages.Load())
+}
 
 // SetCounters directs cost accounting to c (nil detaches).
 func (t *Tree) SetCounters(c *metrics.Counters) { t.c = c }
@@ -365,6 +456,18 @@ func leafPrev(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d
 func setLeafNext(d []byte, id pagefile.PageID) { putU32(d[offLeafNext:], uint32(id)) }
 func setLeafPrev(d []byte, id pagefile.PageID) { putU32(d[offLeafPrev:], uint32(id)) }
 
+// The high key is the lowest key of the page's right sibling; 0 means +∞
+// (rightmost page at its level). A reader whose search key is ≥ the high
+// key moves right. For leaves the chain's next pointer is the right link.
+func leafHigh(d []byte) uint32       { return getU32(d[offLeafHigh:]) }
+func setLeafHigh(d []byte, k uint32) { putU32(d[offLeafHigh:], k) }
+
+// moveRight reports whether a B-link reader positioned at a page with the
+// given high key and right link must follow the link to find key.
+func moveRight(high uint32, next pagefile.PageID, key uint32) bool {
+	return high != 0 && key >= high && next != pagefile.InvalidPage
+}
+
 func leafEntry(data []byte, i int) []byte {
 	off := leafHeader + i*xmldoc.EncodedSize
 	return data[off : off+xmldoc.EncodedSize]
@@ -421,10 +524,16 @@ func initInternal(data []byte) {
 	data[0] = internalType
 	putU32(data[offIntStabHead:], uint32(pagefile.InvalidPage))
 	putU32(data[offIntStabTail:], uint32(pagefile.InvalidPage))
+	putU32(data[offIntNext:], uint32(pagefile.InvalidPage))
 }
 
 func intCount(data []byte) int    { return int(getU16(data[offIntCount:])) }
 func setIntCount(d []byte, n int) { putU16(d[offIntCount:], uint16(n)) }
+
+func intNext(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d[offIntNext:])) }
+func setIntNext(d []byte, id pagefile.PageID) { putU32(d[offIntNext:], uint32(id)) }
+func intHigh(d []byte) uint32                 { return getU32(d[offIntHigh:]) }
+func setIntHigh(d []byte, k uint32)           { putU32(d[offIntHigh:], k) }
 
 func stabHead(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d[offIntStabHead:])) }
 func stabTail(d []byte) pagefile.PageID        { return pagefile.PageID(getU32(d[offIntStabTail:])) }

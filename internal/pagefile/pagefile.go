@@ -38,8 +38,14 @@ const DefaultPageSize = 4096
 const MinPageSize = 256
 
 const (
-	headerMagic   = 0x58525446 // "XRTF"
-	headerVersion = 1
+	headerMagic = 0x58525446 // "XRTF"
+	// headerVersion 2 (the B-link page format): index pages carry a
+	// high key and right-sibling link in their headers. Version-1 files
+	// (coarse-latch era, no right-links) cannot be patched in place —
+	// every index page would need its high key derived from the parent
+	// separators — so Open and OpenRepair refuse them with ErrVersion
+	// and the caller rebuilds from source.
+	headerVersion = 2
 	// header layout: magic u32 | version u32 | pageSize u32 | pageCount u32 | freeHead u32
 	headerSize = 20
 )
@@ -50,6 +56,10 @@ var (
 	ErrBadPageSize    = errors.New("pagefile: invalid page size")
 	ErrClosed         = errors.New("pagefile: file is closed")
 	ErrBadHeader      = errors.New("pagefile: bad or corrupt file header")
+	// ErrVersion means the file is a valid paged file written by an
+	// earlier page-format version. Neither Open nor OpenRepair can read
+	// it; rebuild the store from its source document(s).
+	ErrVersion = errors.New("pagefile: unsupported page-format version (file written by an older release; rebuild the store)")
 	// ErrTornTail means the file is shorter than its header's page count —
 	// a crash landed between the header write and the extending page write.
 	// Open refuses such files; OpenRepair re-extends them so WAL redo can
@@ -273,7 +283,13 @@ func (f *File) readHeader() error {
 	if _, err := io.ReadFull(readerAt{f.b, 0}, buf); err != nil {
 		return fmt.Errorf("pagefile: read header: %w", err)
 	}
-	if getU32(buf[0:]) != headerMagic || getU32(buf[4:]) != headerVersion {
+	if getU32(buf[0:]) != headerMagic {
+		return ErrBadHeader
+	}
+	if v := getU32(buf[4:]); v != headerVersion {
+		if v > 0 && v < headerVersion {
+			return fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, headerVersion)
+		}
 		return ErrBadHeader
 	}
 	ps := int(getU32(buf[8:]))

@@ -190,6 +190,43 @@ func TestOpenRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestOpenRefusesOldVersion verifies both open paths return the typed
+// ErrVersion for a structurally valid file written by an earlier page
+// format (pre-B-link, no high-key/right-link headers), and plain
+// ErrBadHeader for a version from the future.
+func TestOpenRefusesOldVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v1.db")
+	f, err := Create(path, Options{PageSize: MinPageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stamp := func(version uint32) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		putU32(raw[4:], version)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stamp(1)
+	if _, err := Open(path); !errors.Is(err, ErrVersion) {
+		t.Errorf("Open of version-1 file: err = %v, want ErrVersion", err)
+	}
+	if _, err := OpenRepair(path); !errors.Is(err, ErrVersion) {
+		t.Errorf("OpenRepair of version-1 file: err = %v, want ErrVersion", err)
+	}
+	stamp(headerVersion + 1)
+	if _, err := Open(path); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("Open of future-version file: err = %v, want ErrBadHeader", err)
+	}
+}
+
 // TestPropertyWriteReadIdentity is a property test: any page written can be
 // read back identically, across a random sequence of allocations.
 func TestPropertyWriteReadIdentity(t *testing.T) {

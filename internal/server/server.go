@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -172,6 +173,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /api/v1/join", s.admit(s.handleJoin))
 	s.mux.Handle("GET /api/v1/query", s.admit(s.handleQuery))
+	s.mux.Handle("POST /api/v1/insert", s.admit(s.handleInsert))
 	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	return s
 }
@@ -715,6 +717,99 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		resp.TraceID = tr.ID().String()
 	}
 	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// insertRequest is the body of POST /api/v1/insert: elements to add to
+// one catalogued set's XR-tree. A zero DocID inherits the set's document.
+type insertRequest struct {
+	Set      string           `json:"set"`
+	Elements []xrtree.Element `json:"elements"`
+}
+
+// insertResponse is the body of a successful insert.
+type insertResponse struct {
+	Backend   string  `json:"backend"`
+	Set       string  `json:"set"`
+	Inserted  int     `json:"inserted"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// maxInsertBody bounds the insert request body (about 16k elements per
+// request at JSON encoding sizes — far above any sane batch).
+const maxInsertBody = 1 << 20
+
+// handleInsert adds elements to a catalogued set's XR-tree:
+// POST /api/v1/insert?backend=&set= with an insertRequest body. Inserts
+// run concurrently with joins and queries over the same set — the tree's
+// per-page latching keeps readers flowing during splits — and are
+// admission-controlled like every query, so ingest load competes for the
+// same execution slots the limiter meters. Inserted elements are visible
+// to the XR-tree access path (xr joins, FindAncestors probes); the set's
+// catalogued element list and B+-tree are not updated.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
+	if s.coord != nil {
+		return badRequest("the router does not accept inserts; POST to the shard that owns the document")
+	}
+	q := r.URL.Query()
+	b, err := s.backend(q.Get("backend"))
+	if err != nil {
+		return err
+	}
+	if b.coll != nil {
+		return badRequest("backend %q serves documents; inserts need a catalogued store backend", b.name)
+	}
+	var req insertRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxInsertBody)).Decode(&req); err != nil {
+		return badRequest("bad insert body: %v", err)
+	}
+	tag := req.Set
+	if tag == "" {
+		tag = q.Get("set")
+	}
+	if tag == "" {
+		return badRequest("set parameter (or body field) is required")
+	}
+	if len(req.Elements) == 0 {
+		return badRequest("no elements to insert")
+	}
+	set, err := b.set(tag)
+	if err != nil {
+		return err
+	}
+	xr, err := set.XRTree()
+	if err != nil {
+		return badRequest("set %q was built without an XR-tree access path", tag)
+	}
+	docID := set.Elements()[0].DocID
+	tr := traceFrom(r.Context())
+	if tr != nil {
+		span := tr.Root().StartSpan(fmt.Sprintf("insert %d elements into %s", len(req.Elements), tag))
+		defer span.End()
+	}
+	ctx := r.Context()
+	start := time.Now()
+	inserted := 0
+	for _, e := range req.Elements {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if e.DocID == 0 {
+			e.DocID = docID
+		}
+		if err := xr.Insert(e); err != nil {
+			// Earlier elements of the batch stay inserted; the count in the
+			// error lets the client account for them.
+			return badRequest("element %d of %d: %v", inserted+1, len(req.Elements), err)
+		}
+		inserted++
+	}
+	writeJSON(w, http.StatusOK, insertResponse{
+		Backend:   b.name,
+		Set:       tag,
+		Inserted:  inserted,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
 	return nil
 }
 

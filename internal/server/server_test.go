@@ -213,6 +213,105 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any, out any) (int, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: bad JSON: %v\n%s", path, err, raw)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func TestInsertEndpoint(t *testing.T) {
+	s, st := storeServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A wide parent plus a nested child, far above the generated corpus.
+	const base = uint32(1) << 30
+	req := insertRequest{Set: "employee", Elements: []xrtree.Element{
+		{Start: base, End: base + 1000, Level: 1},
+		{Start: base + 4, End: base + 6, Level: 2},
+	}}
+	var ins insertResponse
+	code, body := postJSON(t, ts, "/api/v1/insert", req, &ins)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if ins.Backend != "dept" || ins.Set != "employee" || ins.Inserted != 2 {
+		t.Fatalf("unexpected response: %+v", ins)
+	}
+
+	// The inserts land in the set's XR-tree: a fresh handle over the same
+	// pages finds the wide parent as an ancestor of the nested child.
+	set, err := st.OpenSet("employee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats xrtree.Stats
+	anc, err := set.FindAncestors(base+4, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range anc {
+		if e.Start == base && e.End == base+1000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted parent missing from FindAncestors: %+v", anc)
+	}
+
+	// Joins over the set still answer after the mutation.
+	var jr joinResponse
+	code, body = getJSON(t, ts, "/api/v1/join?anc=employee&desc=name&alg=xr", &jr)
+	if code != http.StatusOK || jr.Pairs <= 0 {
+		t.Fatalf("join after insert: status %d pairs %d: %s", code, jr.Pairs, body)
+	}
+
+	// Malformed inserts are refused with the usual error envelope.
+	for _, c := range []struct {
+		req  insertRequest
+		want int
+	}{
+		{insertRequest{Elements: []xrtree.Element{{Start: 1, End: 2}}}, http.StatusBadRequest}, // no set
+		{insertRequest{Set: "nosuch", Elements: []xrtree.Element{{Start: 1, End: 2}}}, http.StatusNotFound},
+		{insertRequest{Set: "employee"}, http.StatusBadRequest},                                                 // no elements
+		{insertRequest{Set: "employee", Elements: []xrtree.Element{{Start: 9, End: 9}}}, http.StatusBadRequest}, // degenerate
+	} {
+		code, body := postJSON(t, ts, "/api/v1/insert", c.req, nil)
+		if code != c.want {
+			t.Errorf("%+v: status %d, want %d (%s)", c.req, code, c.want, body)
+		}
+	}
+}
+
+func TestInsertRequiresStoreBackend(t *testing.T) {
+	s, _, _ := docServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req := insertRequest{Set: "employee", Elements: []xrtree.Element{{Start: 1, End: 2}}}
+	code, body := postJSON(t, ts, "/api/v1/insert", req, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("document backend insert: status %d, want 400 (%s)", code, body)
+	}
+}
+
 func TestAdmissionRejectsWhenSaturated(t *testing.T) {
 	s, _ := storeServer(t, Config{MaxConcurrent: 1, MaxQueue: -1})
 	ts := httptest.NewServer(s.Handler())

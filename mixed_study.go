@@ -1,0 +1,282 @@
+package xrtree
+
+// The mixed read/write study for the B-link write-concurrency work: one
+// XR-tree under concurrent FindAncestors probes while writers ingest, run
+// twice per writer count — once with a study-level RWMutex wrapped around
+// every operation (emulating the coarse per-tree latch the B-link protocol
+// replaced) and once with the tree's own per-page latching. The rows
+// report reader throughput and latency percentiles measured strictly while
+// ingest is in flight, plus writer throughput, so the comparison captures
+// exactly the claim of the refactor: readers keep flowing during splits
+// and commit waits instead of queueing behind each insert.
+//
+// The store is file-backed with the WAL enabled — the configuration the
+// coarse-vs-fine distinction matters for. Under the replaced design the
+// tree latch was held across the whole insert transaction including the
+// group-committed fsync, so every reader stalled for the commit; that is
+// exactly what the coarse rows reproduce, and the window per-page latching
+// wins back even on a single-CPU host (readers execute during the
+// writer's commit wait instead of queueing on the latch).
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"xrtree/internal/datagen"
+)
+
+// MixedStudyConfig parameterizes RunMixedStudy.
+type MixedStudyConfig struct {
+	// Seed makes the corpus and probe positions deterministic. Default 1.
+	Seed int64
+	// Elements is the static corpus size readers probe (default 20000).
+	Elements int
+	// Writers is the sweep of concurrent writer counts; default {1, 4}.
+	Writers []int
+	// Readers is the number of concurrent probe goroutines (default 4).
+	Readers int
+	// InsertsPerWriter is each writer's ingest volume (default 1200). The
+	// measurement window is the ingest: readers are sampled only while at
+	// least one writer is still inserting.
+	InsertsPerWriter int
+	// PageSize and BufferPages configure each cell's store (defaults
+	// 4096 / 512 — large enough that the comparison measures latching,
+	// not eviction).
+	PageSize    int
+	BufferPages int
+}
+
+func (c *MixedStudyConfig) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Elements <= 0 {
+		c.Elements = 20000
+	}
+	if len(c.Writers) == 0 {
+		c.Writers = []int{1, 4}
+	}
+	if c.Readers <= 0 {
+		c.Readers = 4
+	}
+	if c.InsertsPerWriter <= 0 {
+		c.InsertsPerWriter = 1200
+	}
+	if c.BufferPages == 0 {
+		c.BufferPages = 512
+	}
+}
+
+// MixedRow is one (latching mode, writer count) cell.
+type MixedRow struct {
+	// Mode is "coarse" (study-level RWMutex around every operation) or
+	// "blink" (the tree's own per-page latching).
+	Mode    string `json:"mode"`
+	Writers int    `json:"writers"`
+	Readers int    `json:"readers"`
+	// Writer side: total inserts and throughput over the ingest window.
+	WriterOps       int64   `json:"writer_ops"`
+	WriterOpsPerSec float64 `json:"writer_ops_per_sec"`
+	// Reader side, sampled only while ingest was in flight.
+	ReaderOps       int64   `json:"reader_ops"`
+	ReaderOpsPerSec float64 `json:"reader_ops_per_sec"`
+	ReaderP50US     float64 `json:"reader_p50_us"`
+	ReaderP99US     float64 `json:"reader_p99_us"`
+	WallMS          float64 `json:"wall_ms"`
+}
+
+// MixedStudy is the full coarse-vs-blink comparison.
+type MixedStudy struct {
+	Elements         int        `json:"elements"`
+	Readers          int        `json:"readers"`
+	InsertsPerWriter int        `json:"inserts_per_writer"`
+	Rows             []MixedRow `json:"rows"`
+}
+
+// RunMixedStudy measures the mixed ingest/probe workload for every writer
+// count, under the coarse-latch emulation and under the tree's per-page
+// latching. Every cell gets a fresh store and an identical bulk-loaded
+// corpus, so the rows differ only in latching mode and writer count.
+func RunMixedStudy(cfg MixedStudyConfig) (*MixedStudy, error) {
+	cfg.defaults()
+	doc, err := datagen.Nested(datagen.NestedConfig{
+		Seed: cfg.Seed, DocID: 1, Elements: cfg.Elements, MaxDepth: 12, DeepBias: 0.6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	els := doc.ElementsByTag("item")
+	study := &MixedStudy{
+		Elements:         len(els),
+		Readers:          cfg.Readers,
+		InsertsPerWriter: cfg.InsertsPerWriter,
+	}
+	for _, writers := range cfg.Writers {
+		for _, mode := range []string{"coarse", "blink"} {
+			row, err := runMixedCell(cfg, els, mode, writers)
+			if err != nil {
+				return nil, fmt.Errorf("mixed study (%s, %d writers): %w", mode, writers, err)
+			}
+			study.Rows = append(study.Rows, row)
+		}
+	}
+	return study, nil
+}
+
+// runMixedCell measures one (mode, writers) cell on a fresh WAL-backed
+// store in a private temp directory.
+func runMixedCell(cfg MixedStudyConfig, els []Element, mode string, writers int) (MixedRow, error) {
+	row := MixedRow{Mode: mode, Writers: writers, Readers: cfg.Readers}
+	dir, err := os.MkdirTemp("", "xrtree-mixed-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := CreateStore(filepath.Join(dir, "mixed.xrt"), StoreOptions{
+		PageSize: cfg.PageSize, BufferPages: cfg.BufferPages, WAL: true,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer store.Close()
+	set, err := store.IndexElements(els, IndexOptions{SkipList: true, SkipBTree: true})
+	if err != nil {
+		return row, err
+	}
+	xr, err := set.XRTree()
+	if err != nil {
+		return row, err
+	}
+
+	// The coarse emulation reproduces the replaced design at the study
+	// level: every insert takes the write side, every probe the read side,
+	// for the operation's whole duration. Blink cells leave gate nil and
+	// rely on the tree's own latching.
+	var gate *sync.RWMutex
+	if mode == "coarse" {
+		gate = new(sync.RWMutex)
+	}
+
+	// Writers ingest flat elements strictly above the static corpus, each
+	// in a private arithmetic range — no key collisions, but every insert
+	// still climbs through (and splits) the shared upper levels readers
+	// descend.
+	base := els[len(els)-1].End + 2
+	var ingesting atomic.Int64
+	ingesting.Store(int64(writers))
+
+	var wg sync.WaitGroup
+	writerErrs := make([]error, writers)
+	latencies := make([][]time.Duration, cfg.Readers)
+	readerErrs := make([]error, cfg.Readers)
+
+	start := time.Now()
+	var ingestEnd atomic.Int64 // ns since start when the last writer finished
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if ingesting.Add(-1) == 0 {
+					ingestEnd.Store(int64(time.Since(start)))
+				}
+			}()
+			first := base + uint32(w)*uint32(cfg.InsertsPerWriter)*4
+			for i := 0; i < cfg.InsertsPerWriter; i++ {
+				s := first + uint32(i)*4
+				e := Element{DocID: 1, Start: s, End: s + 2, Level: 1}
+				if gate != nil {
+					gate.Lock()
+				}
+				err := xr.Insert(e)
+				if gate != nil {
+					gate.Unlock()
+				}
+				if err != nil {
+					writerErrs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < cfg.Readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)*101))
+			var st Stats
+			for ingesting.Load() > 0 {
+				probe := els[rng.Intn(len(els))].Start
+				opStart := time.Now()
+				if gate != nil {
+					gate.RLock()
+				}
+				_, err := xr.FindAncestors(probe, 0, &st)
+				if gate != nil {
+					gate.RUnlock()
+				}
+				if err != nil {
+					readerErrs[g] = err
+					return
+				}
+				latencies[g] = append(latencies[g], time.Since(opStart))
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range append(writerErrs, readerErrs...) {
+		if err != nil {
+			return row, err
+		}
+	}
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	window := time.Duration(ingestEnd.Load())
+	if window <= 0 {
+		window = wall
+	}
+	row.WriterOps = int64(writers) * int64(cfg.InsertsPerWriter)
+	row.WriterOpsPerSec = float64(row.WriterOps) / window.Seconds()
+	row.ReaderOps = int64(len(all))
+	row.ReaderOpsPerSec = float64(len(all)) / window.Seconds()
+	row.ReaderP50US = quantileUS(all, 0.50)
+	row.ReaderP99US = quantileUS(all, 0.99)
+	row.WallMS = float64(wall.Microseconds()) / 1000
+	return row, nil
+}
+
+// quantileUS returns the q-quantile of sorted durations, in microseconds.
+func quantileUS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1000
+}
+
+// FormatMixedStudy renders the coarse-vs-blink comparison as a table.
+func FormatMixedStudy(w io.Writer, s *MixedStudy) error {
+	fmt.Fprintf(w, "elements=%d readers=%d inserts/writer=%d\n",
+		s.Elements, s.Readers, s.InsertsPerWriter)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\twriters\twriter-ops/s\treader-ops/s\treader-p50-µs\treader-p99-µs\twall-ms")
+	for _, r := range s.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.1f\t%.1f\t%.1f\n",
+			r.Mode, r.Writers, r.WriterOpsPerSec, r.ReaderOpsPerSec,
+			r.ReaderP50US, r.ReaderP99US, r.WallMS)
+	}
+	return tw.Flush()
+}

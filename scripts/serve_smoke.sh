@@ -11,7 +11,10 @@
 #   3. A traced request (xrblast -trace) must surface in /debug/traces
 #      with its xrblast-reported trace id, and /metrics must be a clean
 #      Prometheus text exposition (xrcheckbench -promlint).
-#   4. SIGTERM drains in-flight requests and the server exits 0 with
+#   4. Concurrent ingest (xrblast -ingest against POST /api/v1/insert)
+#      must complete without errors while readers keep flowing: reader
+#      p99 under ingest is bounded relative to a read-only baseline.
+#   5. SIGTERM drains in-flight requests and the server exits 0 with
 #      "drained cleanly".
 set -eu
 
@@ -76,6 +79,16 @@ echo "== /metrics must be a clean Prometheus text exposition"
 curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
 grep -q 'xrtree_serve_requests_total' "$TMP/metrics.txt" || { echo "FAIL: serving counters missing from /metrics"; exit 1; }
 "$TMP/xrcheckbench" -promlint "$TMP/metrics.txt"
+
+echo "== ingest: concurrent inserts must not starve readers"
+# 4 readers + 2 insert workers stay under the 8 execution slots, so the
+# measured inflation is latching, not admission queueing. The bound is
+# deliberately loose — it catches a return to coarse blocking (readers
+# queueing behind whole insert transactions), not scheduling jitter.
+"$TMP/xrblast" -url "$BASE" -label ingest \
+    -target '/api/v1/join?anc=employee&desc=name&alg=xr' \
+    -clients 4 -duration 2s -ingest 2 -ingest-set employee -ingest-batch 16 \
+    -min-inserted 64 -max-p99-inflation 25 -assert-no-pins
 
 echo "== graceful drain on SIGTERM"
 kill -TERM "$SERVER_PID"
